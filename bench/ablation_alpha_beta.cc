@@ -1,0 +1,38 @@
+// Ablation: the scoring weights alpha (query similarity) and beta
+// (inter-model agreement) of Eq. 6.1 / Algorithm 1. The paper fixes
+// alpha=0.7, beta=0.3; this sweep shows how the mix affects both LLM-MS
+// strategies. beta = 1 - alpha throughout.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "llmms/common/string_util.h"
+#include "llmms/eval/report.h"
+
+int main() {
+  using namespace llmms;
+  const size_t qpd = std::min<size_t>(bench::QuestionsPerDomain(), 20);
+  auto world = bench::MakeBenchWorld(qpd);
+  std::cout << "Alpha/beta ablation (" << world.dataset.size()
+            << " questions): score = alpha*qSim + (1-alpha)*interSim\n\n";
+  std::cout << "alpha   oua_reward  oua_f1   mab_reward  mab_f1\n";
+  std::cout << "------------------------------------------------\n";
+
+  for (double alpha : {0.0, 0.25, 0.5, 0.7, 0.9, 1.0}) {
+    eval::HarnessConfig config;
+    config.weights.alpha = alpha;
+    config.weights.beta = 1.0 - alpha;
+    config.run_singles = false;
+    auto report = bench::RunPaperEvaluation(&world, config);
+    const auto* oua = report.Find("llm-ms-oua");
+    const auto* mab = report.Find("llm-ms-mab");
+    std::cout << FormatDouble(alpha, 2) << "    "
+              << FormatDouble(oua->aggregate.mean_reward, 4) << "      "
+              << FormatDouble(oua->aggregate.mean_f1, 4) << "   "
+              << FormatDouble(mab->aggregate.mean_reward, 4) << "      "
+              << FormatDouble(mab->aggregate.mean_f1, 4) << "\n";
+  }
+  std::cout << "\n(The paper's default alpha=0.7 balances topical alignment "
+               "against consensus.)\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Ablation: the token budget lambda_max (§6.3 uses 2048). Sweeps the budget
+// and reports answer quality vs. cost for both LLM-MS strategies — where the
+// curves flatten is where extra tokens stop buying quality.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "llmms/common/string_util.h"
+#include "llmms/eval/report.h"
+
+int main() {
+  using namespace llmms;
+  const size_t qpd = std::min<size_t>(bench::QuestionsPerDomain(), 20);
+  auto world = bench::MakeBenchWorld(qpd);
+  std::cout << "Token budget sweep (" << world.dataset.size()
+            << " questions)\n\n";
+  std::cout << "budget  strategy     reward   f1      tokens\n";
+  std::cout << "----------------------------------------------\n";
+
+  for (size_t budget : {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    eval::HarnessConfig config;
+    config.token_budget = budget;
+    config.run_singles = false;
+    auto report = bench::RunPaperEvaluation(&world, config);
+    for (const auto& run : report.runs) {
+      std::cout << budget << (budget < 1000 ? "     " : "    ")
+                << run.strategy << "   "
+                << FormatDouble(run.aggregate.mean_reward, 4) << "  "
+                << FormatDouble(run.aggregate.mean_f1, 4) << "  "
+                << FormatDouble(run.aggregate.mean_total_tokens, 1) << "\n";
+    }
+  }
+  return 0;
+}

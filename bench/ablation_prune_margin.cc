@@ -1,0 +1,37 @@
+// Ablation: OUA's pruning margin (Algorithm 1 line 21) and early-stop margin
+// (line 17). Small margins prune/stop aggressively and save tokens at some
+// F1 risk; the thesis's literal 0.5 (on its embedding scale) disables both
+// behaviors on our hash-embedding cosine scale — visible in the last row.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "llmms/common/string_util.h"
+#include "llmms/eval/report.h"
+
+int main() {
+  using namespace llmms;
+  const size_t qpd = std::min<size_t>(bench::QuestionsPerDomain(), 20);
+  auto world = bench::MakeBenchWorld(qpd);
+  std::cout << "OUA margin ablation (" << world.dataset.size()
+            << " questions); early_stop_margin = prune_margin + 0.02\n\n";
+  std::cout << "margin  reward   f1      tokens   rew/1k_tok\n";
+  std::cout << "---------------------------------------------\n";
+
+  for (double margin : {0.0, 0.05, 0.10, 0.20, 0.35, 0.5}) {
+    eval::HarnessConfig config;
+    config.oua_prune_margin = margin;
+    config.oua_early_stop_margin = margin + 0.02;
+    config.run_singles = false;
+    config.run_mab = false;
+    auto report = bench::RunPaperEvaluation(&world, config);
+    const auto& agg = report.Find("llm-ms-oua")->aggregate;
+    std::cout << FormatDouble(margin, 2) << "    "
+              << FormatDouble(agg.mean_reward, 4) << "  "
+              << FormatDouble(agg.mean_f1, 4) << "  "
+              << FormatDouble(agg.mean_total_tokens, 1) << "    "
+              << FormatDouble(agg.mean_reward_per_total_token * 1000.0, 4)
+              << "\n";
+  }
+  return 0;
+}

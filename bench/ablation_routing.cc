@@ -1,0 +1,81 @@
+// Ablation: cognitive routing with semantic task indexing (§9.5). After a
+// warmup phase in which the router observes model performance per task, new
+// queries are routed to a subset of specialists — measuring what routing
+// buys in tokens at what quality cost, vs. full-pool orchestration.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "llmms/common/string_util.h"
+#include "llmms/core/oua.h"
+#include "llmms/core/router.h"
+#include "llmms/eval/metrics.h"
+
+int main() {
+  using namespace llmms;
+  const size_t qpd = std::min<size_t>(bench::QuestionsPerDomain(), 20);
+  auto world = bench::MakeBenchWorld(qpd);
+
+  core::IntentClassifier classifier(world.embedder);
+  for (const auto& item : world.dataset) {
+    if (!classifier.AddExample(item.question, item.domain).ok()) std::abort();
+  }
+  core::FeedbackStore feedback;
+  core::EloRatings ratings;
+
+  // Warmup: the first half of the dataset runs through the router in
+  // exploration mode (full pool), populating the task index.
+  const size_t half = world.dataset.size() / 2;
+  core::RoutedOrchestrator::Config warm_config;
+  warm_config.min_observations = 1;  // record from the start
+  warm_config.route_to = 3;          // but route to the full pool
+  core::RoutedOrchestrator warm(world.runtime.get(), world.model_names,
+                                world.embedder, &classifier, &feedback,
+                                &ratings, warm_config);
+  for (size_t i = 0; i < half; ++i) {
+    if (!warm.Run(world.dataset[i].question).ok()) std::abort();
+  }
+
+  // Evaluation phase: full-pool OUA vs. routed subsets of 2 and 1.
+  std::cout << "Routing ablation: warmup " << half << " questions, eval "
+            << world.dataset.size() - half << " questions\n\n";
+  std::cout << "mode          reward   f1      accuracy  tokens\n";
+  std::cout << std::string(52, '-') << "\n";
+
+  auto evaluate = [&](core::Orchestrator* orchestrator, const char* label) {
+    std::vector<eval::QuestionMetrics> metrics;
+    for (size_t i = half; i < world.dataset.size(); ++i) {
+      const auto& item = world.dataset[i];
+      auto result = orchestrator->Run(item.question);
+      if (!result.ok()) std::abort();
+      auto m = eval::ScoreResponse(*world.embedder, item, result->answer);
+      m.total_tokens = result->total_tokens;
+      metrics.push_back(m);
+    }
+    const auto agg = eval::Aggregate(label, metrics);
+    std::cout << label << "    " << FormatDouble(agg.mean_reward, 4) << "  "
+              << FormatDouble(agg.mean_f1, 4) << "  "
+              << FormatDouble(agg.accuracy, 3) << "     "
+              << FormatDouble(agg.mean_total_tokens, 1) << "\n";
+  };
+
+  core::OuaOrchestrator full(world.runtime.get(), world.model_names,
+                             world.embedder, {});
+  evaluate(&full, "full-pool");
+
+  for (size_t route_to : {2u, 1u}) {
+    core::RoutedOrchestrator::Config config;
+    config.route_to = route_to;
+    config.min_observations = 5;
+    core::RoutedOrchestrator routed(world.runtime.get(), world.model_names,
+                                    world.embedder, &classifier, &feedback,
+                                    &ratings, config);
+    evaluate(&routed, route_to == 2 ? "routed-2 " : "routed-1 ");
+  }
+
+  std::cout << "\nElo ratings after the run (game-theoretic coordination):\n";
+  for (const auto& [model, rating] : ratings.Ranking()) {
+    std::cout << "  " << model << ": " << FormatDouble(rating, 1) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// google-benchmark microbenchmarks for the embedding substrate (§6.2):
+// embedding throughput at several text lengths, cache effectiveness, and
+// similarity kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "llmms/embedding/embedding_cache.h"
+#include "llmms/embedding/hash_embedder.h"
+#include "llmms/embedding/similarity.h"
+
+namespace {
+
+using namespace llmms;
+using namespace llmms::embedding;
+
+std::string MakeText(size_t words) {
+  static const char* kWords[] = {"mineral",  "crimson", "heated",  "battle",
+                                 "general",  "capital", "river",   "language",
+                                 "sequence", "number",  "question", "answer"};
+  std::string text;
+  for (size_t i = 0; i < words; ++i) {
+    if (!text.empty()) text += ' ';
+    text += kWords[i % 12];
+    text += std::to_string(i % 7);
+  }
+  return text;
+}
+
+void BM_EmbedText(benchmark::State& state) {
+  HashEmbedder embedder;
+  const std::string text = MakeText(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedder.Embed(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_EmbedText)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_EmbedCached(benchmark::State& state) {
+  auto inner = std::make_shared<HashEmbedder>();
+  EmbeddingCache cache(inner, 128);
+  const std::string text = MakeText(128);
+  cache.Embed(text);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Embed(text));
+  }
+}
+BENCHMARK(BM_EmbedCached);
+
+void BM_CosineSimilarity(benchmark::State& state) {
+  HashEmbedder embedder;
+  const auto a = embedder.Embed(MakeText(100));
+  const auto b = embedder.Embed(MakeText(90));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CosineSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_CosineSimilarity);
+
+void BM_DotProduct(benchmark::State& state) {
+  HashEmbedder embedder;
+  const auto a = embedder.Embed(MakeText(100));
+  const auto b = embedder.Embed(MakeText(90));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DotProduct(a, b));
+  }
+}
+BENCHMARK(BM_DotProduct);
+
+}  // namespace
+
+BENCHMARK_MAIN();

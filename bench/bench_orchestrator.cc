@@ -1,0 +1,77 @@
+// google-benchmark microbenchmarks for the orchestration layer itself (§8.4
+// "orchestration also introduces overhead"): end-to-end latency of one
+// orchestrated query per strategy, and scoring-round cost vs. model count.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "llmms/core/mab.h"
+#include "llmms/core/oua.h"
+#include "llmms/core/scoring.h"
+#include "llmms/core/single.h"
+
+namespace {
+
+using namespace llmms;
+
+bench::BenchWorld& World() {
+  static auto* world = new bench::BenchWorld(bench::MakeBenchWorld(10));
+  return *world;
+}
+
+void BM_OuaQuery(benchmark::State& state) {
+  auto& world = World();
+  core::OuaOrchestrator orchestrator(world.runtime.get(), world.model_names,
+                                     world.embedder, {});
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& item = world.dataset[i++ % world.dataset.size()];
+    benchmark::DoNotOptimize(orchestrator.Run(item.question));
+  }
+}
+BENCHMARK(BM_OuaQuery);
+
+void BM_MabQuery(benchmark::State& state) {
+  auto& world = World();
+  core::MabOrchestrator orchestrator(world.runtime.get(), world.model_names,
+                                     world.embedder, {});
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& item = world.dataset[i++ % world.dataset.size()];
+    benchmark::DoNotOptimize(orchestrator.Run(item.question));
+  }
+}
+BENCHMARK(BM_MabQuery);
+
+void BM_SingleQuery(benchmark::State& state) {
+  auto& world = World();
+  core::SingleModelOrchestrator orchestrator(
+      world.runtime.get(), world.model_names[0], world.embedder, {});
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& item = world.dataset[i++ % world.dataset.size()];
+    benchmark::DoNotOptimize(orchestrator.Run(item.question));
+  }
+}
+BENCHMARK(BM_SingleQuery);
+
+void BM_ScoreRound(benchmark::State& state) {
+  auto& world = World();
+  const size_t num_models = static_cast<size_t>(state.range(0));
+  core::ResponseScorer scorer(world.embedder, core::ScoringWeights{});
+  std::vector<std::string> responses;
+  for (size_t i = 0; i < num_models; ++i) {
+    responses.push_back(
+        "the mineral turns crimson when heated according to model " +
+        std::to_string(i));
+  }
+  const std::string query = "what color does the mineral turn when heated";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.ScoreRound(query, responses));
+  }
+}
+BENCHMARK(BM_ScoreRound)->Arg(2)->Arg(3)->Arg(6)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// google-benchmark microbenchmarks for the tokenizer substrate: BPE
+// training, encode/decode throughput, and word tokenization.
+
+#include <benchmark/benchmark.h>
+
+#include "llmms/tokenizer/bpe_tokenizer.h"
+#include "llmms/tokenizer/word_tokenizer.h"
+
+namespace {
+
+using namespace llmms::tokenizer;
+
+std::vector<std::string> TrainingCorpus() {
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 50; ++i) {
+    corpus.push_back(
+        "language models predict the next token in the sequence and the "
+        "token budget limits how many tokens a model may generate number " +
+        std::to_string(i));
+  }
+  return corpus;
+}
+
+std::string LongText() {
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += "the model generates tokens under a budget ";
+  }
+  return text;
+}
+
+void BM_BpeTrain(benchmark::State& state) {
+  const auto corpus = TrainingCorpus();
+  BpeTokenizer::TrainOptions options;
+  options.vocab_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    BpeTokenizer tokenizer;
+    benchmark::DoNotOptimize(tokenizer.Train(corpus, options).ok());
+  }
+}
+BENCHMARK(BM_BpeTrain)->Arg(512)->Arg(1024);
+
+void BM_BpeEncode(benchmark::State& state) {
+  BpeTokenizer tokenizer;
+  BpeTokenizer::TrainOptions options;
+  options.vocab_size = 1024;
+  (void)tokenizer.Train(TrainingCorpus(), options);
+  const std::string text = LongText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Encode(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_BpeEncode);
+
+void BM_BpeDecode(benchmark::State& state) {
+  BpeTokenizer tokenizer;
+  BpeTokenizer::TrainOptions options;
+  options.vocab_size = 1024;
+  (void)tokenizer.Train(TrainingCorpus(), options);
+  const auto ids = tokenizer.Encode(LongText());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Decode(ids));
+  }
+}
+BENCHMARK(BM_BpeDecode);
+
+void BM_WordTokenize(benchmark::State& state) {
+  WordTokenizer tokenizer;
+  const std::string text = LongText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_WordTokenize);
+
+void BM_SplitSentences(benchmark::State& state) {
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    text += "Sentence number " + std::to_string(i) + " ends here. ";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SplitSentences(text));
+  }
+}
+BENCHMARK(BM_SplitSentences);
+
+}  // namespace
+
+BENCHMARK_MAIN();

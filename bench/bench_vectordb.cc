@@ -1,0 +1,136 @@
+// google-benchmark microbenchmarks for the vector-database substrate:
+// index build, exact/approximate query, and collection upsert throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "llmms/common/rng.h"
+#include "llmms/vectordb/collection.h"
+#include "llmms/vectordb/flat_index.h"
+#include "llmms/vectordb/hnsw_index.h"
+#include "llmms/vectordb/quantizer.h"
+
+namespace {
+
+using namespace llmms;
+using namespace llmms::vectordb;
+
+Vector RandomVector(Rng* rng, size_t dim) {
+  Vector v(dim);
+  for (auto& x : v) x = static_cast<float>(rng->Normal());
+  return v;
+}
+
+std::vector<Vector> Corpus(size_t n, size_t dim) {
+  Rng rng(42);
+  std::vector<Vector> corpus;
+  corpus.reserve(n);
+  for (size_t i = 0; i < n; ++i) corpus.push_back(RandomVector(&rng, dim));
+  return corpus;
+}
+
+void BM_FlatIndexQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  constexpr size_t kDim = 128;
+  const auto corpus = Corpus(n, kDim);
+  FlatIndex index(kDim, DistanceMetric::kCosine);
+  for (const auto& v : corpus) (void)*index.Add(v);
+  Rng rng(7);
+  const auto query = RandomVector(&rng, kDim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*index.Search(query, 10));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FlatIndexQuery)->Arg(1000)->Arg(10000);
+
+void BM_HnswIndexQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  constexpr size_t kDim = 128;
+  const auto corpus = Corpus(n, kDim);
+  HnswIndex index(kDim, DistanceMetric::kCosine);
+  for (const auto& v : corpus) (void)*index.Add(v);
+  Rng rng(7);
+  const auto query = RandomVector(&rng, kDim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*index.Search(query, 10));
+  }
+}
+BENCHMARK(BM_HnswIndexQuery)->Arg(1000)->Arg(10000);
+
+void BM_HnswIndexBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  constexpr size_t kDim = 64;
+  const auto corpus = Corpus(n, kDim);
+  for (auto _ : state) {
+    HnswIndex index(kDim, DistanceMetric::kCosine);
+    for (const auto& v : corpus) (void)*index.Add(v);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_HnswIndexBuild)->Arg(1000);
+
+void BM_QuantizedFlatQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  constexpr size_t kDim = 128;
+  const auto corpus = Corpus(n, kDim);
+  ScalarQuantizer quantizer;
+  (void)quantizer.Train(corpus);
+  QuantizedFlatIndex index(quantizer, DistanceMetric::kCosine);
+  for (const auto& v : corpus) (void)*index.Add(v);
+  Rng rng(7);
+  const auto query = RandomVector(&rng, kDim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*index.Search(query, 10));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_QuantizedFlatQuery)->Arg(1000)->Arg(10000);
+
+void BM_CollectionUpsert(benchmark::State& state) {
+  constexpr size_t kDim = 128;
+  Rng rng(9);
+  Collection::Options options;
+  options.dimension = kDim;
+  options.index_kind = IndexKind::kHnsw;
+  Collection collection("bench", options);
+  size_t i = 0;
+  for (auto _ : state) {
+    VectorRecord record;
+    record.id = "rec-" + std::to_string(i++);
+    record.vector = RandomVector(&rng, kDim);
+    record.metadata["k"] = "v";
+    benchmark::DoNotOptimize(collection.Upsert(std::move(record)).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CollectionUpsert);
+
+void BM_CollectionFilteredQuery(benchmark::State& state) {
+  constexpr size_t kDim = 64;
+  Rng rng(11);
+  Collection::Options options;
+  options.dimension = kDim;
+  options.index_kind = IndexKind::kHnsw;
+  Collection collection("bench", options);
+  for (size_t i = 0; i < 2000; ++i) {
+    VectorRecord record;
+    record.id = "rec-" + std::to_string(i);
+    record.vector = RandomVector(&rng, kDim);
+    record.metadata["bucket"] = std::to_string(i % 4);
+    (void)collection.Upsert(std::move(record));
+  }
+  const auto query = RandomVector(&rng, kDim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        *collection.Query(query, 5, {{"bucket", "2"}}));
+  }
+}
+BENCHMARK(BM_CollectionFilteredQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

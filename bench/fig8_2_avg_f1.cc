@@ -1,0 +1,25 @@
+// Reproduces Figure 8.2: average F1 score per model/strategy. Expected
+// shape (thesis §8.3.2): LLM-MS OUA achieves the highest average F1.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "llmms/eval/report.h"
+
+int main() {
+  using namespace llmms;
+  auto world = bench::MakeBenchWorld(bench::QuestionsPerDomain());
+  std::cout << "Figure 8.2 reproduction: " << world.dataset.size()
+            << " TruthfulQA-style questions, token budget 2048\n\n";
+
+  auto report = bench::RunPaperEvaluation(&world);
+  eval::PrintMetricSeries(std::cout, "Figure 8.2 - Average F1 score per model",
+                          "f1", bench::Aggregates(report));
+  std::cout << "\nAccuracy (fraction of answers closer to the correct set "
+               "than the misconception set):\n";
+  eval::PrintMetricSeries(std::cout, "Accuracy per model", "accuracy",
+                          bench::Aggregates(report));
+  std::cout << "\nFull table:\n";
+  eval::PrintAggregateTable(std::cout, bench::Aggregates(report));
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Reproduces Figure 8.3: average reward-to-tokens ratio per model/strategy.
+// Expected shape (thesis §8.3.3): LLM-MS OUA shows the best trade-off
+// between token usage and answer quality (early pruning conserves tokens).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "llmms/eval/report.h"
+
+int main() {
+  using namespace llmms;
+  auto world = bench::MakeBenchWorld(bench::QuestionsPerDomain());
+  std::cout << "Figure 8.3 reproduction: " << world.dataset.size()
+            << " TruthfulQA-style questions, token budget 2048\n\n";
+
+  auto report = bench::RunPaperEvaluation(&world);
+  eval::PrintMetricSeries(
+      std::cout,
+      "Figure 8.3 - Average reward-to-tokens ratio per model (per 1k tokens)",
+      "reward_per_token", bench::Aggregates(report));
+  std::cout << "\nMean tokens consumed per question (all participating "
+               "models):\n";
+  eval::PrintMetricSeries(std::cout, "Tokens per question", "tokens",
+                          bench::Aggregates(report));
+  std::cout << "\nFull table:\n";
+  eval::PrintAggregateTable(std::cout, bench::Aggregates(report));
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Vector-database quality bench: HNSW recall@10 and speedup vs. exact
+// brute-force search, across corpus sizes and ef_search settings — the
+// "sub-millisecond top-k" claim of §7.1.
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <unordered_set>
+
+#include "llmms/common/rng.h"
+#include "llmms/common/string_util.h"
+#include "llmms/vectordb/flat_index.h"
+#include "llmms/vectordb/hnsw_index.h"
+
+namespace {
+
+using namespace llmms;
+using namespace llmms::vectordb;
+
+Vector RandomUnitVector(Rng* rng, size_t dim) {
+  Vector v(dim);
+  double norm_sq = 0.0;
+  for (auto& x : v) {
+    x = static_cast<float>(rng->Normal());
+    norm_sq += static_cast<double>(x) * x;
+  }
+  const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+  for (auto& x : v) x *= inv;
+  return v;
+}
+
+// Text embeddings cluster by topic; model that with a Gaussian mixture
+// (uniform random high-dimensional vectors are a distance-concentration
+// worst case no real embedding workload resembles).
+class ClusteredSampler {
+ public:
+  ClusteredSampler(Rng* rng, size_t dim, size_t num_clusters)
+      : rng_(rng), dim_(dim) {
+    for (size_t c = 0; c < num_clusters; ++c) {
+      centers_.push_back(RandomUnitVector(rng, dim));
+    }
+  }
+
+  Vector Sample() {
+    const auto& center = centers_[static_cast<size_t>(
+        rng_->UniformInt(0, static_cast<int64_t>(centers_.size()) - 1))];
+    Vector v(dim_);
+    double norm_sq = 0.0;
+    for (size_t i = 0; i < dim_; ++i) {
+      v[i] = center[i] + static_cast<float>(rng_->Normal(0.0, 0.15));
+      norm_sq += static_cast<double>(v[i]) * v[i];
+    }
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (auto& x : v) x *= inv;
+    return v;
+  }
+
+ private:
+  Rng* rng_;
+  size_t dim_;
+  std::vector<Vector> centers_;
+};
+
+}  // namespace
+
+int main() {
+  constexpr size_t kDim = 128;
+  constexpr size_t kQueries = 50;
+  constexpr size_t kK = 10;
+  std::cout << "HNSW recall@" << kK << " and latency vs. exact search (dim="
+            << kDim << ")\n\n";
+  std::cout << "n       ef     recall   hnsw_us   flat_us   speedup\n";
+  std::cout << "----------------------------------------------------\n";
+
+  for (size_t n : {1000u, 5000u, 20000u}) {
+    Rng rng(0xBEEF);
+    ClusteredSampler sampler(&rng, kDim, /*num_clusters=*/64);
+    std::vector<Vector> corpus;
+    corpus.reserve(n);
+    for (size_t i = 0; i < n; ++i) corpus.push_back(sampler.Sample());
+    std::vector<Vector> queries;
+    for (size_t i = 0; i < kQueries; ++i) {
+      queries.push_back(sampler.Sample());
+    }
+
+    FlatIndex flat(kDim, DistanceMetric::kCosine);
+    for (const auto& v : corpus) (void)*flat.Add(v);
+
+    for (size_t ef : {16u, 64u, 128u}) {
+      HnswIndex::Options options;
+      options.ef_search = ef;
+      HnswIndex hnsw(kDim, DistanceMetric::kCosine, options);
+      for (const auto& v : corpus) (void)*hnsw.Add(v);
+
+      size_t found = 0;
+      size_t expected = 0;
+      double hnsw_us = 0.0;
+      double flat_us = 0.0;
+      for (const auto& q : queries) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto exact = *flat.Search(q, kK);
+        auto t1 = std::chrono::steady_clock::now();
+        auto approx = *hnsw.Search(q, kK);
+        auto t2 = std::chrono::steady_clock::now();
+        flat_us += std::chrono::duration<double, std::micro>(t1 - t0).count();
+        hnsw_us += std::chrono::duration<double, std::micro>(t2 - t1).count();
+        std::unordered_set<SlotId> truth;
+        for (const auto& hit : exact) truth.insert(hit.slot);
+        expected += truth.size();
+        for (const auto& hit : approx) found += truth.count(hit.slot);
+      }
+      const double recall =
+          static_cast<double>(found) / static_cast<double>(expected);
+      hnsw_us /= kQueries;
+      flat_us /= kQueries;
+      std::cout << n << (n < 10000 ? "    " : "   ") << ef
+                << (ef < 100 ? "     " : "    ") << FormatDouble(recall, 3)
+                << "    " << FormatDouble(hnsw_us, 1) << "      "
+                << FormatDouble(flat_us, 1) << "     "
+                << FormatDouble(flat_us / hnsw_us, 1) << "x\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Regenerates the measured tables of EXPERIMENTS.md as markdown: the full
+// five-mode comparison plus one series per paper figure. Redirect to a file
+// to refresh the documentation after a change:
+//
+//   ./build/bench/make_report > report.md
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "llmms/common/string_util.h"
+#include "llmms/eval/report.h"
+
+int main() {
+  using namespace llmms;
+  auto world = bench::MakeBenchWorld(bench::QuestionsPerDomain());
+  auto report = bench::RunPaperEvaluation(&world);
+  const auto rows = bench::Aggregates(report);
+
+  std::cout << "## Measured results (" << world.dataset.size()
+            << " questions, token budget 2048, alpha=0.7/beta=0.3)\n\n";
+  eval::PrintMarkdownTable(std::cout, rows);
+
+  auto series = [&](const char* title, const char* metric) {
+    std::cout << "\n### " << title << "\n\n| strategy | value |\n|---|---|\n";
+    for (const auto& row : rows) {
+      double value = 0.0;
+      if (std::string(metric) == "reward") value = row.mean_reward;
+      if (std::string(metric) == "f1") value = row.mean_f1;
+      if (std::string(metric) == "ratio") {
+        value = row.mean_reward_per_answer_token * 1000.0;
+      }
+      std::cout << "| " << row.strategy << " | " << FormatDouble(value, 4);
+      if (std::string(metric) == "reward") {
+        std::cout << " ± " << FormatDouble(row.reward_sem, 4);
+      }
+      std::cout << " |\n";
+    }
+  };
+  series("Figure 8.1 — average reward (± SEM)", "reward");
+  series("Figure 8.2 — average F1", "f1");
+  series("Figure 8.3 — reward per 1k answer tokens", "ratio");
+
+  std::cout << "\n### Per-domain average reward\n\n| strategy |";
+  const auto domains = eval::AggregateByDomain(
+      report.runs.front().strategy, report.runs.front().per_question);
+  for (const auto& [domain, agg] : domains) std::cout << " " << domain << " |";
+  std::cout << "\n|---|";
+  for (size_t i = 0; i < domains.size(); ++i) std::cout << "---|";
+  std::cout << "\n";
+  for (const auto& run : report.runs) {
+    std::cout << "| " << run.strategy << " |";
+    for (const auto& [domain, agg] :
+         eval::AggregateByDomain(run.strategy, run.per_question)) {
+      std::cout << " " << FormatDouble(agg.mean_reward, 3) << " |";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

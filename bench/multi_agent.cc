@@ -1,0 +1,73 @@
+// Extension bench: the multi-agent collaboration framework (§9.5) on a
+// composite (multi-part) question benchmark — decompose/research/verify/
+// compose vs. a single orchestration pass over the fused question.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "llmms/common/string_util.h"
+#include "llmms/core/agents.h"
+#include "llmms/core/oua.h"
+#include "llmms/eval/metrics.h"
+
+int main() {
+  using namespace llmms;
+  const size_t qpd = std::min<size_t>(bench::QuestionsPerDomain(), 20);
+  auto world = bench::MakeBenchWorld(qpd);
+  const auto composites =
+      eval::GenerateCompositeDataset(world.dataset, world.dataset.size() / 2);
+  std::cout << "Multi-agent pipeline on " << composites.size()
+            << " composite (two-part) questions\n\n";
+
+  core::MultiAgentPipeline pipeline(world.runtime.get(), world.model_names,
+                                    world.embedder, {});
+  core::OuaOrchestrator single_shot(world.runtime.get(), world.model_names,
+                                    world.embedder, {});
+
+  double crew_reward = 0.0;
+  double crew_f1 = 0.0;
+  size_t crew_tokens = 0;
+  size_t crew_correct = 0;
+  double solo_reward = 0.0;
+  double solo_f1 = 0.0;
+  size_t solo_tokens = 0;
+  size_t solo_correct = 0;
+  size_t retries = 0;
+
+  for (const auto& item : composites) {
+    auto crew = pipeline.Run(item.question);
+    auto solo = single_shot.Run(item.question);
+    if (!crew.ok() || !solo.ok()) {
+      std::cerr << "run failed\n";
+      return 1;
+    }
+    const auto crew_metrics =
+        eval::ScoreResponse(*world.embedder, item, crew->answer);
+    const auto solo_metrics =
+        eval::ScoreResponse(*world.embedder, item, solo->answer);
+    crew_reward += crew_metrics.reward;
+    crew_f1 += crew_metrics.f1;
+    crew_tokens += crew->total_tokens;
+    crew_correct += crew_metrics.correct;
+    solo_reward += solo_metrics.reward;
+    solo_f1 += solo_metrics.f1;
+    solo_tokens += solo->total_tokens;
+    solo_correct += solo_metrics.correct;
+    for (const auto& sub : crew->sub_results) retries += sub.retried;
+  }
+
+  const double n = static_cast<double>(composites.size());
+  std::cout << "mode          reward   f1      accuracy  tokens/question\n";
+  std::cout << std::string(58, '-') << "\n";
+  std::cout << "single-shot   " << FormatDouble(solo_reward / n, 4) << "  "
+            << FormatDouble(solo_f1 / n, 4) << "  "
+            << FormatDouble(solo_correct / n, 3) << "     "
+            << FormatDouble(solo_tokens / n, 1) << "\n";
+  std::cout << "multi-agent   " << FormatDouble(crew_reward / n, 4) << "  "
+            << FormatDouble(crew_f1 / n, 4) << "  "
+            << FormatDouble(crew_correct / n, 3) << "     "
+            << FormatDouble(crew_tokens / n, 1) << "\n";
+  std::cout << "\n(" << retries << " verifier retries across "
+            << composites.size() * 2 << " sub-questions)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Application-layer demo: drives the platform through the JSON API contract
+// the Flask frontend would use (§7.1-§7.2), with token streaming rendered as
+// server-sent events — upload, query with settings, transparency overlay,
+// hardware telemetry, and session teardown.
+//
+//   ./build/examples/api_service_demo
+
+#include <iostream>
+
+#include "example_common.h"
+#include "llmms/app/service.h"
+#include "llmms/app/sse.h"
+
+int main() {
+  using namespace llmms;
+  auto platform = examples::MakePlatform();
+  app::ApiService service(platform.engine.get());
+
+  std::cout << "=== GET /api/health ===\n"
+            << service.Handle("/api/health", Json::MakeObject()).Dump(2)
+            << "\n\n";
+
+  std::cout << "=== GET /api/models ===\n"
+            << service.Handle("/api/models", Json::MakeObject()).Dump(2)
+            << "\n\n";
+
+  // Upload a document for the session.
+  const auto& item = platform.dataset[4];
+  Json upload = Json::MakeObject();
+  upload.Set("session", "web-1");
+  upload.Set("document_id", "notes.txt");
+  upload.Set("text", "Meeting notes. " + item.golden + " End of notes.");
+  std::cout << "=== POST /api/upload ===\n"
+            << service.Handle("/api/upload", upload).Dump(2) << "\n\n";
+
+  // Query with settings from the UI's settings panel, streaming SSE frames.
+  Json query = Json::MakeObject();
+  query.Set("session", "web-1");
+  query.Set("query", item.question);
+  query.Set("algorithm", "oua");
+  query.Set("budget", 1024);
+  query.Set("alpha", 0.7);
+  query.Set("beta", 0.3);
+
+  std::cout << "=== POST /api/query (SSE stream) ===\n";
+  size_t frames = 0;
+  auto response = service.Handle(
+      "/api/query", query, [&frames](const Json& event) {
+        app::SseEvent sse;
+        sse.event = "orchestration";
+        sse.id = std::to_string(frames++);
+        sse.data = event.Dump();
+        if (frames <= 6 || event["type"].AsString() != "chunk") {
+          std::cout << app::EncodeSse(sse);
+        }
+      });
+  std::cout << "(" << frames << " SSE frames total; chunk frames elided)\n\n";
+
+  std::cout << "=== response body ===\n" << response.Dump(2) << "\n\n";
+
+  std::cout << "=== GET /api/hardware (NVIDIA-SMI substitute) ===\n"
+            << service.Handle("/api/hardware", Json::MakeObject()).Dump(2)
+            << "\n\n";
+
+  Json end = Json::MakeObject();
+  end.Set("session", "web-1");
+  std::cout << "=== POST /api/session/end ===\n"
+            << service.Handle("/api/session/end", end).Dump(2) << "\n";
+  return 0;
+}

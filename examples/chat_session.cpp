@@ -1,0 +1,73 @@
+// Multi-turn chat with contextual memory: the session layer keeps recent
+// turns verbatim and folds older turns into a rolling extractive summary, so
+// the prompt handed to the models stays bounded (§5.5, §6.5).
+//
+// Run interactively:           ./build/examples/chat_session
+// Or let it demo a scripted
+// conversation:                ./build/examples/chat_session --demo
+
+#include <unistd.h>
+
+#include <iostream>
+#include <string>
+
+#include "example_common.h"
+
+namespace {
+
+void PrintTurn(const llmms::core::SearchEngine::AskResult& result) {
+  std::cout << "assistant (" << result.orchestration.best_model
+            << ", " << result.orchestration.total_tokens << " tokens): "
+            << result.orchestration.answer << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace llmms;
+  const bool demo = argc > 1 && std::string(argv[1]) == "--demo";
+  auto platform = examples::MakePlatform();
+
+  core::SearchEngine::QueryOptions options;
+  options.algorithm = core::Algorithm::kMab;
+
+  if (demo || !isatty(0)) {
+    // Scripted conversation over several benchmark questions.
+    std::cout << "=== scripted multi-turn session ===\n\n";
+    for (size_t i = 0; i < 7; ++i) {
+      const auto& question = platform.dataset[i * 3].question;
+      std::cout << "user: " << question << "\n";
+      auto result = platform.engine->Ask("demo-chat", question, options);
+      if (!result.ok()) {
+        std::cerr << result.status() << "\n";
+        return 1;
+      }
+      PrintTurn(*result);
+    }
+    auto session = platform.sessions->Get("demo-chat");
+    if (session.ok()) {
+      std::cout << "--- session state after 7 turns ---\n";
+      std::cout << "retained verbatim turns: "
+                << (*session)->RecentMessages().size() << "\n";
+      std::cout << "rolling summary: " << (*session)->summary() << "\n";
+    }
+    return 0;
+  }
+
+  std::cout << "LLM-MS chat (MAB orchestration). Type a question, 'quit' to "
+               "exit.\nTry questions from the synthetic world, e.g.:\n  "
+            << platform.dataset[0].question << "\n  "
+            << platform.dataset[20].question << "\n\n";
+  std::string line;
+  while (std::cout << "user: " && std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    if (line.empty()) continue;
+    auto result = platform.engine->Ask("interactive", line, options);
+    if (!result.ok()) {
+      std::cout << "error: " << result.status() << "\n";
+      continue;
+    }
+    PrintTurn(*result);
+  }
+  return 0;
+}

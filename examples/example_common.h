@@ -1,0 +1,84 @@
+#ifndef LLMMS_EXAMPLES_EXAMPLE_COMMON_H_
+#define LLMMS_EXAMPLES_EXAMPLE_COMMON_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llmms/core/search_engine.h"
+#include "llmms/embedding/embedding_cache.h"
+#include "llmms/embedding/hash_embedder.h"
+#include "llmms/eval/qa_dataset.h"
+#include "llmms/hardware/placement.h"
+#include "llmms/llm/model_profile.h"
+#include "llmms/llm/registry.h"
+#include "llmms/llm/runtime.h"
+#include "llmms/llm/synthetic_model.h"
+#include "llmms/session/session_store.h"
+#include "llmms/vectordb/database.h"
+
+namespace llmms::examples {
+
+// Everything an example needs: the three default models loaded on a
+// simulated GPU, a synthetic world for them to know about, and the LLM-MS
+// search engine wired to a vector database and session store.
+struct Platform {
+  std::shared_ptr<const embedding::Embedder> embedder;
+  std::shared_ptr<llm::KnowledgeBase> knowledge;
+  std::shared_ptr<llm::ModelRegistry> registry;
+  std::shared_ptr<hardware::HardwareManager> hardware;
+  std::unique_ptr<llm::ModelRuntime> runtime;
+  std::shared_ptr<vectordb::VectorDatabase> db;
+  std::shared_ptr<session::SessionStore> sessions;
+  std::unique_ptr<core::SearchEngine> engine;
+  std::vector<llm::QaItem> dataset;
+  std::vector<std::string> model_names;
+};
+
+inline Platform MakePlatform(size_t questions_per_domain = 12) {
+  Platform p;
+  p.embedder = std::make_shared<embedding::EmbeddingCache>(
+      std::make_shared<embedding::HashEmbedder>(), 4096);
+
+  eval::DatasetOptions dataset_options;
+  dataset_options.questions_per_domain = questions_per_domain;
+  p.dataset = eval::GenerateDataset(dataset_options);
+
+  auto knowledge = std::make_shared<llm::KnowledgeBase>(p.embedder);
+  if (!knowledge->AddAll(p.dataset).ok()) std::abort();
+  p.knowledge = knowledge;
+
+  p.registry = std::make_shared<llm::ModelRegistry>();
+  for (const auto& profile : llm::DefaultProfiles()) {
+    p.model_names.push_back(profile.name);
+    if (!p.registry
+             ->Register(
+                 std::make_shared<llm::SyntheticModel>(profile, knowledge))
+             .ok()) {
+      std::abort();
+    }
+  }
+
+  hardware::DeviceSpec v100;
+  v100.name = "tesla-v100-0";
+  v100.kind = hardware::DeviceKind::kGpu;
+  v100.memory_mb = 32 * 1024;
+  p.hardware = std::make_shared<hardware::HardwareManager>(
+      std::vector<hardware::DeviceSpec>{v100});
+
+  p.runtime = std::make_unique<llm::ModelRuntime>(p.registry, p.hardware, 4);
+  for (const auto& name : p.model_names) {
+    if (!p.runtime->LoadModel(name).ok()) std::abort();
+  }
+
+  p.db = std::make_shared<vectordb::VectorDatabase>();
+  p.sessions = std::make_shared<session::SessionStore>();
+  p.engine = std::make_unique<core::SearchEngine>(p.runtime.get(), p.embedder,
+                                                  p.db, p.sessions);
+  return p;
+}
+
+}  // namespace llmms::examples
+
+#endif  // LLMMS_EXAMPLES_EXAMPLE_COMMON_H_

@@ -1,0 +1,71 @@
+// Quickstart: ask one question through the LLM-MS search engine and watch
+// the orchestration happen — streamed tokens, per-round scores, pruning
+// decisions, and the final model selection.
+//
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "example_common.h"
+#include "llmms/common/string_util.h"
+#include "llmms/core/trace_report.h"
+
+int main() {
+  using namespace llmms;
+  auto platform = examples::MakePlatform();
+
+  const std::string question = platform.dataset[0].question;
+  std::cout << "Question: " << question << "\n\n";
+  std::cout << "Orchestrating " << platform.model_names.size()
+            << " models with LLM-MS OUA (token budget 2048)...\n\n";
+
+  core::SearchEngine::QueryOptions options;
+  options.algorithm = core::Algorithm::kOua;
+
+  // Stream events the way the web UI would over SSE.
+  auto callback = [](const core::OrchestratorEvent& event) {
+    switch (event.type) {
+      case core::EventType::kChunk:
+        std::cout << "  [" << event.model << "] +" << event.text << "\n";
+        break;
+      case core::EventType::kPrune:
+        std::cout << "  -- pruned " << event.model
+                  << " (score " << FormatDouble(event.score, 3) << ")\n";
+        break;
+      case core::EventType::kEarlyStop:
+        std::cout << "  ** early stop: " << event.model << " wins at score "
+                  << FormatDouble(event.score, 3) << "\n";
+        break;
+      default:
+        break;
+    }
+  };
+
+  auto result = platform.engine->Ask("quickstart", question, options, callback);
+  if (!result.ok()) {
+    std::cerr << "query failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  const auto& orchestration = result->orchestration;
+  std::cout << "\nAnswer (from " << orchestration.best_model << "):\n  "
+            << orchestration.answer << "\n\n";
+  std::cout << "Golden reference:\n  " << platform.dataset[0].golden << "\n\n";
+
+  std::cout << "Routing transparency:\n";
+  for (const auto& [model, outcome] : orchestration.per_model) {
+    std::cout << "  " << model << ": score "
+              << FormatDouble(outcome.final_score, 3) << ", "
+              << outcome.tokens << " tokens"
+              << (outcome.pruned ? ", pruned" : "")
+              << (outcome.finished ? ", finished" : "") << "\n";
+  }
+  std::cout << "Total tokens: " << orchestration.total_tokens << " over "
+            << orchestration.rounds << " rounds, simulated latency "
+            << FormatDouble(orchestration.simulated_seconds, 3) << "s\n";
+
+  std::cout << "\nTransparent orchestration log:\n"
+            << core::FormatTrace(orchestration)
+            << "-> " << core::SummarizeOutcome(orchestration) << "\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Retrieval-augmented generation demo: the same question answered with and
+// without an uploaded document. The upload is chunked, embedded, indexed in
+// the vector database, and the top chunks are injected into every model's
+// prompt — lifting answer quality on questions the models are weak at.
+//
+//   ./build/examples/rag_document_qa
+
+#include <iostream>
+
+#include "example_common.h"
+#include "llmms/common/string_util.h"
+#include "llmms/core/scoring.h"
+
+int main() {
+  using namespace llmms;
+  auto platform = examples::MakePlatform();
+
+  // Pick a question and fabricate the "uploaded PDF": background prose that
+  // happens to contain the golden fact.
+  const llm::QaItem& item = platform.dataset[7];
+  const std::string document =
+      "Internal research memo, section 4. Field observations were collected "
+      "over two seasons. " + item.golden +
+      " Additional measurements are tabulated in the appendix. Unrelated "
+      "sections discuss staffing and budget on other pages.";
+
+  std::cout << "Question: " << item.question << "\n\n";
+
+  core::SearchEngine::QueryOptions options;
+  options.algorithm = core::Algorithm::kOua;
+
+  // --- Round 1: no document, models answer from their own "knowledge". ---
+  options.use_rag = false;
+  auto bare = platform.engine->Ask("rag-demo", item.question, options);
+  if (!bare.ok()) {
+    std::cerr << bare.status() << "\n";
+    return 1;
+  }
+  const double bare_reward = core::ComputeReward(
+      *platform.embedder, bare->orchestration.answer, item.golden,
+      item.correct, item.incorrect);
+  std::cout << "Without RAG (" << bare->orchestration.best_model << "):\n  "
+            << bare->orchestration.answer << "\n  reward "
+            << FormatDouble(bare_reward, 3) << "\n\n";
+
+  // --- Upload the document. ---
+  auto chunks = platform.engine->Upload("rag-demo", "memo.pdf", document);
+  if (!chunks.ok()) {
+    std::cerr << chunks.status() << "\n";
+    return 1;
+  }
+  std::cout << "Uploaded memo.pdf -> " << *chunks
+            << " chunk(s) indexed in the session's vector collection\n\n";
+
+  // --- Round 2: with retrieval. ---
+  options.use_rag = true;
+  options.use_history = false;  // isolate the RAG effect
+  auto grounded = platform.engine->Ask("rag-demo", item.question, options);
+  if (!grounded.ok()) {
+    std::cerr << grounded.status() << "\n";
+    return 1;
+  }
+  const double grounded_reward = core::ComputeReward(
+      *platform.embedder, grounded->orchestration.answer, item.golden,
+      item.correct, item.incorrect);
+  std::cout << "With RAG (" << grounded->orchestration.best_model << ", "
+            << grounded->retrieved_chunks << " chunks retrieved):\n  "
+            << grounded->orchestration.answer << "\n  reward "
+            << FormatDouble(grounded_reward, 3) << "\n\n";
+
+  std::cout << "Prompt sent to the models:\n---\n"
+            << grounded->prompt << "\n---\n\n";
+  std::cout << "Reward delta from grounding: "
+            << FormatDouble(grounded_reward - bare_reward, 3) << "\n";
+
+  // Session teardown discards the embeddings (the paper's privacy
+  // lifecycle, §6.5).
+  if (auto status = platform.engine->EndSession("rag-demo"); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+  std::cout << "Session ended; vector collection discarded.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Full evaluation CLI: generates (or loads) a TruthfulQA-style dataset, runs
+// the paper's five execution modes, and prints Figures 8.1-8.3 as tables.
+//
+//   ./build/examples/truthfulqa_eval                    # 12 questions/domain
+//   ./build/examples/truthfulqa_eval --qpd 50           # paper scale
+//   ./build/examples/truthfulqa_eval --save data.jsonl  # export the dataset
+//   ./build/examples/truthfulqa_eval --load data.jsonl  # evaluate a file
+//   ./build/examples/truthfulqa_eval --markdown         # markdown table
+
+#include <cstring>
+#include <iostream>
+
+#include "example_common.h"
+#include "llmms/eval/harness.h"
+#include "llmms/eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace llmms;
+
+  size_t qpd = 12;
+  std::string save_path;
+  std::string load_path;
+  bool markdown = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--qpd") == 0 && i + 1 < argc) {
+      qpd = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      save_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
+      load_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--markdown") == 0) {
+      markdown = true;
+    } else {
+      std::cerr << "usage: truthfulqa_eval [--qpd N] [--save F] [--load F] "
+                   "[--markdown]\n";
+      return 2;
+    }
+  }
+
+  auto platform = examples::MakePlatform(qpd);
+  std::vector<llm::QaItem> dataset = platform.dataset;
+  if (!load_path.empty()) {
+    auto loaded = eval::LoadDatasetJsonl(load_path);
+    if (!loaded.ok()) {
+      std::cerr << "cannot load dataset: " << loaded.status() << "\n";
+      return 1;
+    }
+    dataset = std::move(loaded).value();
+    // The models must "know" the loaded world too.
+    auto kb = std::make_shared<llm::KnowledgeBase>(platform.embedder);
+    if (auto status = kb->AddAll(dataset); !status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    for (const auto& profile : llm::DefaultProfiles()) {
+      if (auto status = platform.registry->Pull(
+              std::make_shared<llm::SyntheticModel>(profile, kb));
+          !status.ok()) {
+        std::cerr << status << "\n";
+        return 1;
+      }
+      // Reload so the runtime serves the re-pulled models.
+      (void)platform.runtime->UnloadModel(profile.name);
+      if (auto status = platform.runtime->LoadModel(profile.name);
+          !status.ok()) {
+        std::cerr << status << "\n";
+        return 1;
+      }
+    }
+  }
+  if (!save_path.empty()) {
+    if (auto status = eval::SaveDatasetJsonl(dataset, save_path);
+        !status.ok()) {
+      std::cerr << "cannot save dataset: " << status << "\n";
+      return 1;
+    }
+    std::cout << "dataset written to " << save_path << " (" << dataset.size()
+              << " questions)\n";
+  }
+
+  std::cout << "Evaluating " << dataset.size()
+            << " questions across 5 execution modes...\n";
+  eval::EvaluationHarness harness(platform.runtime.get(), platform.embedder,
+                                  platform.model_names, eval::HarnessConfig{});
+  auto report = harness.Run(
+      dataset, [](const std::string& strategy, size_t done, size_t total) {
+        if (done == total) {
+          std::cout << "  " << strategy << ": " << total << "/" << total
+                    << "\n";
+        }
+      });
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return 1;
+  }
+
+  std::vector<eval::StrategyAggregate> rows;
+  for (const auto& run : report->runs) rows.push_back(run.aggregate);
+  std::cout << "\n";
+  if (markdown) {
+    eval::PrintMarkdownTable(std::cout, rows);
+  } else {
+    eval::PrintAggregateTable(std::cout, rows);
+    std::cout << "\n";
+    eval::PrintMetricSeries(std::cout, "Figure 8.1 - average reward", "reward",
+                            rows);
+    std::cout << "\n";
+    eval::PrintMetricSeries(std::cout, "Figure 8.2 - average F1", "f1", rows);
+    std::cout << "\n";
+    eval::PrintMetricSeries(std::cout,
+                            "Figure 8.3 - reward per 1k answer tokens",
+                            "reward_per_token", rows);
+  }
+  return 0;
+}

@@ -1,0 +1,179 @@
+#include "llmms/app/http.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "llmms/common/string_util.h"
+
+namespace llmms::app {
+namespace {
+
+std::string LowerCase(std::string_view s) { return ToLower(s); }
+
+// Splits "HEAD\r\n\r\nBODY"; returns npos-safe positions.
+bool SplitHead(std::string_view raw, std::string_view* head,
+               std::string_view* rest) {
+  const size_t pos = raw.find("\r\n\r\n");
+  if (pos == std::string_view::npos) return false;
+  *head = raw.substr(0, pos);
+  *rest = raw.substr(pos + 4);
+  return true;
+}
+
+Status ParseHeaderLines(std::string_view head,
+                        std::map<std::string, std::string>* headers) {
+  size_t start = 0;
+  while (start < head.size()) {
+    size_t end = head.find("\r\n", start);
+    if (end == std::string_view::npos) end = head.size();
+    const std::string_view line = head.substr(start, end - start);
+    start = end + 2;
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("malformed header line");
+    }
+    std::string key = LowerCase(TrimView(line.substr(0, colon)));
+    std::string value(TrimView(line.substr(colon + 1)));
+    (*headers)[std::move(key)] = std::move(value);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> DecodeChunked(std::string_view data) {
+  std::string out;
+  size_t pos = 0;
+  for (;;) {
+    const size_t line_end = data.find("\r\n", pos);
+    if (line_end == std::string_view::npos) {
+      return Status::InvalidArgument("truncated chunk size line");
+    }
+    const std::string size_line(data.substr(pos, line_end - pos));
+    const unsigned long chunk_size = std::strtoul(size_line.c_str(), nullptr, 16);
+    pos = line_end + 2;
+    if (chunk_size == 0) return out;
+    if (pos + chunk_size + 2 > data.size()) {
+      return Status::InvalidArgument("truncated chunk body");
+    }
+    out.append(data.substr(pos, chunk_size));
+    pos += chunk_size + 2;  // skip trailing CRLF
+  }
+}
+
+}  // namespace
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+StatusOr<HttpRequest> ParseHttpRequest(std::string_view raw) {
+  std::string_view head;
+  std::string_view body;
+  if (!SplitHead(raw, &head, &body)) {
+    return Status::InvalidArgument("incomplete HTTP request head");
+  }
+  const size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  HttpRequest request;
+  const auto parts = SplitWhitespace(request_line);
+  if (parts.size() < 3 || !StartsWith(parts[2], "HTTP/1.")) {
+    return Status::InvalidArgument("malformed HTTP request line");
+  }
+  request.method = parts[0];
+  std::string target = parts[1];
+  const size_t question = target.find('?');
+  if (question != std::string::npos) {
+    request.query = target.substr(question + 1);
+    target.resize(question);
+  }
+  request.path = std::move(target);
+
+  if (line_end != std::string_view::npos) {
+    LLMMS_RETURN_NOT_OK(
+        ParseHeaderLines(head.substr(line_end + 2), &request.headers));
+  }
+
+  size_t content_length = 0;
+  auto it = request.headers.find("content-length");
+  if (it != request.headers.end()) {
+    content_length = static_cast<size_t>(std::strtoull(it->second.c_str(),
+                                                       nullptr, 10));
+  }
+  if (body.size() < content_length) {
+    return Status::InvalidArgument("request body shorter than content-length");
+  }
+  request.body = std::string(body.substr(0, content_length));
+  return request;
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpReasonPhrase(response.status) + "\r\n";
+  bool has_content_length = false;
+  for (const auto& [key, value] : response.headers) {
+    out += key + ": " + value + "\r\n";
+    has_content_length = has_content_length || key == "content-length";
+  }
+  if (!has_content_length) {
+    out += "content-length: " + std::to_string(response.body.size()) + "\r\n";
+  }
+  out += "connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+StatusOr<HttpResponse> ParseHttpResponse(std::string_view raw) {
+  std::string_view head;
+  std::string_view body;
+  if (!SplitHead(raw, &head, &body)) {
+    return Status::InvalidArgument("incomplete HTTP response head");
+  }
+  const size_t line_end = head.find("\r\n");
+  const std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const auto parts = SplitWhitespace(status_line);
+  if (parts.size() < 2 || !StartsWith(parts[0], "HTTP/1.")) {
+    return Status::InvalidArgument("malformed HTTP status line");
+  }
+  HttpResponse response;
+  response.status = static_cast<int>(std::strtol(parts[1].c_str(), nullptr, 10));
+  if (line_end != std::string_view::npos) {
+    LLMMS_RETURN_NOT_OK(
+        ParseHeaderLines(head.substr(line_end + 2), &response.headers));
+  }
+
+  auto te = response.headers.find("transfer-encoding");
+  if (te != response.headers.end() && ToLower(te->second) == "chunked") {
+    LLMMS_ASSIGN_OR_RETURN(response.body, DecodeChunked(body));
+    return response;
+  }
+  auto cl = response.headers.find("content-length");
+  if (cl != response.headers.end()) {
+    const size_t n = static_cast<size_t>(std::strtoull(cl->second.c_str(),
+                                                       nullptr, 10));
+    if (body.size() < n) {
+      return Status::InvalidArgument("response body shorter than length");
+    }
+    response.body = std::string(body.substr(0, n));
+  } else {
+    response.body = std::string(body);  // close-delimited
+  }
+  return response;
+}
+
+}  // namespace llmms::app

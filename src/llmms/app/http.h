@@ -1,0 +1,48 @@
+#ifndef LLMMS_APP_HTTP_H_
+#define LLMMS_APP_HTTP_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+
+namespace llmms::app {
+
+// Minimal HTTP/1.1 message model shared by the server and the test client.
+// One request per connection (the server replies `Connection: close`), which
+// keeps the state machine trivial while supporting everything the platform
+// needs: JSON request/response plus chunked server-sent-event streaming.
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // "/api/query" (query string split off into `query`)
+  std::string query;   // raw query string without '?'
+  std::map<std::string, std::string> headers;  // lower-cased keys
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;  // lower-cased keys
+  std::string body;
+};
+
+// Parses a complete request (head + body). Fails on malformed input or when
+// the body is shorter than Content-Length.
+StatusOr<HttpRequest> ParseHttpRequest(std::string_view raw);
+
+// Serializes a response with Content-Length framing.
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+// Parses a complete response, decoding chunked transfer encoding when
+// present (the client side of SSE streams).
+StatusOr<HttpResponse> ParseHttpResponse(std::string_view raw);
+
+// Standard reason phrase for a status code ("OK", "Not Found", ...).
+const char* HttpReasonPhrase(int status);
+
+}  // namespace llmms::app
+
+#endif  // LLMMS_APP_HTTP_H_

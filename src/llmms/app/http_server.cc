@@ -1,0 +1,275 @@
+#include "llmms/app/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "llmms/app/sse.h"
+#include "llmms/common/logging.h"
+
+namespace llmms::app {
+namespace {
+
+// Sends all of `data` on `fd`; returns false on error.
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads one full HTTP request (head + Content-Length body) from `fd`.
+StatusOr<std::string> ReadRequest(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  size_t body_needed = std::string::npos;
+  size_t head_end = std::string::npos;
+  for (;;) {
+    if (head_end != std::string::npos &&
+        buffer.size() >= head_end + 4 + (body_needed == std::string::npos
+                                             ? 0
+                                             : body_needed)) {
+      return buffer;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) return Status::IOError("recv failed");
+    if (n == 0) {
+      if (head_end != std::string::npos) return buffer;
+      return Status::IOError("connection closed before request head");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (head_end == std::string::npos) {
+      head_end = buffer.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        // Extract content-length from the (lower-cased) head.
+        body_needed = 0;
+        std::string head = buffer.substr(0, head_end);
+        for (char& c : head) {
+          c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        const size_t pos = head.find("content-length:");
+        if (pos != std::string::npos) {
+          body_needed = static_cast<size_t>(std::strtoull(
+              head.c_str() + pos + strlen("content-length:"), nullptr, 10));
+        }
+      }
+    }
+    if (buffer.size() > (16u << 20)) {
+      return Status::ResourceExhausted("request too large");
+    }
+  }
+}
+
+std::string ChunkEncode(std::string_view data) {
+  char size_line[32];
+  std::snprintf(size_line, sizeof(size_line), "%zx\r\n", data.size());
+  std::string out = size_line;
+  out += data;
+  out += "\r\n";
+  return out;
+}
+
+bool WantsStream(const HttpRequest& request) {
+  if (request.query.find("stream=1") != std::string::npos) return true;
+  auto it = request.headers.find("accept");
+  return it != request.headers.end() &&
+         it->second.find("text/event-stream") != std::string::npos;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(ApiService* service, size_t num_workers)
+    : service_(service), workers_(num_workers) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(int port) {
+  if (running_.load()) return Status::FailedPrecondition("already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IOError("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("bind() failed on port " + std::to_string(port));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this]() { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    workers_.Submit([this, fd]() { HandleConnection(fd); });
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  auto fail = [fd](int status, const std::string& message) {
+    HttpResponse response;
+    response.status = status;
+    response.headers["content-type"] = "application/json";
+    Json error = Json::MakeObject();
+    error.Set("ok", false);
+    error.Set("message", message);
+    response.body = error.Dump();
+    SendAll(fd, SerializeHttpResponse(response));
+  };
+
+  auto raw = ReadRequest(fd);
+  if (!raw.ok()) {
+    ::close(fd);
+    return;
+  }
+  auto request = ParseHttpRequest(*raw);
+  if (!request.ok()) {
+    fail(400, request.status().message());
+    ::close(fd);
+    return;
+  }
+  if (request->method != "GET" && request->method != "POST") {
+    fail(405, "method not allowed");
+    ::close(fd);
+    return;
+  }
+
+  Json payload = Json::MakeObject();
+  if (!request->body.empty()) {
+    auto parsed = Json::Parse(request->body);
+    if (!parsed.ok()) {
+      fail(400, "invalid JSON body: " + parsed.status().message());
+      ::close(fd);
+      return;
+    }
+    payload = std::move(parsed).value();
+  }
+
+  if (request->path == "/api/query" && WantsStream(*request)) {
+    // SSE: send the head, then one chunk per event, then the result frame.
+    std::string head =
+        "HTTP/1.1 200 OK\r\n"
+        "content-type: text/event-stream\r\n"
+        "cache-control: no-cache\r\n"
+        "transfer-encoding: chunked\r\n"
+        "connection: close\r\n\r\n";
+    if (!SendAll(fd, head)) {
+      ::close(fd);
+      return;
+    }
+    size_t frame_id = 0;
+    Json result = service_->HandleQuery(
+        payload, [fd, &frame_id](const Json& event) {
+          SseEvent sse;
+          sse.event = "orchestration";
+          sse.id = std::to_string(frame_id++);
+          sse.data = event.Dump();
+          SendAll(fd, ChunkEncode(EncodeSse(sse)));
+        });
+    SseEvent final_frame;
+    final_frame.event = "result";
+    final_frame.data = result.Dump();
+    SendAll(fd, ChunkEncode(EncodeSse(final_frame)));
+    SendAll(fd, "0\r\n\r\n");
+    ::close(fd);
+    return;
+  }
+
+  const Json result = service_->Handle(request->path, payload);
+  HttpResponse response;
+  response.status = result["ok"].AsBool() ? 200 : 400;
+  if (!result["ok"].AsBool() &&
+      result["error"]["code"].AsString() == "NotFound") {
+    response.status = 404;
+  }
+  response.headers["content-type"] = "application/json";
+  response.body = result.Dump();
+  SendAll(fd, SerializeHttpResponse(response));
+  ::close(fd);
+}
+
+StatusOr<HttpResponse> HttpFetch(const std::string& host, int port,
+                                 const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body,
+                                 const std::string& content_type) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError("connect() failed to " + host + ":" +
+                           std::to_string(port));
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "host: " + host + "\r\n";
+  request += "content-type: " + content_type + "\r\n";
+  request += "content-length: " + std::to_string(body.size()) + "\r\n";
+  request += "connection: close\r\n\r\n";
+  request += body;
+  if (!SendAll(fd, request)) {
+    ::close(fd);
+    return Status::IOError("send failed");
+  }
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IOError("recv failed");
+    }
+    if (n == 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return ParseHttpResponse(raw);
+}
+
+}  // namespace llmms::app

@@ -1,0 +1,69 @@
+#ifndef LLMMS_APP_HTTP_SERVER_H_
+#define LLMMS_APP_HTTP_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "llmms/app/http.h"
+#include "llmms/app/service.h"
+#include "llmms/common/thread_pool.h"
+
+namespace llmms::app {
+
+// The production front of the platform (the Flask + Apache/mod_wsgi layer of
+// §7.1), as a small HTTP/1.1 server over POSIX sockets:
+//
+//   * POST/GET to any /api/* endpoint carries a JSON body and returns the
+//     ApiService's JSON response.
+//   * POST /api/query with `?stream=1` (or `Accept: text/event-stream`)
+//     responds with `Content-Type: text/event-stream` and chunked transfer
+//     encoding, emitting one SSE frame per orchestration event followed by a
+//     final `event: result` frame with the response body — the §7.2 step-7
+//     streaming path, for real, over a socket.
+//
+// One request per connection (`Connection: close`); connections are served
+// on a worker pool. Binds 127.0.0.1 only.
+class HttpServer {
+ public:
+  // `service` must outlive the server.
+  explicit HttpServer(ApiService* service, size_t num_workers = 4);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds and starts accepting. `port` 0 picks an ephemeral port.
+  Status Start(int port = 0);
+
+  // Stops accepting and drains in-flight connections.
+  void Stop();
+
+  // The bound port (valid after Start succeeds).
+  int port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  ApiService* service_;
+  ThreadPool workers_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+};
+
+// Minimal blocking test/demo client: one request, reads to EOF.
+StatusOr<HttpResponse> HttpFetch(const std::string& host, int port,
+                                 const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body = "",
+                                 const std::string& content_type =
+                                     "application/json");
+
+}  // namespace llmms::app
+
+#endif  // LLMMS_APP_HTTP_SERVER_H_

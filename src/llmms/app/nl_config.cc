@@ -1,0 +1,204 @@
+#include "llmms/app/nl_config.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "llmms/common/string_util.h"
+
+namespace llmms::app {
+namespace {
+
+// Splits an instruction into clauses on sentence/clause punctuation.
+std::vector<std::string> SplitClauses(const std::string& text) {
+  std::vector<std::string> clauses;
+  std::string current;
+  for (char c : text) {
+    if (c == '.' || c == ',' || c == ';' || c == '\n') {
+      const std::string trimmed = Trim(current);
+      if (!trimmed.empty()) clauses.push_back(trimmed);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  const std::string trimmed = Trim(current);
+  if (!trimmed.empty()) clauses.push_back(trimmed);
+  return clauses;
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool ContainsAny(const std::string& text,
+                 std::initializer_list<const char*> needles) {
+  for (const char* n : needles) {
+    if (Contains(text, n)) return true;
+  }
+  return false;
+}
+
+// First non-negative integer in the clause, or -1.
+int64_t FirstNumber(const std::string& text) {
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(text[i]))) {
+      return std::strtoll(text.c_str() + i, nullptr, 10);
+    }
+  }
+  return -1;
+}
+
+// Matches a model by full name or by its family prefix (text before ':').
+std::string MatchModel(const std::string& clause,
+                       const std::vector<NlModelInfo>& models) {
+  for (const auto& model : models) {
+    const std::string lower_name = ToLower(model.name);
+    if (Contains(clause, lower_name)) return model.name;
+    const size_t colon = lower_name.find(':');
+    if (colon != std::string::npos &&
+        Contains(clause, lower_name.substr(0, colon))) {
+      return model.name;
+    }
+  }
+  return "";
+}
+
+void RemoveModel(std::vector<std::string>* models, const std::string& name) {
+  models->erase(std::remove(models->begin(), models->end(), name),
+                models->end());
+}
+
+}  // namespace
+
+StatusOr<NlConfigResult> ApplyNlConfig(
+    const std::string& instruction,
+    const core::SearchEngine::QueryOptions& base,
+    const std::vector<NlModelInfo>& models) {
+  NlConfigResult result;
+  result.options = base;
+  auto& options = result.options;
+
+  // Effective model pool to manipulate.
+  std::vector<std::string> pool = options.models;
+  if (pool.empty()) {
+    for (const auto& m : models) pool.push_back(m.name);
+  }
+
+  for (const auto& clause : SplitClauses(ToLower(instruction))) {
+    // --- Algorithm selection. ---
+    if (ContainsAny(clause, {"bandit", "mab", "ucb"})) {
+      options.algorithm = core::Algorithm::kMab;
+      result.applied.push_back("algorithm set to MAB (bandit)");
+      continue;
+    }
+    if (Contains(clause, "hybrid")) {
+      options.algorithm = core::Algorithm::kHybrid;
+      result.applied.push_back("algorithm set to hybrid (OUA screening + UCB)");
+      continue;
+    }
+    if (ContainsAny(clause, {"oua", "overperform", "pruning algorithm"})) {
+      options.algorithm = core::Algorithm::kOua;
+      result.applied.push_back("algorithm set to OUA");
+      continue;
+    }
+
+    // --- Token / length budgets. ---
+    if (ContainsAny(clause, {"budget", "under", "at most", "shorter than",
+                             "no more than"})) {
+      const int64_t n = FirstNumber(clause);
+      if (n > 0 && (Contains(clause, "token") || Contains(clause, "budget") ||
+                    Contains(clause, "word"))) {
+        options.token_budget = static_cast<size_t>(n);
+        result.applied.push_back("token budget set to " + std::to_string(n));
+        continue;
+      }
+    }
+
+    // --- Scoring emphasis. ---
+    if (ContainsAny(clause, {"consensus", "agreement"}) &&
+        ContainsAny(clause, {"focus", "prioritize", "emphasize", "weight"})) {
+      options.weights.alpha = 0.4;
+      options.weights.beta = 0.6;
+      result.applied.push_back("scoring weighted toward inter-model agreement");
+      continue;
+    }
+    if (ContainsAny(clause, {"relevance", "similarity", "topicality"}) &&
+        ContainsAny(clause, {"focus", "prioritize", "emphasize", "weight"})) {
+      options.weights.alpha = 0.9;
+      options.weights.beta = 0.1;
+      result.applied.push_back("scoring weighted toward query relevance");
+      continue;
+    }
+
+    // --- Retrieval / history toggles. ---
+    if (ContainsAny(clause, {"no retrieval", "disable rag", "without rag",
+                             "ignore documents", "ignore the documents",
+                             "skip retrieval"})) {
+      options.use_rag = false;
+      result.applied.push_back("retrieval-augmented generation disabled");
+      continue;
+    }
+    if (ContainsAny(clause, {"no history", "ignore history", "fresh context",
+                             "forget the conversation"})) {
+      options.use_history = false;
+      result.applied.push_back("conversation history disabled");
+      continue;
+    }
+
+    // --- Speed-based exclusion. ---
+    if (ContainsAny(clause, {"avoid slow", "no slow", "skip slow",
+                             "exclude slow"}) &&
+        models.size() > 1 && pool.size() > 1) {
+      const NlModelInfo* slowest = nullptr;
+      for (const auto& m : models) {
+        const bool in_pool =
+            std::find(pool.begin(), pool.end(), m.name) != pool.end();
+        if (!in_pool) continue;
+        if (slowest == nullptr ||
+            m.tokens_per_second < slowest->tokens_per_second) {
+          slowest = &m;
+        }
+      }
+      if (slowest != nullptr) {
+        RemoveModel(&pool, slowest->name);
+        result.applied.push_back("excluded slowest model " + slowest->name);
+      }
+      continue;
+    }
+
+    // --- Model-specific directives. ---
+    const std::string mentioned = MatchModel(clause, models);
+    if (!mentioned.empty()) {
+      if (ContainsAny(clause, {"avoid", "don't use", "do not use", "exclude",
+                               "skip", "without"})) {
+        RemoveModel(&pool, mentioned);
+        result.applied.push_back("excluded " + mentioned);
+        continue;
+      }
+      if (ContainsAny(clause, {"only use", "use only", "just use",
+                               "exclusively"})) {
+        pool = {mentioned};
+        options.algorithm = core::Algorithm::kSingle;
+        options.single_model = mentioned;
+        result.applied.push_back("using only " + mentioned);
+        continue;
+      }
+      if (ContainsAny(clause, {"prefer", "prioritize", "favor", "lead with"})) {
+        RemoveModel(&pool, mentioned);
+        pool.insert(pool.begin(), mentioned);
+        options.single_model = mentioned;
+        result.applied.push_back("prioritized " + mentioned);
+        continue;
+      }
+    }
+  }
+
+  if (pool.empty()) {
+    return Status::InvalidArgument(
+        "instructions exclude every available model");
+  }
+  options.models = pool;
+  return result;
+}
+
+}  // namespace llmms::app

@@ -1,0 +1,44 @@
+#ifndef LLMMS_APP_NL_CONFIG_H_
+#define LLMMS_APP_NL_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+#include "llmms/core/search_engine.h"
+
+namespace llmms::app {
+
+// Natural-language configuration interface (§9.5): turns plain-English
+// instructions — "avoid using slow models", "prioritize our legal model",
+// "keep responses under 200 words", "use the bandit algorithm", "budget 512
+// tokens", "focus on consensus" — into QueryOptions mutations.
+//
+// Rule-based and deterministic: each recognized directive appends a
+// human-readable description of what was applied, so the UI can echo the
+// interpretation back to the user. Unrecognized sentences are ignored (the
+// result lists only what was applied).
+
+struct NlModelInfo {
+  std::string name;
+  double tokens_per_second = 0.0;  // for "avoid slow models"
+};
+
+struct NlConfigResult {
+  core::SearchEngine::QueryOptions options;
+  std::vector<std::string> applied;  // one line per applied directive
+};
+
+// Applies `instruction` on top of `base`. `models` lists the available
+// models (with speeds) so model-name and speed directives can resolve.
+// Never fails on unrecognized text; fails only on contradictory or invalid
+// directives (e.g. every model excluded).
+StatusOr<NlConfigResult> ApplyNlConfig(
+    const std::string& instruction,
+    const core::SearchEngine::QueryOptions& base,
+    const std::vector<NlModelInfo>& models);
+
+}  // namespace llmms::app
+
+#endif  // LLMMS_APP_NL_CONFIG_H_

@@ -1,0 +1,152 @@
+#include "llmms/app/remote_model.h"
+
+#include <algorithm>
+
+#include "llmms/app/http_server.h"
+#include "llmms/common/json.h"
+#include "llmms/common/string_util.h"
+
+namespace llmms::app {
+namespace {
+
+// Serves chunks from a completion fetched lazily on the first NextChunk.
+class RemoteStream final : public llm::GenerationStream {
+ public:
+  RemoteStream(std::string host, int port, std::string remote_name,
+               llm::GenerationRequest request)
+      : host_(std::move(host)),
+        port_(port),
+        remote_name_(std::move(remote_name)),
+        request_(std::move(request)) {}
+
+  StatusOr<llm::Chunk> NextChunk(size_t max_tokens) override {
+    if (max_tokens == 0) {
+      return Status::InvalidArgument("NextChunk requires max_tokens > 0");
+    }
+    if (!fetched_) {
+      LLMMS_RETURN_NOT_OK(Fetch());
+      fetched_ = true;
+    }
+    llm::Chunk chunk;
+    if (finished_) {
+      chunk.done = true;
+      chunk.stop_reason = stop_reason_;
+      return chunk;
+    }
+    const size_t n = std::min(max_tokens, words_.size() - position_);
+    for (size_t i = 0; i < n; ++i) {
+      if (i > 0) chunk.text += ' ';
+      chunk.text += words_[position_ + i];
+    }
+    position_ += n;
+    emitted_ += n;
+    chunk.num_tokens = n;
+    if (!chunk.text.empty()) {
+      if (!text_.empty()) text_ += ' ';
+      text_ += chunk.text;
+    }
+    if (position_ >= words_.size()) {
+      finished_ = true;
+      stop_reason_ = remote_stop_reason_;
+    }
+    chunk.done = finished_;
+    chunk.stop_reason = finished_ ? stop_reason_ : llm::StopReason::kLength;
+    return chunk;
+  }
+
+  const std::string& text() const override { return text_; }
+  size_t tokens_generated() const override { return emitted_; }
+  bool finished() const override { return finished_; }
+  llm::StopReason stop_reason() const override { return stop_reason_; }
+
+ private:
+  Status Fetch() {
+    Json body = Json::MakeObject();
+    body.Set("model", remote_name_);
+    body.Set("prompt", request_.prompt);
+    if (request_.max_tokens > 0) body.Set("max_tokens", request_.max_tokens);
+    body.Set("seed", request_.seed);
+    LLMMS_ASSIGN_OR_RETURN(
+        auto response,
+        HttpFetch(host_, port_, "POST", "/api/generate", body.Dump()));
+    if (response.status != 200) {
+      return Status::Internal("remote generate failed with HTTP " +
+                              std::to_string(response.status) + ": " +
+                              response.body);
+    }
+    LLMMS_ASSIGN_OR_RETURN(Json result, Json::Parse(response.body));
+    if (!result["ok"].AsBool()) {
+      return Status::Internal("remote generate error: " +
+                              result["error"]["message"].AsString());
+    }
+    words_ = SplitWhitespace(result["text"].AsString());
+    remote_stop_reason_ = result["done_reason"].AsString() == "stop"
+                              ? llm::StopReason::kStop
+                              : llm::StopReason::kLength;
+    if (words_.empty()) {
+      finished_ = true;
+      stop_reason_ = remote_stop_reason_;
+    }
+    return Status::OK();
+  }
+
+  std::string host_;
+  int port_;
+  std::string remote_name_;
+  llm::GenerationRequest request_;
+
+  bool fetched_ = false;
+  std::vector<std::string> words_;
+  llm::StopReason remote_stop_reason_ = llm::StopReason::kStop;
+  size_t position_ = 0;
+  size_t emitted_ = 0;
+  bool finished_ = false;
+  llm::StopReason stop_reason_ = llm::StopReason::kLength;
+  std::string text_;
+};
+
+}  // namespace
+
+RemoteModel::RemoteModel(std::string host, int port, std::string remote_name,
+                         std::string local_name, double tokens_per_second,
+                         size_t context_window)
+    : host_(std::move(host)),
+      port_(port),
+      remote_name_(std::move(remote_name)),
+      local_name_(std::move(local_name)),
+      tokens_per_second_(tokens_per_second),
+      context_window_(context_window) {}
+
+StatusOr<std::shared_ptr<RemoteModel>> RemoteModel::Connect(
+    const std::string& host, int port, const std::string& remote_name,
+    const std::string& local_name) {
+  Json body = Json::MakeObject();
+  body.Set("model", remote_name);
+  LLMMS_ASSIGN_OR_RETURN(
+      auto response,
+      HttpFetch(host, port, "POST", "/api/model_info", body.Dump()));
+  LLMMS_ASSIGN_OR_RETURN(Json info, Json::Parse(response.body));
+  if (response.status != 200 || !info["ok"].AsBool()) {
+    return Status::NotFound("remote node does not serve model '" +
+                            remote_name + "'");
+  }
+  std::string name = local_name;
+  if (name.empty()) {
+    name = remote_name + "@" + host + ":" + std::to_string(port);
+  }
+  return std::shared_ptr<RemoteModel>(new RemoteModel(
+      host, port, remote_name, std::move(name),
+      info["tokens_per_second"].AsDouble(),
+      static_cast<size_t>(info["context_window"].AsInt())));
+}
+
+StatusOr<std::unique_ptr<llm::GenerationStream>> RemoteModel::StartGeneration(
+    const llm::GenerationRequest& request) const {
+  if (request.prompt.empty()) {
+    return Status::InvalidArgument("prompt must not be empty");
+  }
+  return std::unique_ptr<llm::GenerationStream>(
+      std::make_unique<RemoteStream>(host_, port_, remote_name_, request));
+}
+
+}  // namespace llmms::app

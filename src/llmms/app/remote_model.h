@@ -1,0 +1,63 @@
+#ifndef LLMMS_APP_REMOTE_MODEL_H_
+#define LLMMS_APP_REMOTE_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "llmms/llm/model.h"
+
+namespace llmms::app {
+
+// Federated model integration (§9.5): a LanguageModel adapter for a model
+// hosted behind another LLM-MS node's HTTP API. The remote model stays on
+// its own machine; this node registers the adapter like any local model and
+// the orchestrators never know the difference — plug-and-play across trust
+// boundaries.
+//
+// Generation semantics: the full completion is fetched in one
+// POST /api/generate call when the first chunk is requested (bounded by the
+// orchestrator-visible per-stream cap); chunks are then served locally.
+// Token accounting and stop reasons are preserved. A streaming wire
+// protocol would reduce time-to-first-token but not change any
+// orchestration decision in this codebase, since budgets are enforced on
+// the chunk counts either way.
+class RemoteModel final : public llm::LanguageModel {
+ public:
+  // Connects to `host:port`, fetches the remote model's metadata via
+  // /api/model_info, and returns the adapter. Fails if the node is
+  // unreachable or does not serve `remote_name`.
+  // `local_name` is how this node addresses the model; empty = use
+  // "<remote_name>@<host>:<port>".
+  static StatusOr<std::shared_ptr<RemoteModel>> Connect(
+      const std::string& host, int port, const std::string& remote_name,
+      const std::string& local_name = "");
+
+  const std::string& name() const override { return local_name_; }
+  uint64_t memory_mb() const override {
+    // The weights live on the remote node; locally this adapter is free.
+    return 0;
+  }
+  double tokens_per_second() const override { return tokens_per_second_; }
+  size_t context_window() const override { return context_window_; }
+
+  StatusOr<std::unique_ptr<llm::GenerationStream>> StartGeneration(
+      const llm::GenerationRequest& request) const override;
+
+  const std::string& remote_name() const { return remote_name_; }
+
+ private:
+  RemoteModel(std::string host, int port, std::string remote_name,
+              std::string local_name, double tokens_per_second,
+              size_t context_window);
+
+  std::string host_;
+  int port_;
+  std::string remote_name_;
+  std::string local_name_;
+  double tokens_per_second_;
+  size_t context_window_;
+};
+
+}  // namespace llmms::app
+
+#endif  // LLMMS_APP_REMOTE_MODEL_H_

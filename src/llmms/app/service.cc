@@ -1,0 +1,277 @@
+#include "llmms/app/service.h"
+
+#include "llmms/app/nl_config.h"
+
+namespace llmms::app {
+namespace {
+
+core::Algorithm ParseAlgorithm(const std::string& name) {
+  if (name == "mab") return core::Algorithm::kMab;
+  if (name == "hybrid") return core::Algorithm::kHybrid;
+  if (name == "single") return core::Algorithm::kSingle;
+  return core::Algorithm::kOua;
+}
+
+Json EventToJson(const core::OrchestratorEvent& event) {
+  Json out = Json::MakeObject();
+  out.Set("type", core::EventTypeToString(event.type));
+  out.Set("model", event.model);
+  if (!event.text.empty()) out.Set("text", event.text);
+  out.Set("score", event.score);
+  out.Set("round", event.round);
+  out.Set("total_tokens", event.total_tokens);
+  return out;
+}
+
+}  // namespace
+
+Json ErrorResponse(const Status& status) {
+  Json error = Json::MakeObject();
+  error.Set("code", StatusCodeToString(status.code()));
+  error.Set("message", status.message());
+  Json out = Json::MakeObject();
+  out.Set("ok", false);
+  out.Set("error", std::move(error));
+  return out;
+}
+
+ApiService::ApiService(core::SearchEngine* engine) : engine_(engine) {}
+
+Json ApiService::Handle(const std::string& endpoint, const Json& request,
+                        const StreamCallback& stream) {
+  if (endpoint == "/api/query") return HandleQuery(request, stream);
+  if (endpoint == "/api/upload") return HandleUpload(request);
+  if (endpoint == "/api/generate") return HandleGenerate(request);
+  if (endpoint == "/api/model_info") return HandleModelInfo(request);
+  if (endpoint == "/api/models") return HandleModels();
+  if (endpoint == "/api/sessions") return HandleSessions();
+  if (endpoint == "/api/session/end") return HandleEndSession(request);
+  if (endpoint == "/api/health") return HandleHealth();
+  if (endpoint == "/api/hardware") return HandleHardware();
+  return ErrorResponse(Status::NotFound("no endpoint '" + endpoint + "'"));
+}
+
+Json ApiService::HandleQuery(const Json& request,
+                             const StreamCallback& stream) {
+  const std::string session = request["session"].AsString();
+  const std::string query = request["query"].AsString();
+  if (session.empty() || query.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("'session' and 'query' are required"));
+  }
+
+  core::SearchEngine::QueryOptions options;
+  if (request.Contains("algorithm")) {
+    options.algorithm = ParseAlgorithm(request["algorithm"].AsString());
+  }
+  if (request.Contains("budget")) {
+    const int64_t budget = request["budget"].AsInt();
+    if (budget <= 0) {
+      return ErrorResponse(Status::InvalidArgument("'budget' must be > 0"));
+    }
+    options.token_budget = static_cast<size_t>(budget);
+  }
+  if (request.Contains("alpha")) {
+    options.weights.alpha = request["alpha"].AsDouble();
+  }
+  if (request.Contains("beta")) {
+    options.weights.beta = request["beta"].AsDouble();
+  }
+  if (request.Contains("single_model")) {
+    options.single_model = request["single_model"].AsString();
+  }
+  if (request.Contains("models")) {
+    for (const auto& m : request["models"].AsArray()) {
+      options.models.push_back(m.AsString());
+    }
+  }
+  if (request.Contains("use_rag")) {
+    options.use_rag = request["use_rag"].AsBool(true);
+  }
+  if (request.Contains("use_history")) {
+    options.use_history = request["use_history"].AsBool(true);
+  }
+  if (request.Contains("use_memory_graph")) {
+    options.use_memory_graph = request["use_memory_graph"].AsBool(false);
+  }
+
+  // Natural-language configuration (§9.5): a free-text "instructions"
+  // field is interpreted on top of the structured settings.
+  std::vector<std::string> applied_rules;
+  if (request.Contains("instructions")) {
+    std::vector<NlModelInfo> infos;
+    for (const auto& name : engine_->runtime()->LoadedModels()) {
+      NlModelInfo info;
+      info.name = name;
+      auto model = engine_->runtime()->registry()->Get(name);
+      if (model.ok()) info.tokens_per_second = (*model)->tokens_per_second();
+      infos.push_back(std::move(info));
+    }
+    auto configured =
+        ApplyNlConfig(request["instructions"].AsString(), options, infos);
+    if (!configured.ok()) return ErrorResponse(configured.status());
+    options = configured->options;
+    applied_rules = configured->applied;
+  }
+
+  core::EventCallback callback;
+  if (stream) {
+    callback = [&stream](const core::OrchestratorEvent& event) {
+      stream(EventToJson(event));
+    };
+  }
+
+  auto result = engine_->Ask(session, query, options, callback);
+  if (!result.ok()) return ErrorResponse(result.status());
+
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("answer", result->orchestration.answer);
+  response.Set("model", result->orchestration.best_model);
+  response.Set("total_tokens", result->orchestration.total_tokens);
+  response.Set("rounds", result->orchestration.rounds);
+  response.Set("early_stopped", result->orchestration.early_stopped);
+  response.Set("retrieved_chunks", result->retrieved_chunks);
+  response.Set("simulated_seconds", result->orchestration.simulated_seconds);
+
+  // Model routing transparency overlay (§7.3): per-model scores and tokens.
+  Json per_model = Json::MakeObject();
+  for (const auto& [name, outcome] : result->orchestration.per_model) {
+    Json entry = Json::MakeObject();
+    entry.Set("score", outcome.final_score);
+    entry.Set("query_similarity", outcome.query_similarity);
+    entry.Set("inter_similarity", outcome.inter_similarity);
+    entry.Set("tokens", outcome.tokens);
+    entry.Set("pruned", outcome.pruned);
+    entry.Set("finished", outcome.finished);
+    per_model.Set(name, std::move(entry));
+  }
+  response.Set("models", std::move(per_model));
+  if (!applied_rules.empty()) {
+    Json applied = Json::MakeArray();
+    for (const auto& rule : applied_rules) applied.Append(rule);
+    response.Set("applied_config", std::move(applied));
+  }
+  response.Set("recalled_memories", result->recalled_memories);
+  return response;
+}
+
+Json ApiService::HandleUpload(const Json& request) {
+  const std::string session = request["session"].AsString();
+  const std::string document_id = request["document_id"].AsString();
+  const std::string text = request["text"].AsString();
+  if (session.empty() || document_id.empty() || text.empty()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "'session', 'document_id' and 'text' are required"));
+  }
+  auto chunks = engine_->Upload(session, document_id, text);
+  if (!chunks.ok()) return ErrorResponse(chunks.status());
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("document_id", document_id);
+  response.Set("chunks", *chunks);
+  return response;
+}
+
+Json ApiService::HandleGenerate(const Json& request) {
+  const std::string model = request["model"].AsString();
+  const std::string prompt = request["prompt"].AsString();
+  if (model.empty() || prompt.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("'model' and 'prompt' are required"));
+  }
+  llm::GenerationRequest generation;
+  generation.prompt = prompt;
+  generation.max_tokens =
+      static_cast<size_t>(std::max<int64_t>(0, request["max_tokens"].AsInt()));
+  generation.seed = static_cast<uint64_t>(request["seed"].AsInt());
+  auto result = engine_->runtime()->Generate(model, generation);
+  if (!result.ok()) return ErrorResponse(result.status());
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("text", result->text);
+  response.Set("tokens", result->num_tokens);
+  response.Set("done_reason", llm::StopReasonToString(result->stop_reason));
+  response.Set("simulated_seconds", result->simulated_seconds);
+  return response;
+}
+
+Json ApiService::HandleModelInfo(const Json& request) {
+  const std::string name = request["model"].AsString();
+  if (name.empty()) {
+    return ErrorResponse(Status::InvalidArgument("'model' is required"));
+  }
+  auto model = engine_->runtime()->registry()->Get(name);
+  if (!model.ok()) return ErrorResponse(model.status());
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("name", (*model)->name());
+  response.Set("memory_mb", (*model)->memory_mb());
+  response.Set("tokens_per_second", (*model)->tokens_per_second());
+  response.Set("context_window", (*model)->context_window());
+  response.Set("loaded", engine_->runtime()->IsLoaded(name));
+  return response;
+}
+
+Json ApiService::HandleModels() {
+  Json models = Json::MakeArray();
+  for (const auto& name : engine_->runtime()->LoadedModels()) {
+    models.Append(name);
+  }
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("models", std::move(models));
+  return response;
+}
+
+Json ApiService::HandleSessions() {
+  Json sessions = Json::MakeArray();
+  for (const auto& id : engine_->sessions()->List()) {
+    sessions.Append(id);
+  }
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("sessions", std::move(sessions));
+  return response;
+}
+
+Json ApiService::HandleEndSession(const Json& request) {
+  const std::string session = request["session"].AsString();
+  if (session.empty()) {
+    return ErrorResponse(Status::InvalidArgument("'session' is required"));
+  }
+  Status status = engine_->EndSession(session);
+  if (!status.ok()) return ErrorResponse(status);
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  return response;
+}
+
+Json ApiService::HandleHealth() {
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("status", "healthy");
+  response.Set("loaded_models", engine_->runtime()->LoadedModels().size());
+  return response;
+}
+
+Json ApiService::HandleHardware() {
+  Json devices = Json::MakeArray();
+  for (const auto& t : engine_->runtime()->hardware()->Snapshot()) {
+    Json device = Json::MakeObject();
+    device.Set("name", t.name);
+    device.Set("kind", t.kind == hardware::DeviceKind::kGpu ? "gpu" : "cpu");
+    device.Set("memory_total_mb", t.memory_total_mb);
+    device.Set("memory_used_mb", t.memory_used_mb);
+    device.Set("active_jobs", t.active_jobs);
+    device.Set("utilization", t.utilization);
+    device.Set("temperature_c", t.temperature_c);
+    devices.Append(std::move(device));
+  }
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("devices", std::move(devices));
+  return response;
+}
+
+}  // namespace llmms::app

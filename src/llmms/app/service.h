@@ -1,0 +1,62 @@
+#ifndef LLMMS_APP_SERVICE_H_
+#define LLMMS_APP_SERVICE_H_
+
+#include <functional>
+#include <string>
+
+#include "llmms/common/json.h"
+#include "llmms/core/search_engine.h"
+
+namespace llmms::app {
+
+// Receives one JSON event per streamed token chunk / orchestration decision
+// (the SSE payloads of §7.2 step 7).
+using StreamCallback = std::function<void(const Json& event)>;
+
+// The application layer's REST contract, process-local: JSON in, JSON out,
+// endpoint strings matching the Flask blueprints (§7.1). Every response is
+// an object with "ok": bool; failures carry {"error": {"code", "message"}}.
+//
+// Endpoints:
+//   POST /api/query    {session, query, algorithm?, budget?, alpha?, beta?,
+//                       models?[], single_model?, use_rag?, use_history?}
+//   POST /api/upload   {session, document_id, text}
+//   POST /api/generate {model, prompt, max_tokens?, seed?}  (federation:
+//                       raw single-model completion, §9.5)
+//   GET  /api/models   {}
+//   POST /api/model_info {model}
+//   GET  /api/sessions {}
+//   POST /api/session/end {session}
+//   GET  /api/health   {}
+//   GET  /api/hardware {}
+class ApiService {
+ public:
+  // `engine` must outlive the service.
+  explicit ApiService(core::SearchEngine* engine);
+
+  // Dispatches by endpoint. Unknown endpoints return a NotFound error
+  // payload. `stream` (optional) receives token/score/decision events during
+  // /api/query.
+  Json Handle(const std::string& endpoint, const Json& request,
+              const StreamCallback& stream = StreamCallback());
+
+  Json HandleQuery(const Json& request, const StreamCallback& stream);
+  Json HandleUpload(const Json& request);
+  Json HandleGenerate(const Json& request);
+  Json HandleModelInfo(const Json& request);
+  Json HandleModels();
+  Json HandleSessions();
+  Json HandleEndSession(const Json& request);
+  Json HandleHealth();
+  Json HandleHardware();
+
+ private:
+  core::SearchEngine* engine_;
+};
+
+// Builds the error payload used by every endpoint.
+Json ErrorResponse(const Status& status);
+
+}  // namespace llmms::app
+
+#endif  // LLMMS_APP_SERVICE_H_

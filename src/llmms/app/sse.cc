@@ -1,0 +1,63 @@
+#include "llmms/app/sse.h"
+
+#include "llmms/common/string_util.h"
+
+namespace llmms::app {
+
+std::string EncodeSse(const SseEvent& event) {
+  std::string out;
+  if (!event.event.empty()) {
+    out += "event: " + event.event + "\n";
+  }
+  if (!event.id.empty()) {
+    out += "id: " + event.id + "\n";
+  }
+  for (const auto& line : Split(event.data, '\n')) {
+    out += "data: " + line + "\n";
+  }
+  out += "\n";
+  return out;
+}
+
+std::vector<SseEvent> DecodeSse(const std::string& wire) {
+  std::vector<SseEvent> events;
+  SseEvent current;
+  bool has_fields = false;
+  bool first_data = true;
+  for (const auto& raw_line : Split(wire, '\n')) {
+    if (raw_line.empty()) {
+      if (has_fields) {
+        events.push_back(std::move(current));
+        current = SseEvent{};
+        has_fields = false;
+        first_data = true;
+      }
+      continue;
+    }
+    if (StartsWith(raw_line, ":")) continue;  // comment
+    const size_t colon = raw_line.find(':');
+    std::string field = colon == std::string::npos
+                            ? raw_line
+                            : raw_line.substr(0, colon);
+    std::string value;
+    if (colon != std::string::npos) {
+      value = raw_line.substr(colon + 1);
+      if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    }
+    if (field == "event") {
+      current.event = value;
+      has_fields = true;
+    } else if (field == "data") {
+      if (!first_data) current.data += '\n';
+      current.data += value;
+      first_data = false;
+      has_fields = true;
+    } else if (field == "id") {
+      current.id = value;
+      has_fields = true;
+    }
+  }
+  return events;
+}
+
+}  // namespace llmms::app

@@ -1,0 +1,30 @@
+#ifndef LLMMS_APP_SSE_H_
+#define LLMMS_APP_SSE_H_
+
+#include <string>
+#include <vector>
+
+#include "llmms/common/json.h"
+
+namespace llmms::app {
+
+// One server-sent event (the streaming wire format the platform's Flask
+// layer forwards from Ollama to the browser, §7.1/§7.2 step 7).
+struct SseEvent {
+  std::string event;  // event name; empty = default "message"
+  std::string data;   // payload (typically JSON)
+  std::string id;     // optional event id
+};
+
+// Encodes an event in SSE wire format:
+//   event: <name>\n id: <id>\n data: <line>\n ... \n\n
+// Multi-line data is split across data: fields per the SSE spec.
+std::string EncodeSse(const SseEvent& event);
+
+// Parses a complete SSE stream back into events (used by tests and by the
+// CLI client example). Incomplete trailing events are ignored.
+std::vector<SseEvent> DecodeSse(const std::string& wire);
+
+}  // namespace llmms::app
+
+#endif  // LLMMS_APP_SSE_H_

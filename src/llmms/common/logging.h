@@ -1,0 +1,67 @@
+#ifndef LLMMS_COMMON_LOGGING_H_
+#define LLMMS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace llmms {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Process-wide minimum level; messages below it are discarded. Defaults to
+// kWarning so tests and benchmarks stay quiet unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define LLMMS_LOG_INTERNAL(level)                                     \
+  ::llmms::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define LLMMS_LOG(severity)                                           \
+  (::llmms::GetLogLevel() > ::llmms::LogLevel::k##severity)           \
+      ? (void)0                                                       \
+      : (void)(LLMMS_LOG_INTERNAL(::llmms::LogLevel::k##severity)     \
+               << "")
+
+// Streaming form: LLMMS_LOGS(Info) << "x=" << x;
+#define LLMMS_LOGS(severity)                                          \
+  if (::llmms::GetLogLevel() <= ::llmms::LogLevel::k##severity)       \
+  LLMMS_LOG_INTERNAL(::llmms::LogLevel::k##severity)
+
+}  // namespace llmms
+
+#endif  // LLMMS_COMMON_LOGGING_H_

@@ -1,0 +1,81 @@
+#ifndef LLMMS_COMMON_RESULT_H_
+#define LLMMS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "llmms/common/status.h"
+
+namespace llmms {
+
+// StatusOr<T> holds either a value of type T or an error Status. It is the
+// return type of fallible operations that produce a value.
+//
+//   StatusOr<int> Parse(std::string_view s);
+//   ...
+//   LLMMS_ASSIGN_OR_RETURN(int n, Parse("42"));
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit construction from a value or an error status keeps call sites
+  // terse (`return 42;` / `return Status::NotFound(...);`), matching the
+  // Arrow Result<> convention.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  // Preconditions: ok(). Accessing the value of an errored StatusOr is a
+  // programming error; asserts in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+
+  // Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace llmms
+
+#endif  // LLMMS_COMMON_RESULT_H_

@@ -1,0 +1,73 @@
+#ifndef LLMMS_COMMON_RNG_H_
+#define LLMMS_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace llmms {
+
+// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+// splitmix64. All stochastic components in the library draw from Rng with an
+// explicit seed so that tests, examples, and benchmarks are bit-reproducible
+// across runs and platforms (std::mt19937 distributions are not portable).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  // Re-seeds the generator deterministically from a single 64-bit value.
+  void Seed(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] (inclusive). Preconditions: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  // Samples an index in [0, weights.size()) proportionally to `weights`.
+  // Non-positive weights are treated as zero; if all weights are zero the
+  // draw is uniform. Preconditions: !weights.empty().
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i)));
+      using std::swap;
+      swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  // Derives an independent child generator; used to give each parallel
+  // component its own deterministic stream.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+// Stateless 64-bit mix (splitmix64 finalizer); used for feature hashing.
+uint64_t MixHash64(uint64_t x);
+
+// FNV-1a hash of a byte range, for deterministic string hashing.
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0xcbf29ce484222325ULL);
+
+}  // namespace llmms
+
+#endif  // LLMMS_COMMON_RNG_H_

@@ -1,0 +1,143 @@
+#ifndef LLMMS_COMMON_STATUS_H_
+#define LLMMS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace llmms {
+
+// Canonical error codes, modeled after the Arrow/RocksDB status idiom.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kResourceExhausted = 4,
+  kFailedPrecondition = 5,
+  kOutOfRange = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+  kIOError = 9,
+  kCancelled = 10,
+  kDeadlineExceeded = 11,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
+const char* StatusCodeToString(StatusCode code);
+
+// Status carries the success/failure outcome of an operation. It is cheap to
+// copy in the OK case (no allocation) and holds a message otherwise.
+//
+// The library does not use exceptions; every fallible operation returns
+// Status or StatusOr<T>. Callers must consume statuses (typically via
+// LLMMS_RETURN_NOT_OK or by checking ok()).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Propagates a non-OK status to the caller.
+#define LLMMS_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::llmms::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+// Assigns the value of a StatusOr expression or propagates its error.
+// Usage: LLMMS_ASSIGN_OR_RETURN(auto v, MakeValue());
+#define LLMMS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define LLMMS_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define LLMMS_ASSIGN_OR_RETURN_CONCAT(x, y) \
+  LLMMS_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define LLMMS_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  LLMMS_ASSIGN_OR_RETURN_IMPL(                                                \
+      LLMMS_ASSIGN_OR_RETURN_CONCAT(_status_or_value, __LINE__), lhs, expr)
+
+}  // namespace llmms
+
+#endif  // LLMMS_COMMON_STATUS_H_

@@ -1,0 +1,51 @@
+#ifndef LLMMS_COMMON_STOPWATCH_H_
+#define LLMMS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace llmms {
+
+// Monotonic wall-clock stopwatch for latency accounting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Virtual clock abstraction so simulated latency does not slow down tests.
+// SimulatedClock advances only when told to; times are in microseconds.
+class VirtualClock {
+ public:
+  virtual ~VirtualClock() = default;
+  virtual int64_t NowMicros() const = 0;
+  virtual void AdvanceMicros(int64_t micros) = 0;
+};
+
+class SimulatedClock final : public VirtualClock {
+ public:
+  int64_t NowMicros() const override { return now_micros_; }
+  void AdvanceMicros(int64_t micros) override { now_micros_ += micros; }
+
+ private:
+  int64_t now_micros_ = 0;
+};
+
+}  // namespace llmms
+
+#endif  // LLMMS_COMMON_STOPWATCH_H_

@@ -1,0 +1,43 @@
+#ifndef LLMMS_COMMON_STRING_UTIL_H_
+#define LLMMS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llmms {
+
+// Splits `s` on `delim`, dropping empty pieces when `skip_empty` is true.
+std::vector<std::string> Split(std::string_view s, char delim,
+                               bool skip_empty = false);
+
+// Splits `s` on any unicode-unaware whitespace run.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Lower-cases, strips punctuation, and collapses whitespace; used by the F1
+// metric (SQuAD-style answer normalization).
+std::string NormalizeAnswerText(std::string_view s);
+
+// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision = 4);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace llmms
+
+#endif  // LLMMS_COMMON_STRING_UTIL_H_

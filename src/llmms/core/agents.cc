@@ -1,0 +1,122 @@
+#include "llmms/core/agents.h"
+
+#include <cstring>
+
+#include "llmms/common/string_util.h"
+#include "llmms/embedding/similarity.h"
+#include "llmms/tokenizer/word_tokenizer.h"
+
+namespace llmms::core {
+namespace {
+
+// Strips conversational joiners from the front of a sub-question.
+std::string StripJoiner(std::string question) {
+  static const char* kJoiners[] = {"also,", "also", "and also", "and",
+                                   "additionally,", "additionally",
+                                   "furthermore,", "furthermore"};
+  const std::string lower = ToLower(question);
+  for (const char* joiner : kJoiners) {
+    const size_t len = strlen(joiner);
+    if (lower.size() > len + 1 && lower.compare(0, len, joiner) == 0 &&
+        (lower[len] == ' ')) {
+      return Trim(question.substr(len + 1));
+    }
+  }
+  return question;
+}
+
+}  // namespace
+
+std::vector<std::string> DecomposeQuestion(const std::string& question) {
+  std::vector<std::string> parts;
+  for (const auto& sentence : tokenizer::SplitSentences(question)) {
+    if (sentence.empty()) continue;
+    // Only question sentences become sub-tasks; statements are context and
+    // attach to the following question.
+    if (sentence.back() == '?') {
+      parts.push_back(StripJoiner(sentence));
+    } else if (!parts.empty()) {
+      parts.back() += " " + sentence;
+    } else {
+      parts.push_back(sentence);
+    }
+  }
+  if (parts.empty()) parts.push_back(Trim(question));
+  return parts;
+}
+
+MultiAgentPipeline::MultiAgentPipeline(
+    llm::ModelRuntime* runtime, std::vector<std::string> models,
+    std::shared_ptr<const embedding::Embedder> embedder, const Config& config)
+    : runtime_(runtime),
+      models_(std::move(models)),
+      embedder_(std::move(embedder)),
+      config_(config) {}
+
+StatusOr<MultiAgentPipeline::Result> MultiAgentPipeline::Run(
+    const std::string& question, const EventCallback& callback) {
+  if (question.empty()) {
+    return Status::InvalidArgument("question must not be empty");
+  }
+  if (models_.empty()) {
+    return Status::FailedPrecondition("pipeline requires at least one model");
+  }
+
+  Result result;
+  const auto sub_questions = DecomposeQuestion(question);
+
+  for (const auto& sub_question : sub_questions) {
+    SubResult sub;
+    sub.question = sub_question;
+
+    // --- Researcher: orchestrate the sub-question. ---
+    OuaOrchestrator researcher(runtime_, models_, embedder_, config_.research);
+    LLMMS_ASSIGN_OR_RETURN(auto research,
+                           researcher.Run(sub_question, callback));
+    sub.answer = research.answer;
+    sub.model = research.best_model;
+    sub.tokens = research.total_tokens;
+    result.total_tokens += research.total_tokens;
+    result.simulated_seconds += research.simulated_seconds;
+
+    // --- Verifier: semantic alignment of answer and sub-question. ---
+    auto verify = [this, &sub_question](const std::string& answer) {
+      return embedding::CosineSimilarity(embedder_->Embed(answer),
+                                         embedder_->Embed(sub_question));
+    };
+    sub.similarity = verify(sub.answer);
+    sub.verified = sub.similarity >= config_.verify_threshold;
+
+    // --- Retry with the alternate strategy when verification fails. ---
+    for (size_t attempt = 0;
+         !sub.verified && attempt < config_.max_retries; ++attempt) {
+      sub.retried = true;
+      MabOrchestrator retrier(runtime_, models_, embedder_, config_.retry);
+      LLMMS_ASSIGN_OR_RETURN(auto retry, retrier.Run(sub_question, callback));
+      result.total_tokens += retry.total_tokens;
+      result.simulated_seconds += retry.simulated_seconds;
+      const double retry_similarity = verify(retry.answer);
+      if (retry_similarity > sub.similarity) {
+        sub.answer = retry.answer;
+        sub.model = retry.best_model;
+        sub.similarity = retry_similarity;
+      }
+      sub.verified = sub.similarity >= config_.verify_threshold;
+    }
+
+    result.sub_results.push_back(std::move(sub));
+  }
+
+  // --- Composer: assemble the final answer. ---
+  for (const auto& sub : result.sub_results) {
+    if (!result.answer.empty()) result.answer += " ";
+    result.answer += sub.answer;
+    if (!result.answer.empty() && result.answer.back() != '.' &&
+        result.answer.back() != '?' && result.answer.back() != '!') {
+      result.answer += ".";
+    }
+  }
+  return result;
+}
+
+}  // namespace llmms::core

@@ -1,0 +1,81 @@
+#ifndef LLMMS_CORE_AGENTS_H_
+#define LLMMS_CORE_AGENTS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llmms/core/mab.h"
+#include "llmms/core/orchestrator.h"
+#include "llmms/core/oua.h"
+#include "llmms/llm/runtime.h"
+
+namespace llmms::core {
+
+// Multi-agent collaboration framework (§9.5): complex questions are broken
+// into sub-tasks handled by a small worker crew —
+//
+//   Decomposer  splits a multi-part question into sub-questions
+//               (deterministic sentence-level splitting; the rule-based
+//               equivalent of an LLM decomposition step),
+//   Researcher  answers each sub-question with its own orchestration run,
+//   Verifier    checks each sub-answer's semantic alignment with its
+//               sub-question and sends failures back for one retry with the
+//               alternate strategy (MAB instead of OUA),
+//   Composer    assembles the verified sub-answers into the final response.
+//
+// Sub-questions execute in sequence (each is already multi-model parallel
+// inside); the AutoGen/LangGraph-style pattern the thesis cites.
+
+// Splits a question into sub-questions on '?' sentence boundaries,
+// stripping joiners like a leading "Also," / "And". Single-part questions
+// come back as a one-element vector.
+std::vector<std::string> DecomposeQuestion(const std::string& question);
+
+class MultiAgentPipeline {
+ public:
+  struct Config {
+    OuaOrchestrator::Config research;  // per-sub-question orchestration
+    MabOrchestrator::Config retry;     // strategy for failed verifications
+    // A sub-answer verifies when its cosine similarity to its sub-question
+    // reaches this.
+    double verify_threshold = 0.15;
+    size_t max_retries = 1;
+  };
+
+  struct SubResult {
+    std::string question;
+    std::string answer;
+    std::string model;   // which model produced the accepted answer
+    double similarity = 0.0;
+    bool verified = false;
+    bool retried = false;
+    size_t tokens = 0;
+  };
+
+  struct Result {
+    std::string answer;  // composed final answer
+    std::vector<SubResult> sub_results;
+    size_t total_tokens = 0;
+    double simulated_seconds = 0.0;
+  };
+
+  // `runtime` must outlive the pipeline; `models` must all be loaded.
+  MultiAgentPipeline(llm::ModelRuntime* runtime,
+                     std::vector<std::string> models,
+                     std::shared_ptr<const embedding::Embedder> embedder,
+                     const Config& config);
+
+  StatusOr<Result> Run(const std::string& question,
+                       const EventCallback& callback = EventCallback());
+
+ private:
+  llm::ModelRuntime* runtime_;
+  std::vector<std::string> models_;
+  std::shared_ptr<const embedding::Embedder> embedder_;
+  Config config_;
+};
+
+}  // namespace llmms::core
+
+#endif  // LLMMS_CORE_AGENTS_H_

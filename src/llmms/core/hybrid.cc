@@ -1,0 +1,242 @@
+#include "llmms/core/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace llmms::core {
+
+HybridOrchestrator::HybridOrchestrator(
+    llm::ModelRuntime* runtime, std::vector<std::string> models,
+    std::shared_ptr<const embedding::Embedder> embedder, const Config& config)
+    : runtime_(runtime),
+      models_(std::move(models)),
+      scorer_(std::move(embedder), config.weights),
+      config_(config) {}
+
+StatusOr<OrchestrationResult> HybridOrchestrator::Run(
+    const std::string& prompt, const EventCallback& callback) {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("hybrid requires at least one model");
+  }
+  if (config_.token_budget == 0 || config_.chunk_tokens == 0 ||
+      config_.mab_chunk_tokens == 0) {
+    return Status::InvalidArgument("budgets and chunk sizes must be > 0");
+  }
+
+  llm::GenerationRequest request;
+  request.prompt = prompt;
+  LLMMS_ASSIGN_OR_RETURN(auto generation,
+                         runtime_->StartGeneration(models_, request));
+
+  OrchestrationResult result;
+  std::unordered_set<std::string> pruned;
+  std::unordered_map<std::string, RoundScore> last_scores;
+  size_t used_tokens = 0;
+  size_t round = 0;
+
+  auto emit = [&](EventType type, const std::string& model, double score,
+                  const std::string& text = "") {
+    OrchestratorEvent event;
+    event.type = type;
+    event.model = model;
+    event.text = text;
+    event.score = score;
+    event.round = round;
+    event.total_tokens = used_tokens;
+    internal::Emit(event, callback, &result.trace);
+  };
+
+  auto survivors = [&]() {
+    std::vector<std::string> out;
+    for (const auto& m : models_) {
+      if (pruned.count(m) == 0) out.push_back(m);
+    }
+    return out;
+  };
+
+  auto score_candidates = [&](const std::vector<std::string>& candidates)
+      -> Status {
+    std::vector<std::string> responses;
+    for (const auto& m : candidates) {
+      LLMMS_ASSIGN_OR_RETURN(auto text, generation->TextOf(m));
+      responses.push_back(std::move(text));
+    }
+    const auto scores = scorer_.ScoreRound(prompt, responses);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      last_scores[candidates[i]] = scores[i];
+      emit(EventType::kScore, candidates[i], scores[i].combined);
+    }
+    return Status::OK();
+  };
+
+  // ---------------- Phase 1: OUA-style round-robin screening. ----------------
+  for (size_t screening = 0; screening < config_.screening_rounds; ++screening) {
+    ++round;
+    std::vector<std::pair<std::string, size_t>> requests;
+    for (const auto& m : survivors()) {
+      LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(m));
+      if (stats.finished) continue;
+      const size_t remaining = config_.token_budget - used_tokens;
+      if (remaining == 0) break;
+      requests.emplace_back(m, std::min(config_.chunk_tokens, remaining));
+    }
+    if (!requests.empty()) {
+      LLMMS_ASSIGN_OR_RETURN(auto chunks, generation->NextChunks(requests));
+      for (const auto& [model, chunk] : chunks) {
+        used_tokens += chunk.num_tokens;
+        if (chunk.num_tokens > 0 && callback) {
+          emit(EventType::kChunk, model, 0.0, chunk.text);
+        }
+      }
+    }
+
+    const auto active = survivors();
+    LLMMS_RETURN_NOT_OK(score_candidates(active));
+    if (active.size() <= config_.min_survivors) continue;
+
+    std::string worst;
+    double worst_score = std::numeric_limits<double>::infinity();
+    double second_worst = std::numeric_limits<double>::infinity();
+    for (const auto& m : active) {
+      const double s = last_scores[m].combined;
+      if (s < worst_score) {
+        second_worst = worst_score;
+        worst_score = s;
+        worst = m;
+      } else if (s < second_worst) {
+        second_worst = s;
+      }
+    }
+    if (!worst.empty() && second_worst - worst_score > config_.prune_margin) {
+      pruned.insert(worst);
+      emit(EventType::kPrune, worst, worst_score);
+    }
+  }
+
+  // ---------------- Phase 2: UCB1 allocation among the survivors. -------------
+  struct Arm {
+    double reward_sum = 0.0;
+    size_t pulls = 0;
+    bool finished = false;
+    double MeanReward() const {
+      return pulls > 0 ? reward_sum / static_cast<double>(pulls) : 0.0;
+    }
+  };
+  std::unordered_map<std::string, Arm> arms;
+  const auto contenders = survivors();
+  for (const auto& m : contenders) {
+    LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(m));
+    Arm arm;
+    arm.finished = stats.finished;
+    arms[m] = arm;
+  }
+  size_t total_pulls = 0;
+
+  while (used_tokens < config_.token_budget) {
+    ++round;
+    const double gamma =
+        config_.gamma0 *
+        std::max(0.0, 1.0 - static_cast<double>(used_tokens) /
+                               static_cast<double>(config_.token_budget));
+    std::string chosen;
+    for (const auto& m : contenders) {
+      if (!arms[m].finished && arms[m].pulls == 0) {
+        chosen = m;
+        break;
+      }
+    }
+    if (chosen.empty()) {
+      double best_ucb = -std::numeric_limits<double>::infinity();
+      for (const auto& m : contenders) {
+        const Arm& arm = arms[m];
+        if (arm.finished) continue;
+        const double bonus =
+            gamma * std::sqrt(2.0 *
+                              std::log(static_cast<double>(
+                                  std::max<size_t>(total_pulls, 1))) /
+                              static_cast<double>(arm.pulls));
+        if (arm.MeanReward() + bonus > best_ucb) {
+          best_ucb = arm.MeanReward() + bonus;
+          chosen = m;
+        }
+      }
+    }
+    if (chosen.empty()) break;  // every survivor finished
+
+    const size_t ask = std::min(config_.mab_chunk_tokens,
+                                config_.token_budget - used_tokens);
+    LLMMS_ASSIGN_OR_RETURN(auto chunk, generation->NextChunk(chosen, ask));
+    used_tokens += chunk.num_tokens;
+    if (chunk.num_tokens > 0 && callback) {
+      emit(EventType::kChunk, chosen, 0.0, chunk.text);
+    }
+
+    LLMMS_ASSIGN_OR_RETURN(auto response, generation->TextOf(chosen));
+    std::vector<std::string> others;
+    for (const auto& m : contenders) {
+      if (m == chosen) continue;
+      LLMMS_ASSIGN_OR_RETURN(auto text, generation->TextOf(m));
+      others.push_back(std::move(text));
+    }
+    const double reward = scorer_.ScoreOne(prompt, response, others);
+    Arm& arm = arms[chosen];
+    arm.reward_sum += reward;
+    ++arm.pulls;
+    ++total_pulls;
+    if (chunk.done) arm.finished = true;
+    emit(EventType::kScore, chosen, reward);
+  }
+
+  // ---------------- Final selection. ----------------
+  std::string winner;
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& m : contenders) {
+    // Mean reward when the arm was pulled in phase 2; phase-1 score as the
+    // fallback for arms that finished during screening.
+    const double value = arms[m].pulls > 0 ? arms[m].MeanReward()
+                                           : last_scores[m].combined;
+    if (value > best) {
+      best = value;
+      winner = m;
+    }
+  }
+  if (winner.empty()) winner = models_.front();
+
+  // Final per-model scores for reporting.
+  std::vector<std::string> final_responses;
+  for (const auto& m : models_) {
+    LLMMS_ASSIGN_OR_RETURN(auto text, generation->TextOf(m));
+    final_responses.push_back(std::move(text));
+  }
+  const auto final_scores = scorer_.ScoreRound(prompt, final_responses);
+
+  result.best_model = winner;
+  LLMMS_ASSIGN_OR_RETURN(result.answer, generation->TextOf(winner));
+  result.total_tokens = generation->TotalTokens();
+  result.rounds = round;
+  result.simulated_seconds = generation->SimulatedWallSeconds();
+  for (size_t i = 0; i < models_.size(); ++i) {
+    const auto& m = models_[i];
+    ModelOutcome outcome;
+    outcome.response = final_responses[i];
+    LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(m));
+    outcome.tokens = stats.tokens;
+    outcome.finished = stats.finished;
+    outcome.stop_reason = stats.stop_reason;
+    outcome.pruned = pruned.count(m) > 0;
+    outcome.final_score = arms.count(m) > 0 && arms[m].pulls > 0
+                              ? arms[m].MeanReward()
+                              : last_scores[m].combined;
+    outcome.query_similarity = final_scores[i].query_similarity;
+    outcome.inter_similarity = final_scores[i].inter_similarity;
+    result.per_model[m] = std::move(outcome);
+  }
+  result.answer_tokens = result.per_model[winner].tokens;
+  emit(EventType::kFinal, winner, best, result.answer);
+  return result;
+}
+
+}  // namespace llmms::core

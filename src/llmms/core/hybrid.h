@@ -1,0 +1,61 @@
+#ifndef LLMMS_CORE_HYBRID_H_
+#define LLMMS_CORE_HYBRID_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llmms/core/orchestrator.h"
+#include "llmms/core/scoring.h"
+#include "llmms/llm/runtime.h"
+
+namespace llmms::core {
+
+// The hybrid strategy the thesis's analysis proposes (§8.4: "A hybrid
+// approach could potentially leverage the advantages of both methods"):
+//
+//   Phase 1 (OUA-style screening): every model generates round-robin chunks
+//   for `screening_rounds` rounds; the per-round worst model is pruned when
+//   the prune margin is met — conserving tokens on clear losers early.
+//
+//   Phase 2 (MAB-style allocation): the survivors become UCB1 arms; chunks
+//   are pulled adaptively with the decaying exploration coefficient until
+//   the budget is spent or every survivor finishes.
+//
+// The answer is the survivor with the highest mean reward. Compared in
+// bench/ablation_hybrid against its two parents.
+class HybridOrchestrator final : public Orchestrator {
+ public:
+  struct Config {
+    ScoringWeights weights;
+    size_t token_budget = 2048;
+    size_t chunk_tokens = 8;       // phase-1 round-robin chunk
+    size_t screening_rounds = 3;   // phase-1 length
+    double prune_margin = 0.02;    // phase-1 pruning threshold
+    size_t min_survivors = 2;      // phase 1 never prunes below this
+    size_t mab_chunk_tokens = 16;  // phase-2 pull size
+    double gamma0 = 0.3;           // phase-2 exploration coefficient
+  };
+
+  HybridOrchestrator(llm::ModelRuntime* runtime,
+                     std::vector<std::string> models,
+                     std::shared_ptr<const embedding::Embedder> embedder,
+                     const Config& config);
+
+  StatusOr<OrchestrationResult> Run(const std::string& prompt,
+                                    const EventCallback& callback) override;
+  using Orchestrator::Run;
+
+  std::string name() const override { return "llm-ms-hybrid"; }
+  const Config& config() const { return config_; }
+
+ private:
+  llm::ModelRuntime* runtime_;
+  std::vector<std::string> models_;
+  ResponseScorer scorer_;
+  Config config_;
+};
+
+}  // namespace llmms::core
+
+#endif  // LLMMS_CORE_HYBRID_H_

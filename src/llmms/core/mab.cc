@@ -1,0 +1,243 @@
+#include "llmms/core/mab.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace llmms::core {
+namespace {
+
+struct Arm {
+  double reward_sum = 0.0;
+  size_t pulls = 0;
+  double last_reward = 0.0;
+  RoundScore last_round;
+  bool finished = false;
+  llm::StopReason stop_reason = llm::StopReason::kLength;
+
+  double MeanReward() const {
+    return pulls > 0 ? reward_sum / static_cast<double>(pulls) : 0.0;
+  }
+};
+
+}  // namespace
+
+MabOrchestrator::MabOrchestrator(
+    llm::ModelRuntime* runtime, std::vector<std::string> models,
+    std::shared_ptr<const embedding::Embedder> embedder, const Config& config)
+    : runtime_(runtime),
+      models_(std::move(models)),
+      scorer_(std::move(embedder), config.weights),
+      config_(config) {}
+
+StatusOr<OrchestrationResult> MabOrchestrator::Run(
+    const std::string& prompt, const EventCallback& callback) {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("MAB requires at least one model");
+  }
+  if (config_.token_budget == 0 || config_.chunk_tokens == 0) {
+    return Status::InvalidArgument("token_budget and chunk_tokens must be > 0");
+  }
+
+  llm::GenerationRequest request;
+  request.prompt = prompt;
+  request.max_tokens = 0;
+  LLMMS_ASSIGN_OR_RETURN(auto generation,
+                         runtime_->StartGeneration(models_, request));
+
+  OrchestrationResult result;
+  std::unordered_map<std::string, Arm> arms;
+  for (const auto& m : models_) arms[m] = Arm{};
+
+  size_t used_tokens = 0;
+  size_t total_pulls = 0;
+  size_t round = 0;
+
+  auto gamma_now = [&]() {
+    if (!config_.decay_gamma) return config_.gamma0;
+    const double remaining_fraction =
+        1.0 - static_cast<double>(used_tokens) /
+                  static_cast<double>(config_.token_budget);
+    return config_.gamma0 * std::max(0.0, remaining_fraction);
+  };
+
+  while (used_tokens < config_.token_budget) {
+    ++round;
+    const double gamma = gamma_now();
+
+    // --- Arm selection (Algorithm 2 lines 3-6): unpulled live arms first
+    // (UCB1 cold start), then the highest upper confidence bound. ---
+    std::string chosen;
+    for (const auto& m : models_) {
+      if (!arms[m].finished && arms[m].pulls == 0) {
+        chosen = m;
+        break;
+      }
+    }
+    if (chosen.empty()) {
+      double best_ucb = -std::numeric_limits<double>::infinity();
+      for (const auto& m : models_) {
+        const Arm& arm = arms[m];
+        if (arm.finished) continue;
+        const double bonus =
+            gamma * std::sqrt(2.0 *
+                              std::log(static_cast<double>(
+                                  std::max<size_t>(total_pulls, 1))) /
+                              static_cast<double>(arm.pulls));
+        const double ucb = arm.MeanReward() + bonus;
+        if (ucb > best_ucb) {
+          best_ucb = ucb;
+          chosen = m;
+        }
+      }
+    }
+    if (chosen.empty()) break;  // every arm finished
+
+    // --- Pull: generate the next token chunk (line 7). ---
+    const size_t ask =
+        std::min(config_.chunk_tokens, config_.token_budget - used_tokens);
+    LLMMS_ASSIGN_OR_RETURN(auto chunk, generation->NextChunk(chosen, ask));
+    used_tokens += chunk.num_tokens;
+    if (chunk.num_tokens > 0 && callback) {
+      OrchestratorEvent event;
+      event.type = EventType::kChunk;
+      event.model = chosen;
+      event.text = chunk.text;
+      event.round = round;
+      event.total_tokens = used_tokens;
+      internal::Emit(event, callback, &result.trace);
+    }
+
+    // --- Reward (lines 8-10): score the arm's accumulated response against
+    // the query and the other arms' current responses. ---
+    LLMMS_ASSIGN_OR_RETURN(auto response, generation->TextOf(chosen));
+    std::vector<std::string> others;
+    for (const auto& m : models_) {
+      if (m == chosen) continue;
+      LLMMS_ASSIGN_OR_RETURN(auto text, generation->TextOf(m));
+      others.push_back(std::move(text));
+    }
+    const double reward = scorer_.ScoreOne(prompt, response, others);
+
+    Arm& arm = arms[chosen];
+    arm.reward_sum += reward;
+    arm.last_reward = reward;
+    ++arm.pulls;
+    ++total_pulls;
+    if (chunk.done) {
+      arm.finished = true;
+      arm.stop_reason = chunk.stop_reason;
+    }
+    {
+      OrchestratorEvent event;
+      event.type = EventType::kScore;
+      event.model = chosen;
+      event.score = reward;
+      event.round = round;
+      event.total_tokens = used_tokens;
+      internal::Emit(event, callback, &result.trace);
+    }
+
+    // --- Termination (lines 12-14): stop early when a finished arm's mean
+    // reward dominates the optimistic bound of every live arm. ---
+    std::string best_finished;
+    double best_finished_mean = -std::numeric_limits<double>::infinity();
+    for (const auto& m : models_) {
+      const Arm& a = arms[m];
+      if (a.finished && a.pulls > 0 &&
+          a.stop_reason == llm::StopReason::kStop &&
+          a.MeanReward() > best_finished_mean) {
+        best_finished_mean = a.MeanReward();
+        best_finished = m;
+      }
+    }
+    if (!best_finished.empty()) {
+      bool dominated = true;
+      for (const auto& m : models_) {
+        const Arm& a = arms[m];
+        if (a.finished) continue;
+        if (a.pulls == 0) {
+          dominated = false;
+          break;
+        }
+        const double bonus =
+            gamma_now() *
+            std::sqrt(2.0 *
+                      std::log(static_cast<double>(
+                          std::max<size_t>(total_pulls, 1))) /
+                      static_cast<double>(a.pulls));
+        if (a.MeanReward() + bonus >= best_finished_mean) {
+          dominated = false;
+          break;
+        }
+      }
+      if (dominated) {
+        result.early_stopped = true;
+        OrchestratorEvent event;
+        event.type = EventType::kEarlyStop;
+        event.model = best_finished;
+        event.score = best_finished_mean;
+        event.round = round;
+        event.total_tokens = used_tokens;
+        internal::Emit(event, callback, &result.trace);
+        break;
+      }
+    }
+  }
+
+  // --- Final selection (line 16): the arm with the highest reward, i.e.
+  // the highest mean reward across its pulls — the bandit's estimate of the
+  // arm's value, averaged over many partial-response observations. ---
+  std::vector<std::string> final_responses;
+  for (const auto& m : models_) {
+    LLMMS_ASSIGN_OR_RETURN(auto text, generation->TextOf(m));
+    final_responses.push_back(std::move(text));
+  }
+  const auto final_scores = scorer_.ScoreRound(prompt, final_responses);
+
+  std::string winner;
+  double best_reward = -std::numeric_limits<double>::infinity();
+  for (const auto& m : models_) {
+    const Arm& arm = arms[m];
+    if (arm.pulls == 0) continue;
+    if (arm.MeanReward() > best_reward) {
+      best_reward = arm.MeanReward();
+      winner = m;
+    }
+  }
+  if (winner.empty()) winner = models_.front();
+
+  result.best_model = winner;
+  LLMMS_ASSIGN_OR_RETURN(result.answer, generation->TextOf(winner));
+  result.total_tokens = generation->TotalTokens();
+  result.rounds = round;
+  result.simulated_seconds = generation->SimulatedWallSeconds();
+
+  for (size_t i = 0; i < models_.size(); ++i) {
+    const auto& m = models_[i];
+    ModelOutcome outcome;
+    outcome.response = final_responses[i];
+    LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(m));
+    outcome.tokens = stats.tokens;
+    outcome.finished = stats.finished;
+    outcome.stop_reason = stats.stop_reason;
+    outcome.final_score = arms[m].MeanReward();
+    outcome.query_similarity = final_scores[i].query_similarity;
+    outcome.inter_similarity = final_scores[i].inter_similarity;
+    result.per_model[m] = std::move(outcome);
+  }
+  result.answer_tokens = result.per_model[winner].tokens;
+
+  OrchestratorEvent event;
+  event.type = EventType::kFinal;
+  event.model = winner;
+  event.text = result.answer;
+  event.score = best_reward;
+  event.round = round;
+  event.total_tokens = result.total_tokens;
+  internal::Emit(event, callback, &result.trace);
+  return result;
+}
+
+}  // namespace llmms::core

@@ -1,0 +1,59 @@
+#ifndef LLMMS_CORE_MAB_H_
+#define LLMMS_CORE_MAB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llmms/core/orchestrator.h"
+#include "llmms/core/scoring.h"
+#include "llmms/llm/runtime.h"
+
+namespace llmms::core {
+
+// Multi-Armed Bandit orchestrator (Algorithm 2): each model is an arm with
+// an unknown reward distribution. Token chunks are pulled one at a time by
+// the UCB1 policy
+//
+//   UCB_i = mean_reward_i + gamma * sqrt(2 ln(totalPulls) / pulls_i)
+//
+// with the exploration coefficient decaying as the budget is consumed:
+// gamma = gamma0 * (1 - usedTokens / lambda_max). The pull's reward is
+// alpha*sim(query, response) + beta*avgInterModelSimilarity over the arm's
+// accumulated response. Arms that finished naturally stop being pullable;
+// the orchestration ends when the budget is exhausted, every arm finished,
+// or a finished arm's mean reward dominates every live arm's upper bound.
+// The answer is the response of the arm with the highest mean reward across
+// its pulls (the bandit's value estimate, averaged over many
+// partial-response observations).
+class MabOrchestrator final : public Orchestrator {
+ public:
+  struct Config {
+    ScoringWeights weights;      // alpha=0.7, beta=0.3
+    size_t token_budget = 2048;  // lambda_max
+    size_t chunk_tokens = 16;    // tokens per pull
+    double gamma0 = 0.3;         // initial exploration coefficient
+    bool decay_gamma = true;     // gamma = gamma0*(1 - used/budget)
+  };
+
+  MabOrchestrator(llm::ModelRuntime* runtime, std::vector<std::string> models,
+                  std::shared_ptr<const embedding::Embedder> embedder,
+                  const Config& config);
+
+  StatusOr<OrchestrationResult> Run(const std::string& prompt,
+                                    const EventCallback& callback) override;
+  using Orchestrator::Run;
+
+  std::string name() const override { return "llm-ms-mab"; }
+  const Config& config() const { return config_; }
+
+ private:
+  llm::ModelRuntime* runtime_;
+  std::vector<std::string> models_;
+  ResponseScorer scorer_;
+  Config config_;
+};
+
+}  // namespace llmms::core
+
+#endif  // LLMMS_CORE_MAB_H_

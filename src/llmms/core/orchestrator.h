@@ -1,0 +1,103 @@
+#ifndef LLMMS_CORE_ORCHESTRATOR_H_
+#define LLMMS_CORE_ORCHESTRATOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+#include "llmms/core/scoring.h"
+#include "llmms/llm/runtime.h"
+
+namespace llmms::core {
+
+// Streaming events emitted during orchestration — the backend of the UI's
+// real-time token stream and the "model routing transparency" overlay
+// (§5.4, §7.3). Events are delivered synchronously on the orchestrator's
+// thread.
+enum class EventType {
+  kChunk,      // a model produced new tokens
+  kScore,      // a model was (re)scored
+  kPrune,      // a model was removed from the active set
+  kEarlyStop,  // a model won before the budget was spent
+  kFinal,      // the final answer was selected
+};
+
+const char* EventTypeToString(EventType type);
+
+struct OrchestratorEvent {
+  EventType type = EventType::kChunk;
+  std::string model;
+  std::string text;        // chunk text (kChunk) or final answer (kFinal)
+  double score = 0.0;      // combined score (kScore/kPrune/kEarlyStop/kFinal)
+  size_t round = 0;
+  size_t total_tokens = 0; // tokens consumed so far across all models
+};
+
+using EventCallback = std::function<void(const OrchestratorEvent&)>;
+
+// One line of the transparent orchestration log.
+struct TraceEntry {
+  size_t round = 0;
+  std::string model;
+  std::string action;  // "chunk", "score", "prune", "early-stop", "final"
+  std::string detail;
+  double score = 0.0;
+};
+
+// Outcome of one orchestrated query.
+struct ModelOutcome {
+  std::string response;
+  size_t tokens = 0;
+  double final_score = 0.0;        // combined orchestration score
+  double query_similarity = 0.0;
+  double inter_similarity = 0.0;
+  bool pruned = false;
+  bool finished = false;
+  llm::StopReason stop_reason = llm::StopReason::kLength;
+};
+
+struct OrchestrationResult {
+  std::string best_model;
+  std::string answer;
+  size_t total_tokens = 0;   // across all participating models
+  size_t answer_tokens = 0;  // tokens of the winning response
+  size_t rounds = 0;
+  bool early_stopped = false;
+  double simulated_seconds = 0.0;  // simulated wall clock
+  std::map<std::string, ModelOutcome> per_model;
+  std::vector<TraceEntry> trace;
+};
+
+// A model-selection / token-allocation strategy over a pool of models.
+// Implementations: OuaOrchestrator, MabOrchestrator, SingleModelOrchestrator.
+class Orchestrator {
+ public:
+  virtual ~Orchestrator() = default;
+
+  // Answers `prompt` under the strategy's token budget. `callback` (optional)
+  // receives streaming events.
+  virtual StatusOr<OrchestrationResult> Run(const std::string& prompt,
+                                            const EventCallback& callback) = 0;
+
+  StatusOr<OrchestrationResult> Run(const std::string& prompt) {
+    return Run(prompt, EventCallback());
+  }
+
+  virtual std::string name() const = 0;
+};
+
+namespace internal {
+
+// Shared helper: emit an event to the callback (if any) and mirror it into
+// the trace.
+void Emit(const OrchestratorEvent& event, const EventCallback& callback,
+          std::vector<TraceEntry>* trace);
+
+}  // namespace internal
+}  // namespace llmms::core
+
+#endif  // LLMMS_CORE_ORCHESTRATOR_H_

@@ -1,0 +1,232 @@
+#include "llmms/core/oua.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace llmms::core {
+
+OuaOrchestrator::OuaOrchestrator(
+    llm::ModelRuntime* runtime, std::vector<std::string> models,
+    std::shared_ptr<const embedding::Embedder> embedder, const Config& config)
+    : runtime_(runtime),
+      models_(std::move(models)),
+      scorer_(std::move(embedder), config.weights),
+      config_(config) {}
+
+StatusOr<OrchestrationResult> OuaOrchestrator::Run(
+    const std::string& prompt, const EventCallback& callback) {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("OUA requires at least one model");
+  }
+  if (config_.token_budget == 0) {
+    return Status::InvalidArgument("token_budget must be positive");
+  }
+
+  llm::GenerationRequest request;
+  request.prompt = prompt;
+  request.max_tokens = 0;  // the orchestrator enforces budgets itself
+  LLMMS_ASSIGN_OR_RETURN(auto generation,
+                         runtime_->StartGeneration(models_, request));
+
+  OrchestrationResult result;
+  const size_t n = models_.size();
+  std::unordered_map<std::string, size_t> allowance;
+  std::unordered_map<std::string, size_t> spent;
+  for (const auto& m : models_) {
+    allowance[m] = config_.token_budget / n;  // lambda = lambda_max / N
+    spent[m] = 0;
+  }
+
+  // `active`: still generating. `candidates`: eligible to win (everything
+  // not pruned, including models that finished naturally).
+  std::vector<std::string> active = models_;
+  std::unordered_set<std::string> pruned;
+  std::unordered_map<std::string, RoundScore> last_scores;
+
+  size_t round = 0;
+  std::string early_winner;
+
+  while (!active.empty() && early_winner.empty()) {
+    ++round;
+
+    // --- Round-robin chunk generation (Algorithm 1 lines 5-9). ---
+    std::vector<std::pair<std::string, size_t>> requests;
+    for (const auto& m : active) {
+      const size_t remaining = allowance[m] - spent[m];
+      if (remaining == 0) continue;
+      requests.emplace_back(m, std::min(config_.chunk_tokens, remaining));
+    }
+    if (requests.empty()) break;  // every active model exhausted its budget
+    LLMMS_ASSIGN_OR_RETURN(auto chunks, generation->NextChunks(requests));
+    for (const auto& [model, chunk] : chunks) {
+      spent[model] += chunk.num_tokens;
+      if (chunk.num_tokens > 0 && callback) {
+        OrchestratorEvent event;
+        event.type = EventType::kChunk;
+        event.model = model;
+        event.text = chunk.text;
+        event.round = round;
+        event.total_tokens = generation->TotalTokens();
+        internal::Emit(event, callback, &result.trace);
+      }
+    }
+
+    // --- Scoring (Algorithm 1 lines 10-15). ---
+    std::vector<std::string> candidates;
+    for (const auto& m : models_) {
+      if (pruned.count(m) == 0) candidates.push_back(m);
+    }
+    std::vector<std::string> responses;
+    responses.reserve(candidates.size());
+    for (const auto& m : candidates) {
+      LLMMS_ASSIGN_OR_RETURN(auto text, generation->TextOf(m));
+      responses.push_back(std::move(text));
+    }
+    const auto scores = scorer_.ScoreRound(prompt, responses);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      last_scores[candidates[i]] = scores[i];
+      OrchestratorEvent event;
+      event.type = EventType::kScore;
+      event.model = candidates[i];
+      event.score = scores[i].combined;
+      event.round = round;
+      event.total_tokens = generation->TotalTokens();
+      internal::Emit(event, callback, &result.trace);
+    }
+
+    // --- Early stop (Algorithm 1 lines 16-19): the best candidate wins now
+    // when it leads by the margin and finished with done reason "stop". ---
+    size_t best_index = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    double second_best = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (scores[i].combined > best_score) {
+        second_best = best_score;
+        best_score = scores[i].combined;
+        best_index = i;
+      } else if (scores[i].combined > second_best) {
+        second_best = scores[i].combined;
+      }
+    }
+    if (candidates.size() > 1 &&
+        best_score > second_best + config_.early_stop_margin) {
+      LLMMS_ASSIGN_OR_RETURN(auto stats,
+                             generation->StatsOf(candidates[best_index]));
+      if (stats.finished && stats.stop_reason == llm::StopReason::kStop) {
+        early_winner = candidates[best_index];
+        OrchestratorEvent event;
+        event.type = EventType::kEarlyStop;
+        event.model = early_winner;
+        event.score = best_score;
+        event.round = round;
+        event.total_tokens = generation->TotalTokens();
+        internal::Emit(event, callback, &result.trace);
+        break;
+      }
+    }
+
+    // --- Pruning (Algorithm 1 lines 20-23): drop the round's worst active
+    // model when the second-worst leads it by the margin; its unspent
+    // allowance goes to the survivors. ---
+    if (active.size() > 1 && round >= config_.min_rounds_before_prune) {
+      std::string worst;
+      double worst_score = std::numeric_limits<double>::infinity();
+      double second_worst = std::numeric_limits<double>::infinity();
+      for (const auto& m : active) {
+        const double s = last_scores[m].combined;
+        if (s < worst_score) {
+          second_worst = worst_score;
+          worst_score = s;
+          worst = m;
+        } else if (s < second_worst) {
+          second_worst = s;
+        }
+      }
+      if (!worst.empty() && second_worst - worst_score > config_.prune_margin) {
+        pruned.insert(worst);
+        const size_t leftover = allowance[worst] - spent[worst];
+        active.erase(std::remove(active.begin(), active.end(), worst),
+                     active.end());
+        if (!active.empty() && leftover > 0) {
+          const size_t share = leftover / active.size();
+          for (const auto& m : active) allowance[m] += share;
+        }
+        OrchestratorEvent event;
+        event.type = EventType::kPrune;
+        event.model = worst;
+        event.score = worst_score;
+        event.round = round;
+        event.total_tokens = generation->TotalTokens();
+        internal::Emit(event, callback, &result.trace);
+      }
+    }
+
+    // --- Retire models that finished naturally or exhausted their budget;
+    // they stay candidates but stop consuming tokens. ---
+    std::vector<std::string> still_active;
+    for (const auto& m : active) {
+      LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(m));
+      const bool exhausted = spent[m] >= allowance[m];
+      if (!stats.finished && !exhausted) still_active.push_back(m);
+    }
+    active = std::move(still_active);
+  }
+
+  // --- Final selection (Algorithm 1 line 25). ---
+  std::string winner = early_winner;
+  if (winner.empty()) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (const auto& m : models_) {
+      if (pruned.count(m) > 0) continue;
+      auto it = last_scores.find(m);
+      const double s =
+          it != last_scores.end()
+              ? it->second.combined
+              : -std::numeric_limits<double>::infinity();
+      if (s > best) {
+        best = s;
+        winner = m;
+      }
+    }
+    if (winner.empty()) winner = models_.front();  // all pruned: degenerate
+  }
+
+  result.best_model = winner;
+  LLMMS_ASSIGN_OR_RETURN(result.answer, generation->TextOf(winner));
+  result.total_tokens = generation->TotalTokens();
+  result.rounds = round;
+  result.early_stopped = !early_winner.empty();
+  result.simulated_seconds = generation->SimulatedWallSeconds();
+
+  for (const auto& m : models_) {
+    ModelOutcome outcome;
+    LLMMS_ASSIGN_OR_RETURN(outcome.response, generation->TextOf(m));
+    LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(m));
+    outcome.tokens = stats.tokens;
+    outcome.finished = stats.finished;
+    outcome.stop_reason = stats.stop_reason;
+    outcome.pruned = pruned.count(m) > 0;
+    auto it = last_scores.find(m);
+    if (it != last_scores.end()) {
+      outcome.final_score = it->second.combined;
+      outcome.query_similarity = it->second.query_similarity;
+      outcome.inter_similarity = it->second.inter_similarity;
+    }
+    result.per_model[m] = std::move(outcome);
+  }
+  result.answer_tokens = result.per_model[winner].tokens;
+
+  OrchestratorEvent event;
+  event.type = EventType::kFinal;
+  event.model = winner;
+  event.text = result.answer;
+  event.score = result.per_model[winner].final_score;
+  event.round = round;
+  event.total_tokens = result.total_tokens;
+  internal::Emit(event, callback, &result.trace);
+  return result;
+}
+
+}  // namespace llmms::core

@@ -1,0 +1,115 @@
+#include "llmms/core/router.h"
+
+#include <algorithm>
+
+#include "llmms/embedding/similarity.h"
+
+namespace llmms::core {
+
+IntentClassifier::IntentClassifier(
+    std::shared_ptr<const embedding::Embedder> embedder)
+    : embedder_(std::move(embedder)) {}
+
+Status IntentClassifier::AddExample(const std::string& text,
+                                    const std::string& label) {
+  if (text.empty() || label.empty()) {
+    return Status::InvalidArgument("example text and label must be non-empty");
+  }
+  const auto vec = embedder_->Embed(text);
+  Centroid& centroid = centroids_[label];
+  if (centroid.sum.empty()) centroid.sum.assign(vec.size(), 0.0f);
+  for (size_t i = 0; i < vec.size(); ++i) centroid.sum[i] += vec[i];
+  ++centroid.count;
+  ++example_count_;
+  return Status::OK();
+}
+
+StatusOr<IntentClassifier::Prediction> IntentClassifier::Classify(
+    const std::string& text) const {
+  if (centroids_.empty()) {
+    return Status::FailedPrecondition("classifier has no training examples");
+  }
+  const auto vec = embedder_->Embed(text);
+  Prediction prediction;
+  double best = -2.0;
+  double second = -2.0;
+  for (const auto& [label, centroid] : centroids_) {
+    const double sim = embedding::CosineSimilarity(vec, centroid.sum);
+    if (sim > best) {
+      second = best;
+      best = sim;
+      prediction.label = label;
+    } else if (sim > second) {
+      second = sim;
+    }
+  }
+  prediction.confidence = best;
+  prediction.margin = centroids_.size() > 1 ? best - second : best;
+  return prediction;
+}
+
+std::vector<std::string> IntentClassifier::Labels() const {
+  std::vector<std::string> labels;
+  labels.reserve(centroids_.size());
+  for (const auto& [label, centroid] : centroids_) labels.push_back(label);
+  return labels;
+}
+
+RoutedOrchestrator::RoutedOrchestrator(
+    llm::ModelRuntime* runtime, std::vector<std::string> models,
+    std::shared_ptr<const embedding::Embedder> embedder,
+    IntentClassifier* classifier, FeedbackStore* feedback, EloRatings* ratings,
+    const Config& config)
+    : runtime_(runtime),
+      models_(std::move(models)),
+      embedder_(std::move(embedder)),
+      classifier_(classifier),
+      feedback_(feedback),
+      ratings_(ratings),
+      config_(config) {}
+
+StatusOr<std::vector<std::string>> RoutedOrchestrator::RouteFor(
+    const std::string& prompt) const {
+  auto prediction = classifier_->Classify(prompt);
+  if (!prediction.ok() || prediction->confidence < config_.min_confidence) {
+    return models_;  // unknown intent: fall back to the full pool
+  }
+  if (feedback_->DomainObservations(prediction->label) <
+      config_.min_observations) {
+    return models_;  // still exploring this task
+  }
+  auto ranked = feedback_->RankModels(prediction->label, models_);
+  const size_t n = std::min<size_t>(std::max<size_t>(config_.route_to, 1),
+                                    ranked.size());
+  ranked.resize(n);
+  return ranked;
+}
+
+StatusOr<OrchestrationResult> RoutedOrchestrator::Run(
+    const std::string& prompt, const EventCallback& callback) {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("router requires at least one model");
+  }
+  LLMMS_ASSIGN_OR_RETURN(auto pool, RouteFor(prompt));
+
+  OuaOrchestrator inner(runtime_, pool, embedder_, config_.inner);
+  LLMMS_ASSIGN_OR_RETURN(auto result, inner.Run(prompt, callback));
+
+  // Close the loop: record each participant's outcome under the predicted
+  // task label, and update the Elo ratings with the winner.
+  auto prediction = classifier_->Classify(prompt);
+  if (prediction.ok() && prediction->confidence >= config_.min_confidence) {
+    std::vector<std::string> losers;
+    for (const auto& [model, outcome] : result.per_model) {
+      feedback_->Record(model, prediction->label, outcome.final_score,
+                        model == result.best_model);
+      if (model != result.best_model) losers.push_back(model);
+    }
+    if (ratings_ != nullptr) {
+      ratings_->RecordOutcome(result.best_model, losers);
+    }
+  }
+  return result;
+}
+
+}  // namespace llmms::core

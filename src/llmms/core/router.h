@@ -1,0 +1,105 @@
+#ifndef LLMMS_CORE_ROUTER_H_
+#define LLMMS_CORE_ROUTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llmms/core/feedback.h"
+#include "llmms/core/orchestrator.h"
+#include "llmms/core/oua.h"
+#include "llmms/embedding/embedder.h"
+#include "llmms/llm/runtime.h"
+
+namespace llmms::core {
+
+// Cognitive routing with semantic task indexing (§9.5): a lightweight
+// intent detector tags each query with a task label; a per-task index of
+// model performance picks the models known to handle that kind of job.
+
+// Nearest-centroid text classifier: each label's centroid is the mean
+// embedding of its training examples; classification is cosine similarity
+// to the centroids. Deterministic and cheap — the "simple intent detector"
+// the thesis sketches.
+class IntentClassifier {
+ public:
+  explicit IntentClassifier(
+      std::shared_ptr<const embedding::Embedder> embedder);
+
+  // Adds one labeled example; centroids update incrementally.
+  Status AddExample(const std::string& text, const std::string& label);
+
+  struct Prediction {
+    std::string label;
+    double confidence = 0.0;  // cosine to the winning centroid
+    double margin = 0.0;      // gap to the runner-up centroid
+  };
+
+  // Classifies `text`; FailedPrecondition when no examples were added.
+  StatusOr<Prediction> Classify(const std::string& text) const;
+
+  std::vector<std::string> Labels() const;
+  size_t example_count() const { return example_count_; }
+
+ private:
+  struct Centroid {
+    embedding::Vector sum;  // un-normalized running sum
+    size_t count = 0;
+  };
+
+  std::shared_ptr<const embedding::Embedder> embedder_;
+  std::map<std::string, Centroid> centroids_;
+  size_t example_count_ = 0;
+};
+
+// The routing orchestrator: classify the query's task, consult the feedback
+// store for the best-performing models on that task, orchestrate only over
+// that subset (OUA), then feed the outcome back into the store and the Elo
+// ratings — closing the self-improvement loop.
+//
+// Until a task has `min_observations` recorded outcomes the router stays in
+// its exploration mode and uses the full pool, so early routing mistakes
+// cannot lock in.
+class RoutedOrchestrator final : public Orchestrator {
+ public:
+  struct Config {
+    OuaOrchestrator::Config inner;  // strategy used on the routed subset
+    size_t route_to = 2;            // pool size after routing
+    // Below this many per-task observations, use the full pool.
+    size_t min_observations = 10;
+    // Classifier confidence below this also falls back to the full pool.
+    double min_confidence = 0.05;
+  };
+
+  // `runtime`, `feedback`, and `ratings` must outlive the orchestrator;
+  // `ratings` may be null (rating updates skipped).
+  RoutedOrchestrator(llm::ModelRuntime* runtime,
+                     std::vector<std::string> models,
+                     std::shared_ptr<const embedding::Embedder> embedder,
+                     IntentClassifier* classifier, FeedbackStore* feedback,
+                     EloRatings* ratings, const Config& config);
+
+  StatusOr<OrchestrationResult> Run(const std::string& prompt,
+                                    const EventCallback& callback) override;
+  using Orchestrator::Run;
+
+  std::string name() const override { return "llm-ms-routed"; }
+
+  // The models the router would pick for `prompt` right now (for tests and
+  // transparency overlays).
+  StatusOr<std::vector<std::string>> RouteFor(const std::string& prompt) const;
+
+ private:
+  llm::ModelRuntime* runtime_;
+  std::vector<std::string> models_;
+  std::shared_ptr<const embedding::Embedder> embedder_;
+  IntentClassifier* classifier_;
+  FeedbackStore* feedback_;
+  EloRatings* ratings_;
+  Config config_;
+};
+
+}  // namespace llmms::core
+
+#endif  // LLMMS_CORE_ROUTER_H_

@@ -1,0 +1,82 @@
+#include "llmms/core/single.h"
+
+#include <algorithm>
+
+namespace llmms::core {
+
+SingleModelOrchestrator::SingleModelOrchestrator(
+    llm::ModelRuntime* runtime, std::string model,
+    std::shared_ptr<const embedding::Embedder> embedder, const Config& config)
+    : runtime_(runtime),
+      model_(std::move(model)),
+      scorer_(std::move(embedder), config.weights),
+      config_(config) {}
+
+StatusOr<OrchestrationResult> SingleModelOrchestrator::Run(
+    const std::string& prompt, const EventCallback& callback) {
+  if (config_.token_budget == 0) {
+    return Status::InvalidArgument("token_budget must be positive");
+  }
+  llm::GenerationRequest request;
+  request.prompt = prompt;
+  request.max_tokens = 0;
+  LLMMS_ASSIGN_OR_RETURN(auto generation,
+                         runtime_->StartGeneration({model_}, request));
+
+  OrchestrationResult result;
+  size_t used = 0;
+  size_t round = 0;
+  for (;;) {
+    LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(model_));
+    if (stats.finished || used >= config_.token_budget) break;
+    ++round;
+    const size_t ask =
+        std::min(config_.chunk_tokens, config_.token_budget - used);
+    LLMMS_ASSIGN_OR_RETURN(auto chunk, generation->NextChunk(model_, ask));
+    used += chunk.num_tokens;
+    if (chunk.num_tokens > 0 && callback) {
+      OrchestratorEvent event;
+      event.type = EventType::kChunk;
+      event.model = model_;
+      event.text = chunk.text;
+      event.round = round;
+      event.total_tokens = used;
+      internal::Emit(event, callback, &result.trace);
+    }
+    if (chunk.done) break;
+  }
+
+  LLMMS_ASSIGN_OR_RETURN(result.answer, generation->TextOf(model_));
+  const auto scores = scorer_.ScoreRound(prompt, {result.answer});
+
+  result.best_model = model_;
+  result.total_tokens = generation->TotalTokens();
+  result.rounds = round;
+  result.simulated_seconds = generation->SimulatedWallSeconds();
+
+  ModelOutcome outcome;
+  outcome.response = result.answer;
+  LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(model_));
+  outcome.tokens = stats.tokens;
+  outcome.finished = stats.finished;
+  outcome.stop_reason = stats.stop_reason;
+  if (!scores.empty()) {
+    outcome.final_score = scores[0].combined;
+    outcome.query_similarity = scores[0].query_similarity;
+    outcome.inter_similarity = scores[0].inter_similarity;
+  }
+  result.per_model[model_] = std::move(outcome);
+  result.answer_tokens = result.per_model[model_].tokens;
+
+  OrchestratorEvent event;
+  event.type = EventType::kFinal;
+  event.model = model_;
+  event.text = result.answer;
+  event.score = result.per_model[model_].final_score;
+  event.round = round;
+  event.total_tokens = result.total_tokens;
+  internal::Emit(event, callback, &result.trace);
+  return result;
+}
+
+}  // namespace llmms::core

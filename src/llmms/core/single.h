@@ -1,0 +1,44 @@
+#ifndef LLMMS_CORE_SINGLE_H_
+#define LLMMS_CORE_SINGLE_H_
+
+#include <memory>
+#include <string>
+
+#include "llmms/core/orchestrator.h"
+#include "llmms/core/scoring.h"
+#include "llmms/llm/runtime.h"
+
+namespace llmms::core {
+
+// The static single-model baseline (§8.1 execution mode 1): every query goes
+// to one fixed model, bounded by the same token budget the orchestrators
+// get. Scores are still computed (query similarity only; there are no other
+// models to agree with) so results are comparable.
+class SingleModelOrchestrator final : public Orchestrator {
+ public:
+  struct Config {
+    ScoringWeights weights;
+    size_t token_budget = 2048;
+    size_t chunk_tokens = 32;  // streaming granularity for events
+  };
+
+  SingleModelOrchestrator(llm::ModelRuntime* runtime, std::string model,
+                          std::shared_ptr<const embedding::Embedder> embedder,
+                          const Config& config);
+
+  StatusOr<OrchestrationResult> Run(const std::string& prompt,
+                                    const EventCallback& callback) override;
+  using Orchestrator::Run;
+
+  std::string name() const override { return "single:" + model_; }
+
+ private:
+  llm::ModelRuntime* runtime_;
+  std::string model_;
+  ResponseScorer scorer_;
+  Config config_;
+};
+
+}  // namespace llmms::core
+
+#endif  // LLMMS_CORE_SINGLE_H_

@@ -1,0 +1,48 @@
+#include "llmms/core/trace_report.h"
+
+#include "llmms/common/string_util.h"
+
+namespace llmms::core {
+
+std::string FormatTrace(const OrchestrationResult& result) {
+  std::string out;
+  for (const auto& entry : result.trace) {
+    if (entry.action == "score") {
+      out += StrFormat("round %zu: scored %s at %s\n", entry.round,
+                       entry.model.c_str(),
+                       FormatDouble(entry.score, 3).c_str());
+    } else if (entry.action == "prune") {
+      out += StrFormat("round %zu: pruned %s (score %s fell behind)\n",
+                       entry.round, entry.model.c_str(),
+                       FormatDouble(entry.score, 3).c_str());
+    } else if (entry.action == "early-stop") {
+      out += StrFormat(
+          "round %zu: %s finished with a decisive lead (score %s); stopping "
+          "early\n",
+          entry.round, entry.model.c_str(),
+          FormatDouble(entry.score, 3).c_str());
+    } else if (entry.action == "final") {
+      out += StrFormat("final: %s wins with score %s after %zu rounds\n",
+                       entry.model.c_str(),
+                       FormatDouble(entry.score, 3).c_str(), entry.round);
+    }
+  }
+  return out;
+}
+
+std::string SummarizeOutcome(const OrchestrationResult& result) {
+  size_t pruned = 0;
+  for (const auto& [model, outcome] : result.per_model) {
+    if (outcome.pruned) ++pruned;
+  }
+  std::string summary = StrFormat(
+      "%s won in %zu rounds, %zu tokens", result.best_model.c_str(),
+      result.rounds, result.total_tokens);
+  if (pruned > 0) {
+    summary += StrFormat(", %zu model%s pruned", pruned, pruned == 1 ? "" : "s");
+  }
+  if (result.early_stopped) summary += ", early stop";
+  return summary;
+}
+
+}  // namespace llmms::core

@@ -1,0 +1,22 @@
+#ifndef LLMMS_CORE_TRACE_REPORT_H_
+#define LLMMS_CORE_TRACE_REPORT_H_
+
+#include <string>
+
+#include "llmms/core/orchestrator.h"
+
+namespace llmms::core {
+
+// Transparent orchestration logs (§9.5): renders the decision trace of an
+// orchestrated query as human-readable prose — "round 3: pruned qwen2:7b
+// (score 0.11)" / "final: mistral:7b wins with score 0.31 after 5 rounds" —
+// the audit trail the thesis recommends for law/banking/medical settings.
+std::string FormatTrace(const OrchestrationResult& result);
+
+// One-line outcome summary ("mistral:7b won in 5 rounds, 60 tokens, 2 models
+// pruned, early stop").
+std::string SummarizeOutcome(const OrchestrationResult& result);
+
+}  // namespace llmms::core
+
+#endif  // LLMMS_CORE_TRACE_REPORT_H_

@@ -1,0 +1,58 @@
+#include "llmms/embedding/embedding_cache.h"
+
+namespace llmms::embedding {
+
+EmbeddingCache::EmbeddingCache(std::shared_ptr<const Embedder> inner,
+                               size_t capacity)
+    : inner_(std::move(inner)), capacity_(capacity) {}
+
+Vector EmbeddingCache::Embed(std::string_view text) const {
+  if (capacity_ == 0) return inner_->Embed(text);
+  const std::string key(text);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->vector;
+    }
+    ++misses_;
+  }
+  Vector vec = inner_->Embed(text);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index_.find(key) == index_.end()) {
+      lru_.push_front(Entry{key, vec});
+      index_[key] = lru_.begin();
+      while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+      }
+    }
+  }
+  return vec;
+}
+
+size_t EmbeddingCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t EmbeddingCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t EmbeddingCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void EmbeddingCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace llmms::embedding

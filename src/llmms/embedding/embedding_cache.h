@@ -1,0 +1,51 @@
+#ifndef LLMMS_EMBEDDING_EMBEDDING_CACHE_H_
+#define LLMMS_EMBEDDING_EMBEDDING_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "llmms/embedding/embedder.h"
+
+namespace llmms::embedding {
+
+// Thread-safe LRU cache in front of an Embedder. The orchestrators embed the
+// same partial responses repeatedly (once per scoring round); caching keeps
+// the scoring overhead the paper calls "manageable" actually manageable.
+class EmbeddingCache final : public Embedder {
+ public:
+  // `inner` must outlive the cache. `capacity` is the max number of cached
+  // texts; 0 disables caching.
+  EmbeddingCache(std::shared_ptr<const Embedder> inner, size_t capacity);
+
+  Vector Embed(std::string_view text) const override;
+  size_t dimension() const override { return inner_->dimension(); }
+  std::string name() const override { return inner_->name() + "+lru"; }
+
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    Vector vector;
+  };
+
+  std::shared_ptr<const Embedder> inner_;
+  size_t capacity_;
+
+  mutable std::mutex mu_;
+  mutable std::list<Entry> lru_;  // front = most recent
+  mutable std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace llmms::embedding
+
+#endif  // LLMMS_EMBEDDING_EMBEDDING_CACHE_H_

@@ -1,0 +1,79 @@
+#include "llmms/embedding/hash_embedder.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "llmms/common/rng.h"
+#include "llmms/tokenizer/word_tokenizer.h"
+
+namespace llmms::embedding {
+
+HashEmbedder::HashEmbedder(const Options& options) : options_(options) {}
+
+void HashEmbedder::AddFeature(std::string_view feature, double weight,
+                              uint64_t family_salt, Vector* acc) const {
+  const uint64_t h =
+      HashBytes(feature.data(), feature.size(), options_.seed ^ family_salt);
+  const size_t index = static_cast<size_t>(h % options_.dimension);
+  const double sign = (MixHash64(h) & 1) ? 1.0 : -1.0;
+  (*acc)[index] += static_cast<float>(sign * weight);
+}
+
+Vector HashEmbedder::Embed(std::string_view text) const {
+  Vector v(options_.dimension, 0.0f);
+  static const tokenizer::WordTokenizer kTokenizer;
+  const std::vector<std::string> words = kTokenizer.Tokenize(text);
+  if (words.empty()) return v;
+
+  // Term frequencies for sub-linear weighting.
+  std::unordered_map<std::string, int> tf;
+  for (const auto& w : words) ++tf[w];
+
+  // Unigrams.
+  for (const auto& [word, count] : tf) {
+    double w = options_.unigram_weight * (1.0 + std::log(count));
+    if (tokenizer::WordTokenizer::IsStopword(word)) {
+      w *= options_.stopword_damping;
+    }
+    AddFeature(word, w, /*family_salt=*/0x11, &v);
+  }
+
+  // Bigrams (order-sensitive context signal).
+  if (options_.bigram_weight > 0.0) {
+    for (size_t i = 0; i + 1 < words.size(); ++i) {
+      const std::string bigram = words[i] + "\x1f" + words[i + 1];
+      AddFeature(bigram, options_.bigram_weight, /*family_salt=*/0x22, &v);
+    }
+  }
+
+  // Character trigrams (robustness to morphology/typos).
+  if (options_.char_trigram_weight > 0.0) {
+    for (const auto& [word, count] : tf) {
+      if (word.size() < 3) continue;
+      const double w =
+          options_.char_trigram_weight * (1.0 + std::log(count)) /
+          static_cast<double>(word.size() - 2);
+      for (size_t i = 0; i + 3 <= word.size(); ++i) {
+        AddFeature(std::string_view(word).substr(i, 3), w,
+                   /*family_salt=*/0x33, &v);
+      }
+    }
+  }
+
+  L2Normalize(&v);
+  return v;
+}
+
+std::string HashEmbedder::name() const {
+  return "hash-embedder-" + std::to_string(options_.dimension);
+}
+
+void L2Normalize(Vector* v) {
+  double norm_sq = 0.0;
+  for (float x : *v) norm_sq += static_cast<double>(x) * x;
+  if (norm_sq <= 0.0) return;
+  const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+  for (float& x : *v) x *= inv;
+}
+
+}  // namespace llmms::embedding

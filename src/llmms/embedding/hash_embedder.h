@@ -1,0 +1,53 @@
+#ifndef LLMMS_EMBEDDING_HASH_EMBEDDER_H_
+#define LLMMS_EMBEDDING_HASH_EMBEDDER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "llmms/embedding/embedder.h"
+
+namespace llmms::embedding {
+
+// Deterministic feature-hashing embedder: word unigrams, word bigrams, and
+// character trigrams are hashed into a fixed-dimension signed vector
+// (the "hashing trick"), with sub-linear term-frequency weighting, stopword
+// down-weighting, and L2 normalization.
+//
+// This is the project's substitute for a neural sentence encoder: it has the
+// properties the orchestration algorithms rely on — texts that share content
+// words embed close under cosine similarity, unrelated texts embed far, and
+// the mapping is deterministic — at a tiny fraction of the cost.
+class HashEmbedder final : public Embedder {
+ public:
+  struct Options {
+    size_t dimension = 384;
+    uint64_t seed = 0x5eedf00dULL;
+    // Relative weight of each feature family.
+    double unigram_weight = 1.0;
+    double bigram_weight = 0.6;
+    double char_trigram_weight = 0.3;
+    // Multiplier applied to stopword unigrams so content words dominate.
+    double stopword_damping = 0.2;
+  };
+
+  HashEmbedder() : HashEmbedder(Options{}) {}
+  explicit HashEmbedder(const Options& options);
+
+  Vector Embed(std::string_view text) const override;
+  size_t dimension() const override { return options_.dimension; }
+  std::string name() const override;
+
+ private:
+  void AddFeature(std::string_view feature, double weight, uint64_t family_salt,
+                  Vector* acc) const;
+
+  Options options_;
+};
+
+// In-place L2 normalization; the zero vector is left untouched.
+void L2Normalize(Vector* v);
+
+}  // namespace llmms::embedding
+
+#endif  // LLMMS_EMBEDDING_HASH_EMBEDDER_H_

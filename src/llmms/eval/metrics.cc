@@ -1,0 +1,88 @@
+#include "llmms/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace llmms::eval {
+
+QuestionMetrics ScoreResponse(const embedding::Embedder& embedder,
+                              const llm::QaItem& item,
+                              const std::string& response,
+                              const core::RewardWeights& weights) {
+  QuestionMetrics m;
+  m.question_id = item.id;
+  m.domain = item.domain;
+  m.reward = core::ComputeReward(embedder, response, item.golden, item.correct,
+                                 item.incorrect, weights);
+  m.f1 = core::BestTokenF1(response, item.golden, item.correct);
+  m.correct = IsCorrect(item, response);
+  return m;
+}
+
+bool IsCorrect(const llm::QaItem& item, const std::string& response) {
+  const double truthful_f1 =
+      core::BestTokenF1(response, item.golden, item.correct);
+  double misleading_f1 = 0.0;
+  for (const auto& wrong : item.incorrect) {
+    misleading_f1 = std::max(misleading_f1, core::TokenF1(response, wrong));
+  }
+  return truthful_f1 > misleading_f1;
+}
+
+StrategyAggregate Aggregate(const std::string& strategy,
+                            const std::vector<QuestionMetrics>& metrics) {
+  StrategyAggregate agg;
+  agg.strategy = strategy;
+  agg.num_questions = metrics.size();
+  if (metrics.empty()) return agg;
+  for (const auto& m : metrics) {
+    agg.mean_reward += m.reward;
+    agg.mean_f1 += m.f1;
+    agg.accuracy += m.correct ? 1.0 : 0.0;
+    agg.mean_total_tokens += static_cast<double>(m.total_tokens);
+    agg.mean_answer_tokens += static_cast<double>(m.answer_tokens);
+    agg.mean_seconds += m.simulated_seconds;
+    if (m.total_tokens > 0) {
+      agg.mean_reward_per_total_token +=
+          m.reward / static_cast<double>(m.total_tokens);
+    }
+    if (m.answer_tokens > 0) {
+      agg.mean_reward_per_answer_token +=
+          m.reward / static_cast<double>(m.answer_tokens);
+    }
+  }
+  const double n = static_cast<double>(metrics.size());
+  agg.mean_reward /= n;
+  agg.mean_f1 /= n;
+  agg.accuracy /= n;
+  agg.mean_total_tokens /= n;
+  agg.mean_answer_tokens /= n;
+  agg.mean_seconds /= n;
+  agg.mean_reward_per_total_token /= n;
+  agg.mean_reward_per_answer_token /= n;
+  if (metrics.size() > 1) {
+    double sum_sq = 0.0;
+    for (const auto& m : metrics) {
+      const double d = m.reward - agg.mean_reward;
+      sum_sq += d * d;
+    }
+    agg.reward_stddev = std::sqrt(sum_sq / (n - 1.0));
+    agg.reward_sem = agg.reward_stddev / std::sqrt(n);
+  }
+  return agg;
+}
+
+std::vector<std::pair<std::string, StrategyAggregate>> AggregateByDomain(
+    const std::string& strategy, const std::vector<QuestionMetrics>& metrics) {
+  std::map<std::string, std::vector<QuestionMetrics>> by_domain;
+  for (const auto& m : metrics) by_domain[m.domain].push_back(m);
+  std::vector<std::pair<std::string, StrategyAggregate>> out;
+  out.reserve(by_domain.size());
+  for (const auto& [domain, list] : by_domain) {
+    out.emplace_back(domain, Aggregate(strategy, list));
+  }
+  return out;
+}
+
+}  // namespace llmms::eval

@@ -1,0 +1,84 @@
+#include "llmms/eval/report.h"
+
+#include <iomanip>
+
+#include "llmms/common/string_util.h"
+
+namespace llmms::eval {
+namespace {
+
+double MetricValue(const StrategyAggregate& row, const std::string& metric) {
+  if (metric == "reward") return row.mean_reward;
+  if (metric == "f1") return row.mean_f1;
+  if (metric == "reward_per_token") return row.mean_reward_per_answer_token;
+  if (metric == "reward_per_total_token") {
+    return row.mean_reward_per_total_token;
+  }
+  if (metric == "accuracy") return row.accuracy;
+  if (metric == "tokens") return row.mean_total_tokens;
+  if (metric == "answer_tokens") return row.mean_answer_tokens;
+  if (metric == "seconds") return row.mean_seconds;
+  return 0.0;
+}
+
+}  // namespace
+
+void PrintAggregateTable(std::ostream& os,
+                         const std::vector<StrategyAggregate>& rows) {
+  os << std::left << std::setw(16) << "strategy" << std::right << std::setw(6)
+     << "n" << std::setw(10) << "reward" << std::setw(9) << "f1"
+     << std::setw(11) << "rew/atok" << std::setw(11) << "rew/ttok"
+     << std::setw(10) << "accuracy" << std::setw(9) << "tokens" << std::setw(9)
+     << "a_tok" << std::setw(10) << "seconds" << "\n";
+  os << std::string(101, '-') << "\n";
+  for (const auto& row : rows) {
+    os << std::left << std::setw(16) << row.strategy << std::right
+       << std::setw(6) << row.num_questions << std::setw(10)
+       << FormatDouble(row.mean_reward, 4) << std::setw(9)
+       << FormatDouble(row.mean_f1, 4) << std::setw(11)
+       << FormatDouble(row.mean_reward_per_answer_token * 1000.0, 3)
+       << std::setw(11)
+       << FormatDouble(row.mean_reward_per_total_token * 1000.0, 3)
+       << std::setw(10) << FormatDouble(row.accuracy, 3) << std::setw(9)
+       << FormatDouble(row.mean_total_tokens, 1) << std::setw(9)
+       << FormatDouble(row.mean_answer_tokens, 1) << std::setw(10)
+       << FormatDouble(row.mean_seconds, 3) << "\n";
+  }
+  os << "(rew/atok = reward per 1000 answer tokens, Fig. 8.3; rew/ttok = per "
+        "1000 tokens across all models)\n";
+}
+
+void PrintMetricSeries(std::ostream& os, const std::string& title,
+                       const std::string& metric,
+                       const std::vector<StrategyAggregate>& rows) {
+  os << title << "\n" << std::string(title.size(), '=') << "\n";
+  for (const auto& row : rows) {
+    double value = MetricValue(row, metric);
+    if (metric == "reward_per_token") value *= 1000.0;  // per 1000 tokens
+    os << std::left << std::setw(16) << row.strategy << " "
+       << FormatDouble(value, 4);
+    if (metric == "reward" && row.reward_sem > 0.0) {
+      os << " +/- " << FormatDouble(row.reward_sem, 4) << " (sem)";
+    }
+    os << "\n";
+  }
+}
+
+void PrintMarkdownTable(std::ostream& os,
+                        const std::vector<StrategyAggregate>& rows) {
+  os << "| strategy | n | reward | F1 | reward/1k answer tokens | "
+        "reward/1k total tokens | accuracy | tokens | seconds |\n";
+  os << "|---|---|---|---|---|---|---|---|---|\n";
+  for (const auto& row : rows) {
+    os << "| " << row.strategy << " | " << row.num_questions << " | "
+       << FormatDouble(row.mean_reward, 4) << " | "
+       << FormatDouble(row.mean_f1, 4) << " | "
+       << FormatDouble(row.mean_reward_per_answer_token * 1000.0, 4) << " | "
+       << FormatDouble(row.mean_reward_per_total_token * 1000.0, 4) << " | "
+       << FormatDouble(row.accuracy, 3) << " | "
+       << FormatDouble(row.mean_total_tokens, 1) << " | "
+       << FormatDouble(row.mean_seconds, 3) << " |\n";
+  }
+}
+
+}  // namespace llmms::eval

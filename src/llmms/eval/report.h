@@ -1,0 +1,30 @@
+#ifndef LLMMS_EVAL_REPORT_H_
+#define LLMMS_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "llmms/eval/metrics.h"
+
+namespace llmms::eval {
+
+// Prints one aggregate row per strategy as a fixed-width text table — the
+// textual form of the bar charts in Figures 8.1-8.3.
+void PrintAggregateTable(std::ostream& os,
+                         const std::vector<StrategyAggregate>& rows);
+
+// Prints a single-metric series ("strategy  value"), matching one figure.
+// `metric` selects the column: "reward", "f1", "reward_per_token",
+// "accuracy", "tokens", or "seconds".
+void PrintMetricSeries(std::ostream& os, const std::string& title,
+                       const std::string& metric,
+                       const std::vector<StrategyAggregate>& rows);
+
+// Markdown variant of the full table (used to regenerate EXPERIMENTS.md).
+void PrintMarkdownTable(std::ostream& os,
+                        const std::vector<StrategyAggregate>& rows);
+
+}  // namespace llmms::eval
+
+#endif  // LLMMS_EVAL_REPORT_H_

@@ -1,0 +1,63 @@
+#include "llmms/hardware/device.h"
+
+#include <algorithm>
+
+namespace llmms::hardware {
+namespace {
+
+// Soft concurrency cap used for the utilization estimate; a device running
+// this many jobs reads as 100% utilized.
+constexpr int kSaturationJobs = 4;
+
+}  // namespace
+
+Device::Device(const DeviceSpec& spec) : spec_(spec) {}
+
+Status Device::ReserveMemory(uint64_t mb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (used_mb_ + mb > spec_.memory_mb) {
+    return Status::ResourceExhausted(
+        "device '" + spec_.name + "' has " +
+        std::to_string(spec_.memory_mb - used_mb_) + " MB free, need " +
+        std::to_string(mb) + " MB");
+  }
+  used_mb_ += mb;
+  return Status::OK();
+}
+
+void Device::ReleaseMemory(uint64_t mb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  used_mb_ = mb > used_mb_ ? 0 : used_mb_ - mb;
+}
+
+void Device::BeginJob() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++active_jobs_;
+}
+
+void Device::EndJob() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_jobs_ > 0) --active_jobs_;
+}
+
+DeviceTelemetry Device::Telemetry() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DeviceTelemetry t;
+  t.name = spec_.name;
+  t.kind = spec_.kind;
+  t.memory_total_mb = spec_.memory_mb;
+  t.memory_used_mb = used_mb_;
+  t.active_jobs = active_jobs_;
+  t.utilization =
+      std::min(1.0, static_cast<double>(active_jobs_) / kSaturationJobs);
+  // Simple thermal model: idle 35C, fully utilized 83C.
+  t.temperature_c = 35.0 + 48.0 * t.utilization;
+  return t;
+}
+
+uint64_t Device::FreeMemoryMb() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spec_.memory_mb - used_mb_;
+}
+
+}  // namespace llmms::hardware

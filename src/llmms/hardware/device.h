@@ -1,0 +1,68 @@
+#ifndef LLMMS_HARDWARE_DEVICE_H_
+#define LLMMS_HARDWARE_DEVICE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+
+namespace llmms::hardware {
+
+enum class DeviceKind { kGpu, kCpu };
+
+// Static description of an inference device.
+struct DeviceSpec {
+  std::string name;          // e.g. "tesla-v100-0"
+  DeviceKind kind = DeviceKind::kGpu;
+  uint64_t memory_mb = 32 * 1024;  // VRAM (or RAM budget for CPU)
+  // Relative token throughput; GPU 1.0, CPU typically ~0.1.
+  double throughput_factor = 1.0;
+};
+
+// Telemetry snapshot, mirroring the fields the platform reads from
+// nvidia-smi (§3.2): memory, utilization, temperature.
+struct DeviceTelemetry {
+  std::string name;
+  DeviceKind kind = DeviceKind::kGpu;
+  uint64_t memory_total_mb = 0;
+  uint64_t memory_used_mb = 0;
+  int active_jobs = 0;
+  double utilization = 0.0;      // [0, 1], active jobs vs. a soft cap
+  double temperature_c = 0.0;    // rises with utilization
+};
+
+// A simulated inference device with VRAM accounting and utilization
+// telemetry. Memory is reserved/released by the placement scheduler as
+// models load and unload; job begin/end drives the utilization estimate.
+class Device {
+ public:
+  explicit Device(const DeviceSpec& spec);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  // Reserves `mb` of device memory; ResourceExhausted when it does not fit.
+  Status ReserveMemory(uint64_t mb);
+  void ReleaseMemory(uint64_t mb);
+
+  void BeginJob();
+  void EndJob();
+
+  DeviceTelemetry Telemetry() const;
+
+  uint64_t FreeMemoryMb() const;
+  const DeviceSpec& spec() const { return spec_; }
+
+ private:
+  DeviceSpec spec_;
+  mutable std::mutex mu_;
+  uint64_t used_mb_ = 0;
+  int active_jobs_ = 0;
+};
+
+}  // namespace llmms::hardware
+
+#endif  // LLMMS_HARDWARE_DEVICE_H_

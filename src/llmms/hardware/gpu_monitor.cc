@@ -1,0 +1,44 @@
+#include "llmms/hardware/gpu_monitor.h"
+
+#include <algorithm>
+
+#include "llmms/common/string_util.h"
+
+namespace llmms::hardware {
+
+std::string FormatSmiTable(const std::vector<DeviceTelemetry>& snapshot) {
+  const std::string separator =
+      "+--------------------+------+----------+-----------------+-------+------+\n";
+  std::string out = separator;
+  out +=
+      "| device             | kind | temp (C) | memory (MiB)    | util% | jobs |\n";
+  out += separator;
+  for (const auto& t : snapshot) {
+    std::string name = t.name.substr(0, 18);
+    name.resize(18, ' ');
+    const std::string memory = StrFormat(
+        "%6llu/%-8llu", static_cast<unsigned long long>(t.memory_used_mb),
+        static_cast<unsigned long long>(t.memory_total_mb));
+    out += StrFormat("| %s | %s  | %8s | %s | %5s | %4d |\n", name.c_str(),
+                     t.kind == DeviceKind::kGpu ? "gpu" : "cpu",
+                     FormatDouble(t.temperature_c, 1).c_str(), memory.c_str(),
+                     FormatDouble(t.utilization * 100.0, 1).c_str(),
+                     t.active_jobs);
+  }
+  out += separator;
+  return out;
+}
+
+FleetLoad SummarizeFleet(const std::vector<DeviceTelemetry>& snapshot) {
+  FleetLoad load;
+  for (const auto& t : snapshot) {
+    load.memory_total_mb += t.memory_total_mb;
+    load.memory_used_mb += t.memory_used_mb;
+    load.active_jobs += t.active_jobs;
+    load.max_utilization = std::max(load.max_utilization, t.utilization);
+    load.max_temperature_c = std::max(load.max_temperature_c, t.temperature_c);
+  }
+  return load;
+}
+
+}  // namespace llmms::hardware

@@ -1,0 +1,32 @@
+#ifndef LLMMS_HARDWARE_GPU_MONITOR_H_
+#define LLMMS_HARDWARE_GPU_MONITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "llmms/hardware/device.h"
+
+namespace llmms::hardware {
+
+// The NVIDIA-SMI substitute (§3.2): renders device telemetry as the familiar
+// fixed-width table, and summarizes fleet load for the balancer.
+//
+//   +------------------+------+----------+---------------+-------+--------+
+//   | device           | kind | temp (C) | memory (MiB)  | util% | jobs   |
+//   ...
+std::string FormatSmiTable(const std::vector<DeviceTelemetry>& snapshot);
+
+// Aggregate load indicators across the fleet.
+struct FleetLoad {
+  uint64_t memory_total_mb = 0;
+  uint64_t memory_used_mb = 0;
+  int active_jobs = 0;
+  double max_utilization = 0.0;
+  double max_temperature_c = 0.0;
+};
+
+FleetLoad SummarizeFleet(const std::vector<DeviceTelemetry>& snapshot);
+
+}  // namespace llmms::hardware
+
+#endif  // LLMMS_HARDWARE_GPU_MONITOR_H_

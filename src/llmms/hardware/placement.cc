@@ -1,0 +1,58 @@
+#include "llmms/hardware/placement.h"
+
+#include <algorithm>
+
+namespace llmms::hardware {
+
+HardwareManager::HardwareManager(const std::vector<DeviceSpec>& specs) {
+  bool has_cpu = false;
+  for (const auto& spec : specs) {
+    devices_.push_back(std::make_unique<Device>(spec));
+    has_cpu = has_cpu || spec.kind == DeviceKind::kCpu;
+  }
+  if (!has_cpu) {
+    DeviceSpec cpu;
+    cpu.name = "cpu-fallback";
+    cpu.kind = DeviceKind::kCpu;
+    cpu.memory_mb = 96 * 1024;
+    cpu.throughput_factor = 0.1;
+    devices_.push_back(std::make_unique<Device>(cpu));
+  }
+}
+
+StatusOr<std::unique_ptr<Placement>> HardwareManager::Place(
+    uint64_t memory_mb) {
+  // Prefer the GPU with the most free memory (least loaded), then CPU.
+  Device* best_gpu = nullptr;
+  uint64_t best_free = 0;
+  Device* cpu = nullptr;
+  for (auto& d : devices_) {
+    if (d->spec().kind == DeviceKind::kCpu) {
+      cpu = d.get();
+      continue;
+    }
+    const uint64_t free = d->FreeMemoryMb();
+    if (free >= memory_mb && free > best_free) {
+      best_free = free;
+      best_gpu = d.get();
+    }
+  }
+  for (Device* candidate : {best_gpu, cpu}) {
+    if (candidate == nullptr) continue;
+    Status st = candidate->ReserveMemory(memory_mb);
+    if (st.ok()) {
+      return std::make_unique<Placement>(candidate, memory_mb);
+    }
+  }
+  return Status::ResourceExhausted(
+      "no device can host a model of " + std::to_string(memory_mb) + " MB");
+}
+
+std::vector<DeviceTelemetry> HardwareManager::Snapshot() const {
+  std::vector<DeviceTelemetry> out;
+  out.reserve(devices_.size());
+  for (const auto& d : devices_) out.push_back(d->Telemetry());
+  return out;
+}
+
+}  // namespace llmms::hardware

@@ -1,0 +1,68 @@
+#ifndef LLMMS_HARDWARE_PLACEMENT_H_
+#define LLMMS_HARDWARE_PLACEMENT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+#include "llmms/hardware/device.h"
+
+namespace llmms::hardware {
+
+// RAII handle for a model placement: holds the memory reservation on a
+// device until destroyed.
+class Placement {
+ public:
+  Placement(Device* device, uint64_t memory_mb)
+      : device_(device), memory_mb_(memory_mb) {}
+  ~Placement() {
+    if (device_ != nullptr) device_->ReleaseMemory(memory_mb_);
+  }
+
+  Placement(const Placement&) = delete;
+  Placement& operator=(const Placement&) = delete;
+  Placement(Placement&& other) noexcept
+      : device_(other.device_), memory_mb_(other.memory_mb_) {
+    other.device_ = nullptr;
+  }
+
+  Device* device() const { return device_; }
+  uint64_t memory_mb() const { return memory_mb_; }
+
+ private:
+  Device* device_;
+  uint64_t memory_mb_;
+};
+
+// The platform's hardware layer (§3.2): owns the device fleet, exposes
+// telemetry (the NVIDIA-SMI substitute), and places model loads onto the
+// least-loaded GPU with room, falling back to CPU when no GPU fits.
+class HardwareManager {
+ public:
+  // Creates a manager with the given devices; at least one CPU device is
+  // added automatically if none is present (the paper's CPU fallback).
+  explicit HardwareManager(const std::vector<DeviceSpec>& specs);
+
+  HardwareManager(const HardwareManager&) = delete;
+  HardwareManager& operator=(const HardwareManager&) = delete;
+
+  // Places a model requiring `memory_mb`; prefers the GPU with the most
+  // free memory, else the CPU device. ResourceExhausted when nothing fits.
+  StatusOr<std::unique_ptr<Placement>> Place(uint64_t memory_mb);
+
+  // Snapshot of every device (nvidia-smi substitute).
+  std::vector<DeviceTelemetry> Snapshot() const;
+
+  size_t device_count() const { return devices_.size(); }
+  Device* device(size_t i) { return devices_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace llmms::hardware
+
+#endif  // LLMMS_HARDWARE_PLACEMENT_H_

@@ -1,0 +1,45 @@
+#include "llmms/llm/knowledge.h"
+
+namespace llmms::llm {
+
+KnowledgeBase::KnowledgeBase(
+    std::shared_ptr<const embedding::Embedder> embedder)
+    : embedder_(std::move(embedder)),
+      index_(embedder_->dimension(), vectordb::DistanceMetric::kCosine) {}
+
+Status KnowledgeBase::Add(QaItem item) {
+  if (item.question.empty()) {
+    return Status::InvalidArgument("QaItem question must not be empty");
+  }
+  LLMMS_ASSIGN_OR_RETURN(auto slot, index_.Add(embedder_->Embed(item.question)));
+  (void)slot;  // slots are assigned densely, matching items_ order
+  items_.push_back(std::move(item));
+  return Status::OK();
+}
+
+Status KnowledgeBase::AddAll(const std::vector<QaItem>& items) {
+  for (const auto& item : items) {
+    LLMMS_RETURN_NOT_OK(Add(item));
+  }
+  return Status::OK();
+}
+
+const QaItem* KnowledgeBase::Lookup(std::string_view prompt,
+                                    double min_similarity) const {
+  if (items_.empty()) return nullptr;
+  const auto query = embedder_->Embed(prompt);
+  auto hits = index_.Search(query, 1);
+  if (!hits.ok() || hits->empty()) return nullptr;
+  const double similarity = 1.0 - hits->front().distance;
+  if (similarity < min_similarity) return nullptr;
+  return &items_[hits->front().slot];
+}
+
+const QaItem* KnowledgeBase::FindById(std::string_view id) const {
+  for (const auto& item : items_) {
+    if (item.id == id) return &item;
+  }
+  return nullptr;
+}
+
+}  // namespace llmms::llm

@@ -1,0 +1,57 @@
+#ifndef LLMMS_LLM_KNOWLEDGE_H_
+#define LLMMS_LLM_KNOWLEDGE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+#include "llmms/embedding/embedder.h"
+#include "llmms/vectordb/flat_index.h"
+
+namespace llmms::llm {
+
+// One question with TruthfulQA-style reference answers: a single golden
+// (best) answer, additional acceptable answers, and plausible-but-wrong
+// answers. This struct is shared between the synthetic model substrate
+// (as its "training data") and the evaluation module (as the benchmark).
+struct QaItem {
+  std::string id;
+  std::string domain;  // e.g. "science", "history", ...
+  std::string question;
+  std::string golden;
+  std::vector<std::string> correct;    // includes paraphrases of golden
+  std::vector<std::string> incorrect;  // common misconceptions
+};
+
+// The world model the synthetic LLMs "were trained on": an embedding index
+// over questions that resolves an arbitrary prompt (which may carry RAG
+// context and conversation history around the question) to its QaItem.
+class KnowledgeBase {
+ public:
+  explicit KnowledgeBase(std::shared_ptr<const embedding::Embedder> embedder);
+
+  Status Add(QaItem item);
+  Status AddAll(const std::vector<QaItem>& items);
+
+  // Returns the best-matching item for `prompt`, or nullptr when the base is
+  // empty or the best match is weaker than `min_similarity`.
+  const QaItem* Lookup(std::string_view prompt,
+                       double min_similarity = 0.15) const;
+
+  const QaItem* FindById(std::string_view id) const;
+
+  size_t size() const { return items_.size(); }
+  const std::vector<QaItem>& items() const { return items_; }
+
+ private:
+  std::shared_ptr<const embedding::Embedder> embedder_;
+  std::vector<QaItem> items_;
+  vectordb::FlatIndex index_;
+};
+
+}  // namespace llmms::llm
+
+#endif  // LLMMS_LLM_KNOWLEDGE_H_

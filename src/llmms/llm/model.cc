@@ -1,0 +1,41 @@
+#include "llmms/llm/model.h"
+
+#include <algorithm>
+
+namespace llmms::llm {
+
+const char* StopReasonToString(StopReason reason) {
+  switch (reason) {
+    case StopReason::kLength:
+      return "length";
+    case StopReason::kStop:
+      return "stop";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+StatusOr<GenerationResult> LanguageModel::Generate(
+    const GenerationRequest& request) const {
+  LLMMS_ASSIGN_OR_RETURN(auto stream, StartGeneration(request));
+  constexpr size_t kChunkTokens = 64;
+  GenerationResult result;
+  while (!stream->finished()) {
+    size_t ask = kChunkTokens;
+    if (request.max_tokens > 0) {
+      const size_t remaining = request.max_tokens - result.num_tokens;
+      if (remaining == 0) break;
+      ask = std::min(ask, remaining);
+    }
+    LLMMS_ASSIGN_OR_RETURN(Chunk chunk, stream->NextChunk(ask));
+    result.num_tokens += chunk.num_tokens;
+    if (chunk.done) break;
+  }
+  result.text = stream->text();
+  result.stop_reason =
+      stream->finished() ? stream->stop_reason() : StopReason::kLength;
+  return result;
+}
+
+}  // namespace llmms::llm

@@ -1,0 +1,60 @@
+#ifndef LLMMS_LLM_MODEL_H_
+#define LLMMS_LLM_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+#include "llmms/llm/types.h"
+
+namespace llmms::llm {
+
+// An in-flight generation. Streams are single-consumer and not thread-safe;
+// the runtime serializes access per stream.
+class GenerationStream {
+ public:
+  virtual ~GenerationStream() = default;
+
+  // Produces up to `max_tokens` further tokens. After the stream finishes,
+  // further calls return an empty done chunk. `max_tokens == 0` is invalid.
+  virtual StatusOr<Chunk> NextChunk(size_t max_tokens) = 0;
+
+  // Full text accumulated so far.
+  virtual const std::string& text() const = 0;
+
+  virtual size_t tokens_generated() const = 0;
+  virtual bool finished() const = 0;
+  virtual StopReason stop_reason() const = 0;
+};
+
+// A language model the platform can serve — the plug-and-play unit behind
+// the Ollama-style registry. Implementations must be thread-safe at the
+// model level (multiple concurrent streams).
+class LanguageModel {
+ public:
+  virtual ~LanguageModel() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Quantized weight footprint, used by the hardware layer for placement.
+  virtual uint64_t memory_mb() const = 0;
+
+  // Nominal decode speed on a reference GPU (tokens/second); the runtime
+  // scales it by the hosting device's throughput factor.
+  virtual double tokens_per_second() const = 0;
+
+  virtual size_t context_window() const = 0;
+
+  // Begins a streaming generation.
+  virtual StatusOr<std::unique_ptr<GenerationStream>> StartGeneration(
+      const GenerationRequest& request) const = 0;
+
+  // Convenience: run a generation to completion (bounded by
+  // request.max_tokens when non-zero).
+  StatusOr<GenerationResult> Generate(const GenerationRequest& request) const;
+};
+
+}  // namespace llmms::llm
+
+#endif  // LLMMS_LLM_MODEL_H_

@@ -1,0 +1,94 @@
+#include "llmms/llm/model_card.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "llmms/common/json.h"
+
+namespace llmms::llm {
+
+std::string ProfileToJson(const ModelProfile& profile) {
+  Json card = Json::MakeObject();
+  card.Set("schema", "llmms-model-card-v1");
+  card.Set("name", profile.name);
+  card.Set("family", profile.family);
+  card.Set("parameters_b", profile.parameters_b);
+  card.Set("memory_mb", profile.memory_mb);
+  card.Set("tokens_per_second", profile.tokens_per_second);
+  card.Set("context_window", profile.context_window);
+  Json competence = Json::MakeObject();
+  for (const auto& [domain, value] : profile.domain_competence) {
+    competence.Set(domain, value);
+  }
+  card.Set("domain_competence", std::move(competence));
+  card.Set("default_competence", profile.default_competence);
+  card.Set("verbosity", profile.verbosity);
+  card.Set("hallucination_rate", profile.hallucination_rate);
+  card.Set("rag_uplift", profile.rag_uplift);
+  card.Set("seed", static_cast<int64_t>(profile.seed));
+  return card.Dump(2);
+}
+
+StatusOr<ModelProfile> ProfileFromJson(const std::string& text) {
+  LLMMS_ASSIGN_OR_RETURN(Json card, Json::Parse(text));
+  if (card["schema"].AsString() != "llmms-model-card-v1") {
+    return Status::InvalidArgument("not a llmms-model-card-v1 document");
+  }
+  ModelProfile profile;
+  profile.name = card["name"].AsString();
+  if (profile.name.empty()) {
+    return Status::InvalidArgument("model card missing 'name'");
+  }
+  profile.family = card["family"].AsString();
+  profile.parameters_b = card["parameters_b"].AsDouble();
+  profile.memory_mb = static_cast<uint64_t>(card["memory_mb"].AsInt());
+  profile.tokens_per_second = card["tokens_per_second"].AsDouble();
+  if (profile.tokens_per_second <= 0.0) {
+    return Status::InvalidArgument("'tokens_per_second' must be positive");
+  }
+  profile.context_window =
+      static_cast<size_t>(card["context_window"].AsInt());
+  for (const auto& [domain, value] :
+       card["domain_competence"].AsObject()) {
+    profile.domain_competence[domain] = value.AsDouble();
+  }
+  profile.default_competence = card["default_competence"].AsDouble();
+  profile.verbosity = card["verbosity"].AsDouble();
+  profile.hallucination_rate = card["hallucination_rate"].AsDouble();
+  profile.rag_uplift = card["rag_uplift"].AsDouble();
+  profile.seed = static_cast<uint64_t>(card["seed"].AsInt());
+  return profile;
+}
+
+Status SaveModelCard(const ModelProfile& profile, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << ProfileToJson(profile) << "\n";
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<ModelProfile> LoadModelCard(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return ProfileFromJson(contents.str());
+}
+
+StatusOr<std::vector<std::string>> WriteDefaultModelCards(
+    const std::string& directory) {
+  std::vector<std::string> paths;
+  for (const auto& profile : DefaultProfiles()) {
+    std::string filename = profile.name;
+    for (char& c : filename) {
+      if (c == ':' || c == '/') c = '-';
+    }
+    const std::string path = directory + "/" + filename + ".json";
+    LLMMS_RETURN_NOT_OK(SaveModelCard(profile, path));
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+}  // namespace llmms::llm

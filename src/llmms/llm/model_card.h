@@ -1,0 +1,37 @@
+#ifndef LLMMS_LLM_MODEL_CARD_H_
+#define LLMMS_LLM_MODEL_CARD_H_
+
+#include <string>
+#include <vector>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+#include "llmms/llm/model_profile.h"
+
+namespace llmms::llm {
+
+// On-disk model definitions (§3.3: "Supported models are stored on disk ...
+// and managed by Ollama's model server"). A model card is a JSON file
+// carrying everything needed to instantiate a SyntheticModel: identity,
+// resource footprint, decode speed, and the per-domain competence profile.
+// New models become plug-and-play by dropping a card into the model
+// directory (§3.6 extensibility).
+
+// Serializes a profile as a pretty-printed JSON model card.
+std::string ProfileToJson(const ModelProfile& profile);
+
+// Parses a model card; InvalidArgument on missing/ill-typed fields.
+StatusOr<ModelProfile> ProfileFromJson(const std::string& text);
+
+// File round trip.
+Status SaveModelCard(const ModelProfile& profile, const std::string& path);
+StatusOr<ModelProfile> LoadModelCard(const std::string& path);
+
+// Writes one card per default profile into `directory` (created by the
+// caller); returns the file paths. Used to bootstrap a model directory.
+StatusOr<std::vector<std::string>> WriteDefaultModelCards(
+    const std::string& directory);
+
+}  // namespace llmms::llm
+
+#endif  // LLMMS_LLM_MODEL_CARD_H_

@@ -1,0 +1,80 @@
+#include "llmms/llm/model_profile.h"
+
+namespace llmms::llm {
+
+double ModelProfile::CompetenceFor(const std::string& domain) const {
+  auto it = domain_competence.find(domain);
+  return it != domain_competence.end() ? it->second : default_competence;
+}
+
+const std::vector<std::string>& CanonicalDomains() {
+  static const auto* kDomains = new std::vector<std::string>{
+      "science", "history", "math", "geography", "language", "logic",
+  };
+  return *kDomains;
+}
+
+std::vector<ModelProfile> DefaultProfiles() {
+  std::vector<ModelProfile> profiles;
+
+  // LLaMA-3-8B: strong general model, best at science and history; the most
+  // verbose of the three (fluent, polite conversational style, §2.2).
+  ModelProfile llama;
+  llama.name = "llama3:8b";
+  llama.family = "llama";
+  llama.parameters_b = 8.0;
+  llama.memory_mb = 5600;
+  llama.tokens_per_second = 75.0;
+  llama.context_window = 8192;
+  llama.domain_competence = {
+      {"science", 0.86}, {"history", 0.82}, {"math", 0.48},
+      {"geography", 0.60}, {"language", 0.58}, {"logic", 0.55},
+  };
+  llama.default_competence = 0.60;
+  llama.verbosity = 1.5;
+  llama.hallucination_rate = 0.06;
+  llama.seed = 0xA11A3ULL;
+  profiles.push_back(llama);
+
+  // Mistral-7B: efficient and terse; best at math and geography; fastest
+  // inference (§8.1: "smaller size ... allows faster inference").
+  ModelProfile mistral;
+  mistral.name = "mistral:7b";
+  mistral.family = "mistral";
+  mistral.parameters_b = 7.0;
+  mistral.memory_mb = 4400;
+  mistral.tokens_per_second = 95.0;
+  mistral.context_window = 8192;
+  mistral.domain_competence = {
+      {"science", 0.58}, {"history", 0.52}, {"math", 0.84},
+      {"geography", 0.80}, {"language", 0.55}, {"logic", 0.62},
+  };
+  mistral.default_competence = 0.58;
+  mistral.verbosity = 0.8;
+  mistral.hallucination_rate = 0.05;
+  mistral.seed = 0x0135714ULL;
+  profiles.push_back(mistral);
+
+  // Qwen-2-7B: optimized for multilingual reasoning and knowledge-intensive
+  // tasks (§8.1); best at language and logic.
+  ModelProfile qwen;
+  qwen.name = "qwen2:7b";
+  qwen.family = "qwen";
+  qwen.parameters_b = 7.0;
+  qwen.memory_mb = 4600;
+  qwen.tokens_per_second = 85.0;
+  qwen.context_window = 32768;
+  qwen.domain_competence = {
+      {"science", 0.60}, {"history", 0.56}, {"math", 0.62},
+      {"geography", 0.58}, {"language", 0.84}, {"logic", 0.82},
+  };
+  qwen.default_competence = 0.60;
+  qwen.verbosity = 1.0;
+  qwen.hallucination_rate = 0.05;
+  qwen.seed = 0x0E52ULL;
+  profiles.push_back(qwen);
+
+  return profiles;
+}
+
+}  // namespace llmms::llm

@@ -1,0 +1,58 @@
+#ifndef LLMMS_LLM_MODEL_PROFILE_H_
+#define LLMMS_LLM_MODEL_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace llmms::llm {
+
+// Statistical profile of a synthetic model. The profile is the knob that
+// makes the substrate behave like a fleet of heterogeneous real models:
+// per-domain competence differs across models (the paper's central premise
+// that "no single model offers consistent superiority across all domains"),
+// and verbosity/hallucination/speed differ the way 7-8B chat models differ.
+struct ModelProfile {
+  std::string name;    // registry name, e.g. "llama3:8b"
+  std::string family;  // e.g. "llama"
+  double parameters_b = 7.0;
+  uint64_t memory_mb = 4800;       // quantized GGUF footprint
+  double tokens_per_second = 80.0; // decode speed on the reference GPU
+  size_t context_window = 8192;
+
+  // Probability of taking a correct stance on a question of each domain.
+  std::map<std::string, double> domain_competence;
+  double default_competence = 0.55;
+
+  // Verbosity >= 0: scales hedging preamble and elaboration length.
+  double verbosity = 1.0;
+
+  // Probability of injecting misleading distractor phrases even when the
+  // stance is correct (dilutes similarity signals; stresses the scorers).
+  double hallucination_rate = 0.05;
+
+  // How much grounded context in the prompt lifts effective competence
+  // (the RAG benefit): c' = max(c, rag_uplift) when the prompt carries
+  // text overlapping the reference answer.
+  double rag_uplift = 0.9;
+
+  // Base seed for this model's deterministic sampling.
+  uint64_t seed = 0x51a7e5ULL;
+
+  // Competence for `domain`, falling back to default_competence.
+  double CompetenceFor(const std::string& domain) const;
+};
+
+// The canonical question domains used by the synthetic world.
+const std::vector<std::string>& CanonicalDomains();
+
+// The three models evaluated in the paper (§8.1), with complementary
+// strengths: LLaMA-3-8B (science/history, chatty), Mistral-7B
+// (math/geography, terse and fast), Qwen-2-7B (language/logic,
+// knowledge-intensive).
+std::vector<ModelProfile> DefaultProfiles();
+
+}  // namespace llmms::llm
+
+#endif  // LLMMS_LLM_MODEL_PROFILE_H_

@@ -1,0 +1,219 @@
+#include "llmms/llm/runtime.h"
+
+#include <algorithm>
+#include <future>
+
+namespace llmms::llm {
+
+StatusOr<Chunk> ParallelGeneration::NextChunkLocked(Entry* entry,
+                                                    size_t max_tokens) {
+  if (entry->stats.finished) {
+    Chunk chunk;
+    chunk.done = true;
+    chunk.stop_reason = entry->stats.stop_reason;
+    return chunk;
+  }
+  if (entry->device != nullptr) entry->device->BeginJob();
+  auto chunk_or = entry->stream->NextChunk(max_tokens);
+  if (entry->device != nullptr) entry->device->EndJob();
+  if (!chunk_or.ok()) return chunk_or.status();
+  Chunk chunk = std::move(chunk_or).value();
+  entry->stats.tokens += chunk.num_tokens;
+  if (entry->effective_tps > 0.0) {
+    entry->stats.simulated_seconds +=
+        static_cast<double>(chunk.num_tokens) / entry->effective_tps;
+  }
+  if (chunk.done) {
+    entry->stats.finished = true;
+    entry->stats.stop_reason = chunk.stop_reason;
+  }
+  return chunk;
+}
+
+StatusOr<Chunk> ParallelGeneration::NextChunk(const std::string& model,
+                                              size_t max_tokens) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(model);
+  if (it == entries_.end()) {
+    return Status::NotFound("model '" + model +
+                            "' is not part of this generation");
+  }
+  const double before = it->second.stats.simulated_seconds;
+  auto chunk = NextChunkLocked(&it->second, max_tokens);
+  if (chunk.ok()) {
+    simulated_wall_seconds_ += it->second.stats.simulated_seconds - before;
+  }
+  return chunk;
+}
+
+StatusOr<std::map<std::string, Chunk>> ParallelGeneration::NextChunks(
+    const std::vector<std::pair<std::string, size_t>>& requests) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Validate first so we fail atomically.
+  for (const auto& [name, tokens] : requests) {
+    if (entries_.find(name) == entries_.end()) {
+      return Status::NotFound("model '" + name +
+                              "' is not part of this generation");
+    }
+    (void)tokens;
+  }
+
+  // Each stream is touched by exactly one task, so the per-entry work is
+  // data-race free; accounting merges after the barrier.
+  std::vector<std::future<StatusOr<Chunk>>> futures;
+  futures.reserve(requests.size());
+  for (const auto& [name, tokens] : requests) {
+    Entry* entry = &entries_[name];
+    const size_t max_tokens = tokens;
+    futures.push_back(pool_->Submit([this, entry, max_tokens]() {
+      return NextChunkLocked(entry, max_tokens);
+    }));
+  }
+
+  std::map<std::string, Chunk> result;
+  Status first_error = Status::OK();
+  double round_max_seconds = 0.0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto chunk_or = futures[i].get();
+    if (!chunk_or.ok()) {
+      if (first_error.ok()) first_error = chunk_or.status();
+      continue;
+    }
+    const Entry& entry = entries_[requests[i].first];
+    if (entry.effective_tps > 0.0) {
+      round_max_seconds = std::max(
+          round_max_seconds, static_cast<double>(chunk_or->num_tokens) /
+                                 entry.effective_tps);
+    }
+    result[requests[i].first] = std::move(chunk_or).value();
+  }
+  if (!first_error.ok()) return first_error;
+  // Chunks in one round run in parallel: wall time advances by the slowest.
+  simulated_wall_seconds_ += round_max_seconds;
+  return result;
+}
+
+StatusOr<std::string> ParallelGeneration::TextOf(
+    const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(model);
+  if (it == entries_.end()) {
+    return Status::NotFound("model '" + model +
+                            "' is not part of this generation");
+  }
+  return it->second.stream->text();
+}
+
+StatusOr<ParallelGeneration::ModelStats> ParallelGeneration::StatsOf(
+    const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(model);
+  if (it == entries_.end()) {
+    return Status::NotFound("model '" + model +
+                            "' is not part of this generation");
+  }
+  return it->second.stats;
+}
+
+size_t ParallelGeneration::TotalTokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, entry] : entries_) total += entry.stats.tokens;
+  return total;
+}
+
+ModelRuntime::ModelRuntime(std::shared_ptr<ModelRegistry> registry,
+                           std::shared_ptr<hardware::HardwareManager> hardware,
+                           size_t num_threads)
+    : registry_(std::move(registry)),
+      hardware_(std::move(hardware)),
+      pool_(num_threads) {}
+
+Status ModelRuntime::LoadModel(const std::string& name) {
+  LLMMS_ASSIGN_OR_RETURN(auto model, registry_->Get(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (loaded_.count(name) > 0) return Status::OK();
+  LLMMS_ASSIGN_OR_RETURN(auto placement,
+                         hardware_->Place(model->memory_mb()));
+  loaded_[name] = LoadedModel{std::move(model), std::move(placement)};
+  return Status::OK();
+}
+
+Status ModelRuntime::UnloadModel(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (loaded_.erase(name) == 0) {
+    return Status::NotFound("model '" + name + "' is not loaded");
+  }
+  return Status::OK();
+}
+
+bool ModelRuntime::IsLoaded(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return loaded_.count(name) > 0;
+}
+
+std::vector<std::string> ModelRuntime::LoadedModels() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(loaded_.size());
+  for (const auto& [name, m] : loaded_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+StatusOr<std::unique_ptr<ParallelGeneration>> ModelRuntime::StartGeneration(
+    const std::vector<std::string>& models, const GenerationRequest& request) {
+  if (models.empty()) {
+    return Status::InvalidArgument("at least one model is required");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto generation =
+      std::unique_ptr<ParallelGeneration>(new ParallelGeneration(&pool_));
+  for (const auto& name : models) {
+    auto it = loaded_.find(name);
+    if (it == loaded_.end()) {
+      return Status::FailedPrecondition("model '" + name +
+                                        "' is not loaded; call LoadModel");
+    }
+    if (generation->entries_.count(name) > 0) {
+      return Status::InvalidArgument("duplicate model '" + name + "'");
+    }
+    LLMMS_ASSIGN_OR_RETURN(auto stream,
+                           it->second.model->StartGeneration(request));
+    ParallelGeneration::Entry entry;
+    entry.stream = std::move(stream);
+    entry.device = it->second.placement->device();
+    entry.effective_tps = it->second.model->tokens_per_second() *
+                          entry.device->spec().throughput_factor;
+    generation->entries_[name] = std::move(entry);
+    generation->order_.push_back(name);
+  }
+  return generation;
+}
+
+StatusOr<GenerationResult> ModelRuntime::Generate(
+    const std::string& model, const GenerationRequest& request) {
+  LLMMS_ASSIGN_OR_RETURN(auto generation, StartGeneration({model}, request));
+  GenerationResult result;
+  constexpr size_t kChunkTokens = 64;
+  for (;;) {
+    LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(model));
+    if (stats.finished) break;
+    size_t ask = kChunkTokens;
+    if (request.max_tokens > 0) {
+      const size_t remaining = request.max_tokens - stats.tokens;
+      if (remaining == 0) break;
+      ask = std::min(ask, remaining);
+    }
+    LLMMS_ASSIGN_OR_RETURN(auto chunk, generation->NextChunk(model, ask));
+    (void)chunk;
+  }
+  LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(model));
+  LLMMS_ASSIGN_OR_RETURN(result.text, generation->TextOf(model));
+  result.num_tokens = stats.tokens;
+  result.stop_reason = stats.stop_reason;
+  result.simulated_seconds = stats.simulated_seconds;
+  return result;
+}
+
+}  // namespace llmms::llm

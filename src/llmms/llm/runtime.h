@@ -1,0 +1,131 @@
+#ifndef LLMMS_LLM_RUNTIME_H_
+#define LLMMS_LLM_RUNTIME_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+#include "llmms/common/thread_pool.h"
+#include "llmms/hardware/placement.h"
+#include "llmms/llm/model.h"
+#include "llmms/llm/registry.h"
+
+namespace llmms::llm {
+
+class ModelRuntime;
+
+// A multi-model generation in flight: one stream per participating model,
+// with per-model token and simulated-latency accounting. Chunk requests for
+// several models execute concurrently on the runtime's thread pool (the
+// platform's "parallel inference" capability, §3.4).
+//
+// The ParallelGeneration must not outlive its ModelRuntime.
+class ParallelGeneration {
+ public:
+  struct ModelStats {
+    size_t tokens = 0;
+    double simulated_seconds = 0.0;
+    bool finished = false;
+    StopReason stop_reason = StopReason::kLength;
+  };
+
+  // Requests the next chunk (up to max_tokens) from one model.
+  StatusOr<Chunk> NextChunk(const std::string& model, size_t max_tokens);
+
+  // Requests chunks from several models concurrently; returns model -> chunk.
+  StatusOr<std::map<std::string, Chunk>> NextChunks(
+      const std::vector<std::pair<std::string, size_t>>& requests);
+
+  // Accumulated response text of a model.
+  StatusOr<std::string> TextOf(const std::string& model) const;
+
+  StatusOr<ModelStats> StatsOf(const std::string& model) const;
+
+  // Names of participating models, in the order given at start.
+  const std::vector<std::string>& models() const { return order_; }
+
+  // Total tokens across all models.
+  size_t TotalTokens() const;
+
+  // Simulated wall-clock: per-model chunk times overlap when issued through
+  // NextChunks (parallel), so the wall clock is the max over a round, summed
+  // over rounds.
+  double SimulatedWallSeconds() const { return simulated_wall_seconds_; }
+
+ private:
+  friend class ModelRuntime;
+
+  struct Entry {
+    std::unique_ptr<GenerationStream> stream;
+    hardware::Device* device = nullptr;  // where the model is placed
+    double effective_tps = 1.0;
+    ModelStats stats;
+  };
+
+  explicit ParallelGeneration(ThreadPool* pool) : pool_(pool) {}
+
+  StatusOr<Chunk> NextChunkLocked(Entry* entry, size_t max_tokens);
+
+  ThreadPool* pool_;
+  std::vector<std::string> order_;
+  std::unordered_map<std::string, Entry> entries_;
+  mutable std::mutex mu_;
+  double simulated_wall_seconds_ = 0.0;
+};
+
+// The Ollama-daemon substitute: owns the thread pool, loads registered
+// models onto devices via the hardware layer, and serves streaming
+// generations.
+class ModelRuntime {
+ public:
+  ModelRuntime(std::shared_ptr<ModelRegistry> registry,
+               std::shared_ptr<hardware::HardwareManager> hardware,
+               size_t num_threads = 4);
+
+  ModelRuntime(const ModelRuntime&) = delete;
+  ModelRuntime& operator=(const ModelRuntime&) = delete;
+
+  // Loads a registered model onto the best available device, reserving its
+  // memory footprint. Loading an already-loaded model is a no-op.
+  Status LoadModel(const std::string& name);
+  Status UnloadModel(const std::string& name);
+  bool IsLoaded(const std::string& name) const;
+  std::vector<std::string> LoadedModels() const;
+
+  // Starts a parallel generation across `models` (all must be loaded).
+  StatusOr<std::unique_ptr<ParallelGeneration>> StartGeneration(
+      const std::vector<std::string>& models,
+      const GenerationRequest& request);
+
+  // Runs a single model to completion.
+  StatusOr<GenerationResult> Generate(const std::string& model,
+                                      const GenerationRequest& request);
+
+  const std::shared_ptr<ModelRegistry>& registry() const { return registry_; }
+  const std::shared_ptr<hardware::HardwareManager>& hardware() const {
+    return hardware_;
+  }
+
+ private:
+  struct LoadedModel {
+    std::shared_ptr<LanguageModel> model;
+    std::unique_ptr<hardware::Placement> placement;
+  };
+
+  std::shared_ptr<ModelRegistry> registry_;
+  std::shared_ptr<hardware::HardwareManager> hardware_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, LoadedModel> loaded_;
+};
+
+}  // namespace llmms::llm
+
+#endif  // LLMMS_LLM_RUNTIME_H_

@@ -1,0 +1,48 @@
+#ifndef LLMMS_LLM_TYPES_H_
+#define LLMMS_LLM_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace llmms::llm {
+
+// Why a generation ended — mirrors Ollama's `done_reason`.
+enum class StopReason {
+  kLength,  // the token budget cut the answer off
+  kStop,    // the model finished its answer naturally
+  kCancelled,
+};
+
+const char* StopReasonToString(StopReason reason);
+
+// One request to a model.
+struct GenerationRequest {
+  std::string prompt;
+  // Hard cap for the whole generation; 0 = model decides (unbounded).
+  size_t max_tokens = 0;
+  // Extra entropy mixed into the model's own seed, for reproducible
+  // sampling variation across repeated calls.
+  uint64_t seed = 0;
+};
+
+// One streamed chunk of output.
+struct Chunk {
+  std::string text;        // the newly produced text (with leading space
+                           // where needed to concatenate cleanly)
+  size_t num_tokens = 0;   // tokens in this chunk
+  bool done = false;       // true when the stream is finished
+  StopReason stop_reason = StopReason::kLength;  // meaningful when done
+};
+
+// A completed generation.
+struct GenerationResult {
+  std::string text;
+  size_t num_tokens = 0;
+  StopReason stop_reason = StopReason::kStop;
+  // Simulated wall-clock generation time, filled by the runtime.
+  double simulated_seconds = 0.0;
+};
+
+}  // namespace llmms::llm
+
+#endif  // LLMMS_LLM_TYPES_H_

@@ -1,0 +1,62 @@
+#include "llmms/rag/chunker.h"
+
+#include "llmms/common/string_util.h"
+#include "llmms/tokenizer/word_tokenizer.h"
+
+namespace llmms::rag {
+
+std::vector<TextChunk> Chunker::Chunk(std::string_view document) const {
+  std::vector<TextChunk> chunks;
+  const auto sentences = tokenizer::SplitSentences(document);
+  if (sentences.empty()) return chunks;
+
+  std::vector<size_t> sentence_words(sentences.size());
+  for (size_t i = 0; i < sentences.size(); ++i) {
+    sentence_words[i] = SplitWhitespace(sentences[i]).size();
+  }
+
+  size_t chunk_index = 0;
+  size_t word_offset = 0;
+  size_t i = 0;
+  while (i < sentences.size()) {
+    TextChunk chunk;
+    chunk.index = chunk_index++;
+    chunk.start_word = word_offset;
+    size_t words = 0;
+    size_t j = i;
+    while (j < sentences.size()) {
+      const size_t next = words + sentence_words[j];
+      // Always take at least one sentence; stop when past the target unless
+      // the addition still fits under the hard max.
+      if (words > 0 && next > options_.target_words &&
+          next > options_.max_words) {
+        break;
+      }
+      if (!chunk.text.empty()) chunk.text += ' ';
+      chunk.text += sentences[j];
+      words = next;
+      ++j;
+      if (words >= options_.target_words) break;
+    }
+    chunk.num_words = words;
+    chunks.push_back(std::move(chunk));
+
+    // Step back far enough to repeat ~overlap_words of context, but always
+    // advance by at least one sentence.
+    size_t advance_to = j;
+    if (options_.overlap_words > 0 && j < sentences.size()) {
+      size_t overlap = 0;
+      size_t k = j;
+      while (k > i + 1 && overlap < options_.overlap_words) {
+        overlap += sentence_words[k - 1];
+        --k;
+      }
+      advance_to = k > i ? k : i + 1;
+    }
+    for (size_t s = i; s < advance_to; ++s) word_offset += sentence_words[s];
+    i = advance_to;
+  }
+  return chunks;
+}
+
+}  // namespace llmms::rag

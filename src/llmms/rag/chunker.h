@@ -1,0 +1,44 @@
+#ifndef LLMMS_RAG_CHUNKER_H_
+#define LLMMS_RAG_CHUNKER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llmms::rag {
+
+// A contiguous span of a source document.
+struct TextChunk {
+  std::string text;
+  size_t index = 0;        // position within the document
+  size_t start_word = 0;   // word offset of the chunk start
+  size_t num_words = 0;
+};
+
+// Splits documents into retrieval-sized chunks. Sentences are the atomic
+// unit (a chunk never splits a sentence); chunks target `target_words` with
+// `overlap_words` of trailing context repeated at the start of the next
+// chunk, the standard RAG chunking scheme (§6.2 "segmented into semantically
+// coherent chunks").
+class Chunker {
+ public:
+  struct Options {
+    size_t target_words = 80;
+    size_t max_words = 120;
+    size_t overlap_words = 16;
+  };
+
+  Chunker() : Chunker(Options{}) {}
+  explicit Chunker(const Options& options) : options_(options) {}
+
+  std::vector<TextChunk> Chunk(std::string_view document) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace llmms::rag
+
+#endif  // LLMMS_RAG_CHUNKER_H_

@@ -1,0 +1,60 @@
+#ifndef LLMMS_RAG_DOCUMENT_STORE_H_
+#define LLMMS_RAG_DOCUMENT_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+#include "llmms/embedding/embedder.h"
+#include "llmms/rag/chunker.h"
+#include "llmms/vectordb/collection.h"
+
+namespace llmms::rag {
+
+// A retrieved chunk with provenance.
+struct RetrievedChunk {
+  std::string document_id;
+  size_t chunk_index = 0;
+  std::string text;
+  double score = 0.0;
+};
+
+// Ingestion + retrieval over one vector-database collection: documents are
+// chunked, embedded, and upserted; queries are embedded and matched against
+// the chunks (§6.2, §7.2 steps 2-3).
+class DocumentStore {
+ public:
+  DocumentStore(std::shared_ptr<vectordb::Collection> collection,
+                std::shared_ptr<const embedding::Embedder> embedder,
+                Chunker chunker = Chunker());
+
+  // Chunks and indexes `text` under `document_id`; re-adding an id replaces
+  // its previous chunks. Returns the number of chunks indexed.
+  StatusOr<size_t> AddDocument(const std::string& document_id,
+                               const std::string& text);
+
+  // Removes every chunk of a document.
+  Status RemoveDocument(const std::string& document_id);
+
+  // Top-k chunks for a query, optionally restricted to one document.
+  StatusOr<std::vector<RetrievedChunk>> Retrieve(
+      const std::string& query, size_t k,
+      const std::string& document_id = "") const;
+
+  size_t chunk_count() const { return collection_->size(); }
+  const std::vector<std::string>& document_ids() const {
+    return document_ids_;
+  }
+
+ private:
+  std::shared_ptr<vectordb::Collection> collection_;
+  std::shared_ptr<const embedding::Embedder> embedder_;
+  Chunker chunker_;
+  std::vector<std::string> document_ids_;
+};
+
+}  // namespace llmms::rag
+
+#endif  // LLMMS_RAG_DOCUMENT_STORE_H_

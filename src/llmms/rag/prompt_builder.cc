@@ -1,0 +1,54 @@
+#include "llmms/rag/prompt_builder.h"
+
+#include "llmms/common/string_util.h"
+
+namespace llmms::rag {
+namespace {
+
+// Keeps at most `max_words` words of `text`, cutting from the end.
+std::string ClipWords(const std::string& text, size_t max_words) {
+  const auto words = SplitWhitespace(text);
+  if (words.size() <= max_words) return Trim(text);
+  std::vector<std::string> kept(words.begin(),
+                                words.begin() + static_cast<ptrdiff_t>(max_words));
+  return Join(kept, " ");
+}
+
+}  // namespace
+
+std::string PromptBuilder::Build(const std::string& query,
+                                 const std::vector<RetrievedChunk>& context,
+                                 const std::string& history) const {
+  std::string context_block;
+  if (!context.empty()) {
+    std::string combined;
+    for (const auto& chunk : context) {
+      if (!combined.empty()) combined += '\n';
+      combined += chunk.text;
+    }
+    context_block = options_.context_header + "\n" +
+                    ClipWords(combined, options_.max_context_words);
+  }
+
+  std::string history_block;
+  if (!history.empty()) {
+    history_block = options_.history_header + "\n" +
+                    ClipWords(history, options_.max_history_words);
+  }
+
+  const std::string question_block = options_.question_header + " " + query;
+
+  std::vector<std::string> blocks;
+  if (options_.context_first) {
+    if (!context_block.empty()) blocks.push_back(context_block);
+    if (!history_block.empty()) blocks.push_back(history_block);
+    blocks.push_back(question_block);
+  } else {
+    if (!history_block.empty()) blocks.push_back(history_block);
+    blocks.push_back(question_block);
+    if (!context_block.empty()) blocks.push_back(context_block);
+  }
+  return Join(blocks, "\n\n");
+}
+
+}  // namespace llmms::rag

@@ -1,0 +1,43 @@
+#ifndef LLMMS_RAG_PROMPT_BUILDER_H_
+#define LLMMS_RAG_PROMPT_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "llmms/rag/document_store.h"
+
+namespace llmms::rag {
+
+// Assembles the final model prompt from the user query, retrieved context,
+// and (optionally) a conversation summary (§6.2, §7.2 step 4). Context and
+// history are clipped to a word budget so the prompt respects model context
+// windows.
+class PromptBuilder {
+ public:
+  struct Options {
+    // Retrieved chunks are prepended ("context first") by default.
+    bool context_first = true;
+    size_t max_context_words = 400;
+    size_t max_history_words = 200;
+    std::string context_header = "Use the following context to answer:";
+    std::string history_header = "Conversation so far:";
+    std::string question_header = "Question:";
+  };
+
+  PromptBuilder() : PromptBuilder(Options{}) {}
+  explicit PromptBuilder(const Options& options) : options_(options) {}
+
+  // Builds a prompt; any of `context` / `history` may be empty.
+  std::string Build(const std::string& query,
+                    const std::vector<RetrievedChunk>& context,
+                    const std::string& history = "") const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace llmms::rag
+
+#endif  // LLMMS_RAG_PROMPT_BUILDER_H_

@@ -1,0 +1,138 @@
+#include "llmms/session/memory_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "llmms/embedding/similarity.h"
+
+namespace llmms::session {
+
+MemoryGraph::MemoryGraph(std::shared_ptr<const embedding::Embedder> embedder,
+                         const Options& options)
+    : embedder_(std::move(embedder)), options_(options) {}
+
+const MemoryGraph::Entry* MemoryGraph::FindEntry(uint64_t id) const {
+  for (const auto& entry : nodes_) {
+    if (entry.node.id == id) return &entry;
+  }
+  return nullptr;
+}
+
+void MemoryGraph::Evict() {
+  if (nodes_.empty()) return;
+  const uint64_t evicted = nodes_.front().node.id;
+  nodes_.erase(nodes_.begin());
+  for (auto& entry : nodes_) {
+    auto& edges = entry.edges;
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [evicted](const auto& e) {
+                                 return e.first == evicted;
+                               }),
+                edges.end());
+  }
+}
+
+StatusOr<uint64_t> MemoryGraph::Add(const std::string& question,
+                                    const std::string& answer) {
+  if (question.empty()) {
+    return Status::InvalidArgument("question must not be empty");
+  }
+  Entry entry;
+  entry.node.id = next_id_++;
+  entry.node.question = question;
+  entry.node.answer = answer;
+  entry.node.sequence = entry.node.id;
+  entry.embedding = embedder_->Embed(question + " " + answer);
+
+  // Link against existing nodes.
+  for (auto& other : nodes_) {
+    const double sim =
+        embedding::CosineSimilarity(entry.embedding, other.embedding);
+    if (sim < options_.link_threshold) continue;
+    entry.edges.emplace_back(other.node.id, sim);
+    other.edges.emplace_back(entry.node.id, sim);
+    // Keep only the strongest max_degree edges on the other side.
+    if (other.edges.size() > options_.max_degree) {
+      std::sort(other.edges.begin(), other.edges.end(),
+                [](const auto& a, const auto& b) { return a.second > b.second; });
+      other.edges.resize(options_.max_degree);
+    }
+  }
+  std::sort(entry.edges.begin(), entry.edges.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (entry.edges.size() > options_.max_degree) {
+    entry.edges.resize(options_.max_degree);
+  }
+
+  const uint64_t id = entry.node.id;
+  nodes_.push_back(std::move(entry));
+  while (nodes_.size() > options_.capacity) Evict();
+  return id;
+}
+
+std::vector<MemoryGraph::Recalled> MemoryGraph::Recall(
+    const std::string& query, size_t k, double min_similarity) const {
+  std::vector<Recalled> out;
+  if (nodes_.empty() || k == 0) return out;
+
+  const auto query_embedding = embedder_->Embed(query);
+  struct Scored {
+    const Entry* entry;
+    double similarity;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(nodes_.size());
+  for (const auto& entry : nodes_) {
+    scored.push_back(Scored{
+        &entry,
+        embedding::CosineSimilarity(query_embedding, entry.embedding)});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.entry->node.id < b.entry->node.id;
+  });
+
+  std::unordered_set<uint64_t> seen;
+  // Direct matches first.
+  for (const auto& s : scored) {
+    if (out.size() >= k) return out;
+    if (s.similarity < min_similarity) break;
+    if (!seen.insert(s.entry->node.id).second) continue;
+    Recalled r;
+    r.node = s.entry->node;
+    r.similarity = s.similarity;
+    out.push_back(std::move(r));
+  }
+  // Expand with graph neighbors of the direct matches.
+  const size_t direct = out.size();
+  for (size_t i = 0; i < direct && out.size() < k; ++i) {
+    const Entry* entry = FindEntry(out[i].node.id);
+    if (entry == nullptr) continue;
+    for (const auto& [neighbor_id, edge_sim] : entry->edges) {
+      if (out.size() >= k) break;
+      if (!seen.insert(neighbor_id).second) continue;
+      const Entry* neighbor = FindEntry(neighbor_id);
+      if (neighbor == nullptr) continue;
+      Recalled r;
+      r.node = neighbor->node;
+      r.similarity =
+          embedding::CosineSimilarity(query_embedding, neighbor->embedding);
+      r.via_edge = true;
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+size_t MemoryGraph::DegreeOf(uint64_t id) const {
+  const Entry* entry = FindEntry(id);
+  return entry != nullptr ? entry->edges.size() : 0;
+}
+
+size_t MemoryGraph::edge_count() const {
+  size_t total = 0;
+  for (const auto& entry : nodes_) total += entry.edges.size();
+  return total;
+}
+
+}  // namespace llmms::session

@@ -1,0 +1,90 @@
+#ifndef LLMMS_SESSION_MEMORY_GRAPH_H_
+#define LLMMS_SESSION_MEMORY_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+#include "llmms/embedding/embedder.h"
+
+namespace llmms::session {
+
+// Contextual memory graph (§9.5): rather than only a linear chat log, past
+// (question, answer) exchanges become nodes in an in-memory graph, linked
+// when their embeddings are similar. Recall for a new query returns the
+// closest past exchanges plus their graph neighbors, so the platform can
+// pull in *related* history even when it happened many turns ago.
+//
+// Bounded: when `capacity` is exceeded the oldest node (and its edges) is
+// evicted. Not thread-safe; owned per session.
+class MemoryGraph {
+ public:
+  struct Node {
+    uint64_t id = 0;
+    std::string question;
+    std::string answer;
+    uint64_t sequence = 0;  // insertion order
+  };
+
+  struct Recalled {
+    Node node;
+    double similarity = 0.0;  // to the query (0 for pure graph neighbors)
+    bool via_edge = false;    // reached through a neighbor link
+  };
+
+  struct Options {
+    size_t capacity = 256;
+    // Exchanges with embedding cosine >= this are linked.
+    double link_threshold = 0.25;
+    // Max edges kept per node (highest-similarity links win).
+    size_t max_degree = 6;
+  };
+
+  MemoryGraph(std::shared_ptr<const embedding::Embedder> embedder,
+              const Options& options);
+  explicit MemoryGraph(std::shared_ptr<const embedding::Embedder> embedder)
+      : MemoryGraph(std::move(embedder), Options()) {}
+
+  // Adds one exchange; returns its node id.
+  StatusOr<uint64_t> Add(const std::string& question,
+                         const std::string& answer);
+
+  // Up to `k` most related past exchanges for `query`: the top direct
+  // matches above `min_similarity`, expanded with their strongest graph
+  // neighbors. Results are unique and ordered by similarity (direct matches
+  // first).
+  std::vector<Recalled> Recall(const std::string& query, size_t k,
+                               double min_similarity = 0.2) const;
+
+  // Degree of a node; 0 for unknown ids.
+  size_t DegreeOf(uint64_t id) const;
+
+  size_t size() const { return nodes_.size(); }
+
+  // Directed edge endpoints stored (a fully symmetric link counts twice;
+  // degree trimming can make links one-sided).
+  size_t edge_count() const;
+
+ private:
+  struct Entry {
+    Node node;
+    embedding::Vector embedding;
+    // (neighbor index into nodes_ is unstable under eviction; store ids)
+    std::vector<std::pair<uint64_t, double>> edges;  // (node id, similarity)
+  };
+
+  const Entry* FindEntry(uint64_t id) const;
+  void Evict();
+
+  std::shared_ptr<const embedding::Embedder> embedder_;
+  Options options_;
+  std::vector<Entry> nodes_;  // insertion order
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace llmms::session
+
+#endif  // LLMMS_SESSION_MEMORY_GRAPH_H_

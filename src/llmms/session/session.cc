@@ -1,0 +1,90 @@
+#include "llmms/session/session.h"
+
+#include <cstddef>
+
+#include "llmms/common/string_util.h"
+
+namespace llmms::session {
+
+const char* RoleToString(Role role) {
+  switch (role) {
+    case Role::kUser:
+      return "user";
+    case Role::kAssistant:
+      return "assistant";
+    case Role::kSystem:
+      return "system";
+  }
+  return "unknown";
+}
+
+Session::Session(std::string id, const Options& options)
+    : id_(std::move(id)), options_(options), summarizer_(options.summarizer) {}
+
+void Session::Append(Role role, std::string text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Message message;
+  message.role = role;
+  message.text = std::move(text);
+  message.sequence = next_sequence_++;
+  recent_.push_back(std::move(message));
+  FoldOldTurns();
+}
+
+void Session::FoldOldTurns() {
+  if (recent_.size() <= options_.keep_recent) return;
+  // Fold everything beyond the most recent keep_recent turns.
+  std::string to_fold = summary_;
+  while (recent_.size() > options_.keep_recent) {
+    if (!to_fold.empty()) to_fold += " ";
+    to_fold +=
+        std::string(RoleToString(recent_.front().role)) + " said: " +
+        recent_.front().text;
+    recent_.pop_front();
+  }
+  summary_ = summarizer_.Summarize(to_fold);
+}
+
+std::string Session::ContextText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string context;
+  if (!summary_.empty()) {
+    context = "Summary of earlier conversation: " + summary_;
+  }
+  for (const auto& message : recent_) {
+    if (!context.empty()) context += "\n";
+    context += std::string(RoleToString(message.role)) + ": " + message.text;
+  }
+  // Clip to the context budget, keeping the most recent words.
+  const auto words = SplitWhitespace(context);
+  if (words.size() > options_.max_context_words) {
+    std::vector<std::string> kept(
+        words.end() - static_cast<ptrdiff_t>(options_.max_context_words),
+        words.end());
+    context = Join(kept, " ");
+  }
+  return context;
+}
+
+std::vector<Message> Session::RecentMessages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Message>(recent_.begin(), recent_.end());
+}
+
+std::string Session::summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return summary_;
+}
+
+uint64_t Session::message_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_sequence_;
+}
+
+void Session::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_.clear();
+  summary_.clear();
+}
+
+}  // namespace llmms::session

@@ -1,0 +1,73 @@
+#ifndef LLMMS_SESSION_SESSION_H_
+#define LLMMS_SESSION_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "llmms/session/summarizer.h"
+
+namespace llmms::session {
+
+enum class Role { kUser, kAssistant, kSystem };
+
+const char* RoleToString(Role role);
+
+struct Message {
+  Role role = Role::kUser;
+  std::string text;
+  uint64_t sequence = 0;  // monotonically increasing per session
+};
+
+// One conversation with hierarchical context compression (§5.5, §6.5).
+// Thread-safe: SessionStore hands the same Session to concurrent requests.
+// Recent turns are kept verbatim; once more than `keep_recent` turns have
+// accumulated, the oldest turns are folded into a rolling summary
+// (summary' = Summarize(summary + folded turns)), so the context handed to
+// the models stays bounded while preserving salient content.
+class Session {
+ public:
+  struct Options {
+    // Turns kept verbatim before folding into the summary (the paper folds
+    // "after every five messages", §7.3).
+    size_t keep_recent = 5;
+    Summarizer::Options summarizer;
+    // Hard cap on ContextText words.
+    size_t max_context_words = 300;
+  };
+
+  explicit Session(std::string id) : Session(std::move(id), Options{}) {}
+  Session(std::string id, const Options& options);
+
+  // Appends a turn, folding old turns into the summary when needed.
+  void Append(Role role, std::string text);
+
+  // The conversation context for the next prompt: rolling summary followed
+  // by the verbatim recent turns, clipped to max_context_words.
+  std::string ContextText() const;
+
+  // All retained (un-folded) messages, oldest first.
+  std::vector<Message> RecentMessages() const;
+
+  std::string summary() const;
+  const std::string& id() const { return id_; }
+  uint64_t message_count() const;
+  void Clear();
+
+ private:
+  void FoldOldTurns();  // caller holds mu_
+
+  mutable std::mutex mu_;
+  std::string id_;
+  Options options_;
+  Summarizer summarizer_;
+  std::deque<Message> recent_;
+  std::string summary_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace llmms::session
+
+#endif  // LLMMS_SESSION_SESSION_H_

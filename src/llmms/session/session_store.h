@@ -1,0 +1,47 @@
+#ifndef LLMMS_SESSION_SESSION_STORE_H_
+#define LLMMS_SESSION_SESSION_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+#include "llmms/session/session.h"
+
+namespace llmms::session {
+
+// Thread-safe registry of live sessions (the sessions sidebar backend,
+// §5.2): create, look up, list, and clear conversations.
+class SessionStore {
+ public:
+  explicit SessionStore(Session::Options defaults = Session::Options())
+      : defaults_(defaults) {}
+
+  SessionStore(const SessionStore&) = delete;
+  SessionStore& operator=(const SessionStore&) = delete;
+
+  // Creates a session; AlreadyExists if the id is taken.
+  StatusOr<std::shared_ptr<Session>> Create(const std::string& id);
+
+  // Returns the session, creating it if absent.
+  StatusOr<std::shared_ptr<Session>> GetOrCreate(const std::string& id);
+
+  StatusOr<std::shared_ptr<Session>> Get(const std::string& id) const;
+
+  Status Remove(const std::string& id);
+
+  std::vector<std::string> List() const;
+  size_t size() const;
+
+ private:
+  Session::Options defaults_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace llmms::session
+
+#endif  // LLMMS_SESSION_SESSION_STORE_H_

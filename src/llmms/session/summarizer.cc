@@ -1,0 +1,85 @@
+#include "llmms/session/summarizer.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "llmms/common/string_util.h"
+#include "llmms/tokenizer/word_tokenizer.h"
+
+namespace llmms::session {
+
+std::string Summarizer::Summarize(std::string_view text) const {
+  const auto all_words = SplitWhitespace(text);
+  if (all_words.size() <= options_.max_words) return Trim(text);
+
+  static const tokenizer::WordTokenizer::Options kContentOpts{
+      .lowercase = true,
+      .strip_punctuation = true,
+      .remove_articles = true,
+      .remove_stopwords = true,
+  };
+  static const tokenizer::WordTokenizer kContentTokenizer(kContentOpts);
+
+  const auto sentences = tokenizer::SplitSentences(text);
+  if (sentences.empty()) return "";
+
+  // Corpus-wide content-word frequencies.
+  std::unordered_map<std::string, double> frequency;
+  for (const auto& sentence : sentences) {
+    for (const auto& word : kContentTokenizer.Tokenize(sentence)) {
+      frequency[word] += 1.0;
+    }
+  }
+
+  struct Scored {
+    size_t index;
+    size_t words;
+    double score;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(sentences.size());
+  for (size_t i = 0; i < sentences.size(); ++i) {
+    const auto content = kContentTokenizer.Tokenize(sentences[i]);
+    const size_t words = SplitWhitespace(sentences[i]).size();
+    if (words < options_.min_sentence_words) continue;
+    double score = 0.0;
+    for (const auto& w : content) score += frequency[w];
+    // Normalize by length so long rambling sentences don't dominate.
+    score /= static_cast<double>(words);
+    scored.push_back(Scored{i, words, score});
+  }
+  if (scored.empty()) return "";
+
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.index < b.index;
+  });
+
+  // Drop clearly off-topic sentences (far below the mean centroid score) so
+  // the budget backfill below cannot resurrect them.
+  double mean_score = 0.0;
+  for (const auto& s : scored) mean_score += s.score;
+  mean_score /= static_cast<double>(scored.size());
+  while (scored.size() > 1 && scored.back().score < 0.5 * mean_score) {
+    scored.pop_back();
+  }
+
+  // Greedily keep top sentences until the word budget is filled.
+  std::vector<size_t> kept;
+  size_t used = 0;
+  for (const auto& s : scored) {
+    if (used + s.words > options_.max_words && !kept.empty()) continue;
+    kept.push_back(s.index);
+    used += s.words;
+    if (used >= options_.max_words) break;
+  }
+  std::sort(kept.begin(), kept.end());
+
+  std::vector<std::string> out;
+  out.reserve(kept.size());
+  for (size_t i : kept) out.push_back(sentences[i]);
+  return Join(out, " ");
+}
+
+}  // namespace llmms::session

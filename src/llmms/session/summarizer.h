@@ -1,0 +1,38 @@
+#ifndef LLMMS_SESSION_SUMMARIZER_H_
+#define LLMMS_SESSION_SUMMARIZER_H_
+
+#include <string>
+#include <string_view>
+
+namespace llmms::session {
+
+// Extractive summarizer: scores sentences by the corpus frequency of their
+// content words (a classic centroid heuristic) and keeps the highest-scoring
+// sentences in their original order. This is the platform's substitute for
+// the "AI-generated summary" that replaces old turns (§7.3): hierarchical
+// re-summarization of (previous summary + new turns) gives the same
+// contract — bounded context that preserves the salient content words.
+class Summarizer {
+ public:
+  struct Options {
+    size_t max_words = 60;
+    // Sentences shorter than this many words are skipped (greetings, "ok").
+    size_t min_sentence_words = 3;
+  };
+
+  Summarizer() : Summarizer(Options{}) {}
+  explicit Summarizer(const Options& options) : options_(options) {}
+
+  // Returns a summary of at most options().max_words words. Texts already
+  // within budget are returned verbatim (trimmed).
+  std::string Summarize(std::string_view text) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace llmms::session
+
+#endif  // LLMMS_SESSION_SUMMARIZER_H_

@@ -1,0 +1,253 @@
+#include "llmms/tokenizer/bpe_tokenizer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <map>
+
+#include "llmms/common/string_util.h"
+
+namespace llmms::tokenizer {
+namespace {
+
+// GPT-2 style word-boundary marker (UTF-8 for U+0120 'Ġ').
+constexpr const char kBoundary[] = "\xc4\xa0";
+
+// Splits text into words, attaching the boundary marker to every word that
+// was preceded by whitespace (including the first if the text starts with
+// whitespace).
+std::vector<std::string> PreTokenize(std::string_view text) {
+  std::vector<std::string> words;
+  std::string current;
+  bool pending_boundary = false;
+  bool first_word = true;
+  for (char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      if (!current.empty()) {
+        words.push_back(std::move(current));
+        current.clear();
+        first_word = false;
+      }
+      pending_boundary = true;
+      continue;
+    }
+    if (current.empty() && (pending_boundary || !first_word)) {
+      current = kBoundary;
+      pending_boundary = false;
+    }
+    current += c;
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+  return words;
+}
+
+}  // namespace
+
+BpeTokenizer::BpeTokenizer() {
+  // Base vocabulary: 256 single-byte tokens, so any input is encodable.
+  vocab_.reserve(512);
+  for (int b = 0; b < 256; ++b) {
+    vocab_.push_back(std::string(1, static_cast<char>(b)));
+  }
+}
+
+Status BpeTokenizer::Train(const std::vector<std::string>& corpus,
+                           const TrainOptions& options) {
+  if (options.vocab_size <= 256) {
+    return Status::InvalidArgument(
+        "vocab_size must exceed the 256 byte tokens");
+  }
+  if (corpus.empty()) {
+    return Status::InvalidArgument("training corpus is empty");
+  }
+
+  // Collect word frequencies (words carry the boundary marker).
+  std::unordered_map<std::string, int> word_freq;
+  for (const auto& doc : corpus) {
+    for (auto& w : PreTokenize(doc)) ++word_freq[w];
+  }
+
+  // Represent each distinct word as a sequence of byte token ids.
+  struct WordEntry {
+    std::vector<TokenId> ids;
+    int freq;
+  };
+  std::vector<WordEntry> words;
+  words.reserve(word_freq.size());
+  for (const auto& [w, f] : word_freq) {
+    WordEntry e;
+    e.freq = f;
+    e.ids.reserve(w.size());
+    for (char c : w) {
+      e.ids.push_back(static_cast<TokenId>(static_cast<unsigned char>(c)));
+    }
+    words.push_back(std::move(e));
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(words.begin(), words.end(),
+            [this](const WordEntry& a, const WordEntry& b) {
+              if (a.freq != b.freq) return a.freq > b.freq;
+              return a.ids < b.ids;
+            });
+
+  merge_ranks_.clear();
+  merge_results_.clear();
+  vocab_.resize(256);
+
+  while (static_cast<int>(vocab_.size()) < options.vocab_size) {
+    // Count adjacent pairs. std::map gives a deterministic tie-break order.
+    std::map<std::pair<TokenId, TokenId>, int64_t> pair_counts;
+    for (const auto& w : words) {
+      for (size_t i = 0; i + 1 < w.ids.size(); ++i) {
+        pair_counts[{w.ids[i], w.ids[i + 1]}] += w.freq;
+      }
+    }
+    if (pair_counts.empty()) break;
+
+    std::pair<TokenId, TokenId> best_pair{-1, -1};
+    int64_t best_count = 0;
+    for (const auto& [pair, count] : pair_counts) {
+      if (count > best_count) {
+        best_count = count;
+        best_pair = pair;
+      }
+    }
+    if (best_count < options.min_pair_frequency) break;
+
+    const TokenId new_id = static_cast<TokenId>(vocab_.size());
+    vocab_.push_back(vocab_[static_cast<size_t>(best_pair.first)] +
+                     vocab_[static_cast<size_t>(best_pair.second)]);
+    merge_ranks_[best_pair] = static_cast<int>(merge_ranks_.size());
+    merge_results_[best_pair] = new_id;
+
+    // Apply the merge to every word.
+    for (auto& w : words) {
+      if (w.ids.size() < 2) continue;
+      std::vector<TokenId> merged;
+      merged.reserve(w.ids.size());
+      size_t i = 0;
+      while (i < w.ids.size()) {
+        if (i + 1 < w.ids.size() && w.ids[i] == best_pair.first &&
+            w.ids[i + 1] == best_pair.second) {
+          merged.push_back(new_id);
+          i += 2;
+        } else {
+          merged.push_back(w.ids[i]);
+          ++i;
+        }
+      }
+      w.ids = std::move(merged);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<TokenId> BpeTokenizer::EncodeWord(std::string_view word) const {
+  std::vector<TokenId> ids;
+  ids.reserve(word.size());
+  for (char c : word) {
+    ids.push_back(static_cast<TokenId>(static_cast<unsigned char>(c)));
+  }
+  if (merge_ranks_.empty()) return ids;
+  // Repeatedly apply the lowest-rank applicable merge (standard BPE encode).
+  for (;;) {
+    int best_rank = std::numeric_limits<int>::max();
+    size_t best_pos = 0;
+    for (size_t i = 0; i + 1 < ids.size(); ++i) {
+      auto it = merge_ranks_.find({ids[i], ids[i + 1]});
+      if (it != merge_ranks_.end() && it->second < best_rank) {
+        best_rank = it->second;
+        best_pos = i;
+      }
+    }
+    if (best_rank == std::numeric_limits<int>::max()) break;
+    const auto pair = std::make_pair(ids[best_pos], ids[best_pos + 1]);
+    ids[best_pos] = merge_results_.at(pair);
+    ids.erase(ids.begin() + static_cast<ptrdiff_t>(best_pos) + 1);
+  }
+  return ids;
+}
+
+std::vector<TokenId> BpeTokenizer::Encode(std::string_view text) const {
+  std::vector<TokenId> out;
+  for (const auto& word : PreTokenize(text)) {
+    const auto ids = EncodeWord(word);
+    out.insert(out.end(), ids.begin(), ids.end());
+  }
+  return out;
+}
+
+std::string BpeTokenizer::Decode(const std::vector<TokenId>& ids) const {
+  std::string raw;
+  for (TokenId id : ids) {
+    if (id >= 0 && static_cast<size_t>(id) < vocab_.size()) {
+      raw += vocab_[static_cast<size_t>(id)];
+    }
+  }
+  // Replace boundary markers with spaces.
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (i + 1 < raw.size() && raw[i] == '\xc4' && raw[i + 1] == '\xa0') {
+      out += ' ';
+      ++i;
+    } else {
+      out += raw[i];
+    }
+  }
+  return out;
+}
+
+size_t BpeTokenizer::CountTokens(std::string_view text) const {
+  return Encode(text).size();
+}
+
+std::string BpeTokenizer::TokenText(TokenId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= vocab_.size()) return "";
+  return vocab_[static_cast<size_t>(id)];
+}
+
+Status BpeTokenizer::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  // Persist merges as (left_id, right_id) in rank order; token byte strings
+  // are reconstructible from the merge sequence.
+  std::vector<std::pair<TokenId, TokenId>> merges(merge_ranks_.size());
+  for (const auto& [pair, rank] : merge_ranks_) {
+    merges[static_cast<size_t>(rank)] = pair;
+  }
+  out << "llmms-bpe-v1\n" << merges.size() << "\n";
+  for (const auto& [l, r] : merges) out << l << " " << r << "\n";
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<BpeTokenizer> BpeTokenizer::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string magic;
+  size_t count = 0;
+  in >> magic >> count;
+  if (!in || magic != "llmms-bpe-v1") {
+    return Status::IOError("bad tokenizer file format: " + path);
+  }
+  BpeTokenizer tok;
+  for (size_t i = 0; i < count; ++i) {
+    TokenId l = 0;
+    TokenId r = 0;
+    in >> l >> r;
+    if (!in) return Status::IOError("truncated tokenizer file: " + path);
+    if (l < 0 || r < 0 || static_cast<size_t>(l) >= tok.vocab_.size() ||
+        static_cast<size_t>(r) >= tok.vocab_.size()) {
+      return Status::IOError("corrupt merge entry in: " + path);
+    }
+    const TokenId new_id = static_cast<TokenId>(tok.vocab_.size());
+    tok.vocab_.push_back(tok.vocab_[static_cast<size_t>(l)] +
+                         tok.vocab_[static_cast<size_t>(r)]);
+    tok.merge_ranks_[{l, r}] = static_cast<int>(i);
+    tok.merge_results_[{l, r}] = new_id;
+  }
+  return tok;
+}
+
+}  // namespace llmms::tokenizer

@@ -1,0 +1,85 @@
+#ifndef LLMMS_TOKENIZER_BPE_TOKENIZER_H_
+#define LLMMS_TOKENIZER_BPE_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+
+namespace llmms::tokenizer {
+
+using TokenId = int32_t;
+
+// Trainable byte-pair-encoding subword tokenizer, the vocabulary scheme used
+// by the models the paper serves (LLaMA/Mistral/Qwen all use BPE-family
+// tokenizers). Words are pre-split on whitespace; a word-boundary marker
+// ("\xc4\xa0", the GPT-2 'Ġ' convention) prefixes every non-initial word so
+// that decode() reconstructs the original spacing.
+//
+// Token accounting in the orchestrators (token budgets, chunk sizes) is
+// denominated in BPE tokens produced by this class.
+class BpeTokenizer {
+ public:
+  struct TrainOptions {
+    // Target vocabulary size including the 256 byte tokens and specials.
+    int vocab_size = 2048;
+    // Merges occurring fewer than this many times are not learned.
+    int min_pair_frequency = 2;
+  };
+
+  BpeTokenizer();
+
+  // Learns merges from `corpus` until `options.vocab_size` is reached or no
+  // pair passes the frequency threshold.
+  Status Train(const std::vector<std::string>& corpus,
+               const TrainOptions& options);
+
+  // Encodes text into token ids. Unknown bytes cannot occur (byte-level
+  // base vocabulary).
+  std::vector<TokenId> Encode(std::string_view text) const;
+
+  // Decodes ids back to text. Ids out of range decode to the empty string.
+  std::string Decode(const std::vector<TokenId>& ids) const;
+
+  // Number of BPE tokens in `text` without materializing the ids.
+  size_t CountTokens(std::string_view text) const;
+
+  int vocab_size() const { return static_cast<int>(vocab_.size()); }
+  size_t num_merges() const { return merge_ranks_.size(); }
+  bool trained() const { return !merge_ranks_.empty(); }
+
+  // Token text for an id; empty for out-of-range ids.
+  std::string TokenText(TokenId id) const;
+
+  // Serialization of the learned vocabulary (text format, one merge per
+  // line), so a trained tokenizer can ship with a model.
+  Status Save(const std::string& path) const;
+  static StatusOr<BpeTokenizer> Load(const std::string& path);
+
+ private:
+  struct PairHash {
+    size_t operator()(const std::pair<TokenId, TokenId>& p) const {
+      return std::hash<uint64_t>()(
+          (static_cast<uint64_t>(static_cast<uint32_t>(p.first)) << 32) |
+          static_cast<uint32_t>(p.second));
+    }
+  };
+
+  std::vector<TokenId> EncodeWord(std::string_view word) const;
+
+  // vocab_[id] is the byte string of the token.
+  std::vector<std::string> vocab_;
+  // Rank of each learned merge (lower = earlier = higher priority).
+  std::unordered_map<std::pair<TokenId, TokenId>, int, PairHash> merge_ranks_;
+  // Result id of each merge.
+  std::unordered_map<std::pair<TokenId, TokenId>, TokenId, PairHash>
+      merge_results_;
+};
+
+}  // namespace llmms::tokenizer
+
+#endif  // LLMMS_TOKENIZER_BPE_TOKENIZER_H_

@@ -1,0 +1,109 @@
+#include "llmms/tokenizer/word_tokenizer.h"
+
+#include <cctype>
+
+#include "llmms/common/string_util.h"
+
+namespace llmms::tokenizer {
+namespace {
+
+const std::unordered_set<std::string>& Stopwords() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "a",    "an",   "the",  "is",   "are",  "was",  "were", "be",
+      "been", "of",   "to",   "in",   "on",   "at",   "by",   "for",
+      "with", "and",  "or",   "not",  "that", "this", "it",   "as",
+      "from", "but",  "if",   "then", "than", "so",   "do",   "does",
+      "did",  "can",  "will", "would", "there", "their", "they", "he",
+      "she",  "his",  "her",  "its",  "we",   "you",  "i",    "my",
+      "your", "our",  "them", "have", "has",  "had",  "what", "which",
+      "who",  "when", "where", "why", "how",  "all",  "any",  "no",
+      "nor",  "only", "own",  "same", "some", "such", "too",  "very",
+  };
+  return *kSet;
+}
+
+bool IsArticle(const std::string& w) {
+  return w == "a" || w == "an" || w == "the";
+}
+
+}  // namespace
+
+WordTokenizer::WordTokenizer(const Options& options) : options_(options) {}
+
+std::vector<std::string> WordTokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (current.empty()) return;
+    if (options_.remove_articles && IsArticle(current)) {
+      current.clear();
+      return;
+    }
+    if (options_.remove_stopwords && Stopwords().count(current) > 0) {
+      current.clear();
+      return;
+    }
+    tokens.push_back(std::move(current));
+    current.clear();
+  };
+  for (char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    const bool keep =
+        std::isalnum(c) || (!options_.strip_punctuation && !std::isspace(c));
+    if (keep) {
+      current += options_.lowercase
+                     ? static_cast<char>(std::tolower(c))
+                     : raw;
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::string WordTokenizer::Normalize(std::string_view text) const {
+  return Join(Tokenize(text), " ");
+}
+
+bool WordTokenizer::IsStopword(std::string_view word) {
+  return Stopwords().count(std::string(word)) > 0;
+}
+
+std::vector<std::string> SplitSentences(std::string_view text) {
+  static const auto* kAbbreviations = new std::unordered_set<std::string>{
+      "mr", "mrs", "ms", "dr", "prof", "st", "vs", "etc", "eg", "ie", "fig",
+  };
+  std::vector<std::string> sentences;
+  std::string current;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    current += c;
+    if (c == '.' || c == '!' || c == '?') {
+      // Look back for an abbreviation like "Dr." that should not split.
+      if (c == '.') {
+        size_t end = current.size() - 1;
+        size_t start = end;
+        while (start > 0 && std::isalpha(static_cast<unsigned char>(
+                                current[start - 1]))) {
+          --start;
+        }
+        const std::string word = ToLower(current.substr(start, end - start));
+        if (kAbbreviations->count(word) > 0) continue;
+        // Don't split decimal numbers like "3.14".
+        if (i + 1 < text.size() &&
+            std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+          continue;
+        }
+      }
+      const std::string trimmed = Trim(current);
+      if (!trimmed.empty()) sentences.push_back(trimmed);
+      current.clear();
+    }
+  }
+  const std::string trimmed = Trim(current);
+  if (!trimmed.empty()) sentences.push_back(trimmed);
+  return sentences;
+}
+
+}  // namespace llmms::tokenizer

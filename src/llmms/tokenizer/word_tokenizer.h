@@ -1,0 +1,45 @@
+#ifndef LLMMS_TOKENIZER_WORD_TOKENIZER_H_
+#define LLMMS_TOKENIZER_WORD_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace llmms::tokenizer {
+
+// Word-level tokenization with SQuAD-style normalization (lower-case, strip
+// punctuation and articles). Used by the F1 metric and by components that
+// reason about content words (summarizer, synthetic models).
+class WordTokenizer {
+ public:
+  struct Options {
+    bool lowercase = true;
+    bool strip_punctuation = true;
+    bool remove_articles = false;   // drop "a", "an", "the"
+    bool remove_stopwords = false;  // drop a small English stopword list
+  };
+
+  WordTokenizer() : WordTokenizer(Options{}) {}
+  explicit WordTokenizer(const Options& options);
+
+  // Splits `text` into normalized tokens.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  // Convenience: tokens joined by single spaces.
+  std::string Normalize(std::string_view text) const;
+
+  // True if `word` (already lower-cased) is in the stopword list.
+  static bool IsStopword(std::string_view word);
+
+ private:
+  Options options_;
+};
+
+// Splits text into sentences on ., !, ? boundaries while keeping common
+// abbreviations intact. Used by the chunker and the extractive summarizer.
+std::vector<std::string> SplitSentences(std::string_view text);
+
+}  // namespace llmms::tokenizer
+
+#endif  // LLMMS_TOKENIZER_WORD_TOKENIZER_H_

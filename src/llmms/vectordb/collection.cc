@@ -1,0 +1,130 @@
+#include "llmms/vectordb/collection.h"
+
+#include <algorithm>
+
+#include "llmms/vectordb/distance.h"
+#include "llmms/vectordb/flat_index.h"
+#include "llmms/vectordb/hnsw_index.h"
+
+namespace llmms::vectordb {
+
+Collection::Collection(std::string name, const Options& options)
+    : name_(std::move(name)), options_(options), index_(MakeIndex()) {}
+
+std::unique_ptr<VectorIndex> Collection::MakeIndex() const {
+  if (options_.index_kind == IndexKind::kFlat) {
+    return std::make_unique<FlatIndex>(options_.dimension, options_.metric);
+  }
+  HnswIndex::Options hnsw;
+  hnsw.M = options_.hnsw_m;
+  hnsw.ef_construction = options_.hnsw_ef_construction;
+  hnsw.ef_search = options_.hnsw_ef_search;
+  hnsw.seed = options_.seed;
+  return std::make_unique<HnswIndex>(options_.dimension, options_.metric,
+                                     hnsw);
+}
+
+Status Collection::Upsert(VectorRecord record) {
+  if (record.id.empty()) {
+    return Status::InvalidArgument("record id must not be empty");
+  }
+  if (record.vector.size() != options_.dimension) {
+    return Status::InvalidArgument(
+        "vector dimension " + std::to_string(record.vector.size()) +
+        " does not match collection dimension " +
+        std::to_string(options_.dimension));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto existing = id_to_slot_.find(record.id);
+  if (existing != id_to_slot_.end()) {
+    LLMMS_RETURN_NOT_OK(index_->Remove(existing->second));
+    slot_to_record_.erase(existing->second);
+    id_to_slot_.erase(existing);
+  }
+  LLMMS_ASSIGN_OR_RETURN(SlotId slot, index_->Add(record.vector));
+  id_to_slot_[record.id] = slot;
+  slot_to_record_[slot] = std::move(record);
+  return Status::OK();
+}
+
+Status Collection::UpsertBatch(std::vector<VectorRecord> records) {
+  for (auto& r : records) {
+    LLMMS_RETURN_NOT_OK(Upsert(std::move(r)));
+  }
+  return Status::OK();
+}
+
+Status Collection::Delete(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) {
+    return Status::NotFound("no record with id '" + id + "' in collection '" +
+                            name_ + "'");
+  }
+  LLMMS_RETURN_NOT_OK(index_->Remove(it->second));
+  slot_to_record_.erase(it->second);
+  id_to_slot_.erase(it);
+  return Status::OK();
+}
+
+StatusOr<VectorRecord> Collection::Get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) {
+    return Status::NotFound("no record with id '" + id + "' in collection '" +
+                            name_ + "'");
+  }
+  return slot_to_record_.at(it->second);
+}
+
+bool Collection::Contains(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id_to_slot_.find(id) != id_to_slot_.end();
+}
+
+StatusOr<std::vector<QueryResult>> Collection::Query(
+    const Vector& query, size_t k, const MetadataFilter& filter) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryResult> out;
+  if (k == 0 || slot_to_record_.empty()) return out;
+
+  // Over-fetch when filtering so that k hits survive; bounded growth.
+  size_t fetch = filter.empty() ? k : std::max<size_t>(k * 4, 16);
+  for (;;) {
+    LLMMS_ASSIGN_OR_RETURN(auto hits, index_->Search(query, fetch));
+    out.clear();
+    for (const IndexHit& hit : hits) {
+      auto it = slot_to_record_.find(hit.slot);
+      if (it == slot_to_record_.end()) continue;
+      const VectorRecord& rec = it->second;
+      if (!MatchesFilter(rec.metadata, filter)) continue;
+      QueryResult qr;
+      qr.id = rec.id;
+      qr.score = SimilarityFromDistance(options_.metric, hit.distance);
+      qr.metadata = rec.metadata;
+      qr.document = rec.document;
+      out.push_back(std::move(qr));
+      if (out.size() >= k) break;
+    }
+    const bool exhausted = hits.size() < fetch || fetch >= slot_to_record_.size();
+    if (out.size() >= k || exhausted || filter.empty()) break;
+    fetch *= 2;
+  }
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<std::string> Collection::Ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(id_to_slot_.size());
+  for (const auto& [id, slot] : id_to_slot_) ids.push_back(id);
+  return ids;
+}
+
+size_t Collection::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id_to_slot_.size();
+}
+
+}  // namespace llmms::vectordb

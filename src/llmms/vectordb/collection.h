@@ -1,0 +1,78 @@
+#ifndef LLMMS_VECTORDB_COLLECTION_H_
+#define LLMMS_VECTORDB_COLLECTION_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+#include "llmms/vectordb/index.h"
+#include "llmms/vectordb/types.h"
+
+namespace llmms::vectordb {
+
+enum class IndexKind { kFlat, kHnsw };
+
+// A named, thread-safe set of (id, vector, metadata, document) records with
+// top-k similarity queries — the Chroma "collection" abstraction. Upserts
+// replace existing ids; queries support equality metadata filters by
+// over-fetching from the index and post-filtering.
+class Collection {
+ public:
+  struct Options {
+    size_t dimension = 384;
+    DistanceMetric metric = DistanceMetric::kCosine;
+    IndexKind index_kind = IndexKind::kHnsw;
+    // HNSW tuning (ignored for flat collections).
+    size_t hnsw_m = 16;
+    size_t hnsw_ef_construction = 200;
+    size_t hnsw_ef_search = 64;
+    uint64_t seed = 0x48e5f1ULL;
+  };
+
+  Collection(std::string name, const Options& options);
+
+  Collection(const Collection&) = delete;
+  Collection& operator=(const Collection&) = delete;
+
+  // Inserts or replaces the record with record.id.
+  Status Upsert(VectorRecord record);
+  Status UpsertBatch(std::vector<VectorRecord> records);
+
+  // Removes a record; NotFound if absent.
+  Status Delete(const std::string& id);
+
+  // Fetches a record by id.
+  StatusOr<VectorRecord> Get(const std::string& id) const;
+  bool Contains(const std::string& id) const;
+
+  // Returns up to k most similar records (larger score = closer), optionally
+  // restricted by a metadata equality filter.
+  StatusOr<std::vector<QueryResult>> Query(const Vector& query, size_t k,
+                                           const MetadataFilter& filter = {}) const;
+
+  // All live record ids (unordered).
+  std::vector<std::string> Ids() const;
+
+  size_t size() const;
+  const std::string& name() const { return name_; }
+  const Options& options() const { return options_; }
+
+ private:
+  std::unique_ptr<VectorIndex> MakeIndex() const;
+
+  std::string name_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<VectorIndex> index_;
+  std::unordered_map<std::string, SlotId> id_to_slot_;
+  std::unordered_map<SlotId, VectorRecord> slot_to_record_;
+};
+
+}  // namespace llmms::vectordb
+
+#endif  // LLMMS_VECTORDB_COLLECTION_H_

@@ -1,0 +1,233 @@
+#include "llmms/vectordb/database.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace llmms::vectordb {
+namespace {
+
+constexpr uint32_t kMagic = 0x4C4D5644;  // "LMVD"
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadU32(std::istream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+bool ReadU64(std::istream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+bool ReadString(std::istream& in, std::string* s) {
+  uint64_t len = 0;
+  if (!ReadU64(in, &len)) return false;
+  if (len > (1ULL << 32)) return false;  // sanity bound against corruption
+  s->resize(static_cast<size_t>(len));
+  in.read(s->data(), static_cast<std::streamsize>(len));
+  return in.good() || (len == 0 && !in.bad());
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<Collection>> VectorDatabase::CreateCollection(
+    const std::string& name, const Collection::Options& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("collection name must not be empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (collections_.count(name) > 0) {
+    return Status::AlreadyExists("collection '" + name + "' already exists");
+  }
+  auto collection = std::make_shared<Collection>(name, options);
+  collections_[name] = collection;
+  return collection;
+}
+
+StatusOr<std::shared_ptr<Collection>> VectorDatabase::GetCollection(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("no collection named '" + name + "'");
+  }
+  return it->second;
+}
+
+StatusOr<std::shared_ptr<Collection>> VectorDatabase::GetOrCreateCollection(
+    const std::string& name, const Collection::Options& options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = collections_.find(name);
+    if (it != collections_.end()) {
+      const auto& existing = it->second->options();
+      if (existing.dimension != options.dimension ||
+          existing.metric != options.metric) {
+        return Status::FailedPrecondition(
+            "collection '" + name + "' exists with incompatible options");
+      }
+      return it->second;
+    }
+  }
+  return CreateCollection(name, options);
+}
+
+Status VectorDatabase::DropCollection(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (collections_.erase(name) == 0) {
+    return Status::NotFound("no collection named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> VectorDatabase::ListCollections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(collections_.size());
+  for (const auto& [name, c] : collections_) names.push_back(name);
+  return names;
+}
+
+size_t VectorDatabase::collection_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return collections_.size();
+}
+
+Status VectorDatabase::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  WriteU32(out, kMagic);
+  WriteU32(out, kVersion);
+  WriteU64(out, collections_.size());
+  for (const auto& [name, collection] : collections_) {
+    const auto& opts = collection->options();
+    WriteString(out, name);
+    WriteU64(out, opts.dimension);
+    WriteU32(out, static_cast<uint32_t>(opts.metric));
+    WriteU32(out, static_cast<uint32_t>(opts.index_kind));
+    WriteU64(out, opts.hnsw_m);
+    WriteU64(out, opts.hnsw_ef_construction);
+    WriteU64(out, opts.hnsw_ef_search);
+    WriteU64(out, opts.seed);
+
+    const auto ids = collection->Ids();
+    WriteU64(out, ids.size());
+    for (const auto& id : ids) {
+      auto record = collection->Get(id);
+      if (!record.ok()) return record.status();
+      WriteString(out, record->id);
+      WriteU64(out, record->vector.size());
+      out.write(reinterpret_cast<const char*>(record->vector.data()),
+                static_cast<std::streamsize>(record->vector.size() *
+                                             sizeof(float)));
+      WriteU64(out, record->metadata.size());
+      for (const auto& [k, v] : record->metadata) {
+        WriteString(out, k);
+        WriteString(out, v);
+      }
+      WriteString(out, record->document);
+    }
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<VectorDatabase>> VectorDatabase::Load(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic) {
+    return Status::IOError("bad database file magic: " + path);
+  }
+  if (!ReadU32(in, &version) || version != kVersion) {
+    return Status::IOError("unsupported database file version");
+  }
+  uint64_t num_collections = 0;
+  if (!ReadU64(in, &num_collections)) {
+    return Status::IOError("truncated database file");
+  }
+
+  auto db = std::make_unique<VectorDatabase>();
+  for (uint64_t c = 0; c < num_collections; ++c) {
+    std::string name;
+    Collection::Options opts;
+    uint64_t dimension = 0;
+    uint32_t metric = 0;
+    uint32_t index_kind = 0;
+    uint64_t m = 0;
+    uint64_t efc = 0;
+    uint64_t efs = 0;
+    uint64_t seed = 0;
+    if (!ReadString(in, &name) || !ReadU64(in, &dimension) ||
+        !ReadU32(in, &metric) || !ReadU32(in, &index_kind) ||
+        !ReadU64(in, &m) || !ReadU64(in, &efc) || !ReadU64(in, &efs) ||
+        !ReadU64(in, &seed)) {
+      return Status::IOError("truncated collection header");
+    }
+    opts.dimension = static_cast<size_t>(dimension);
+    opts.metric = static_cast<DistanceMetric>(metric);
+    opts.index_kind = static_cast<IndexKind>(index_kind);
+    opts.hnsw_m = static_cast<size_t>(m);
+    opts.hnsw_ef_construction = static_cast<size_t>(efc);
+    opts.hnsw_ef_search = static_cast<size_t>(efs);
+    opts.seed = seed;
+
+    LLMMS_ASSIGN_OR_RETURN(auto collection, db->CreateCollection(name, opts));
+
+    uint64_t num_records = 0;
+    if (!ReadU64(in, &num_records)) {
+      return Status::IOError("truncated record count");
+    }
+    for (uint64_t r = 0; r < num_records; ++r) {
+      VectorRecord record;
+      if (!ReadString(in, &record.id)) {
+        return Status::IOError("truncated record id");
+      }
+      uint64_t dim = 0;
+      if (!ReadU64(in, &dim) || dim != opts.dimension) {
+        return Status::IOError("corrupt record vector length");
+      }
+      record.vector.resize(static_cast<size_t>(dim));
+      in.read(reinterpret_cast<char*>(record.vector.data()),
+              static_cast<std::streamsize>(dim * sizeof(float)));
+      if (!in) return Status::IOError("truncated record vector");
+      uint64_t num_meta = 0;
+      if (!ReadU64(in, &num_meta)) {
+        return Status::IOError("truncated metadata count");
+      }
+      for (uint64_t i = 0; i < num_meta; ++i) {
+        std::string k;
+        std::string v;
+        if (!ReadString(in, &k) || !ReadString(in, &v)) {
+          return Status::IOError("truncated metadata entry");
+        }
+        record.metadata[std::move(k)] = std::move(v);
+      }
+      if (!ReadString(in, &record.document)) {
+        return Status::IOError("truncated record document");
+      }
+      LLMMS_RETURN_NOT_OK(collection->Upsert(std::move(record)));
+    }
+  }
+  return db;
+}
+
+}  // namespace llmms::vectordb

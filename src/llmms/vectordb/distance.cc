@@ -1,0 +1,75 @@
+#include "llmms/vectordb/distance.h"
+
+#include <cmath>
+
+namespace llmms::vectordb {
+namespace {
+
+double Dot(const Vector& a, const Vector& b) {
+  double sum = 0.0;
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) {
+    sum += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return sum;
+}
+
+}  // namespace
+
+const char* DistanceMetricToString(DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kCosine:
+      return "cosine";
+    case DistanceMetric::kL2:
+      return "l2";
+    case DistanceMetric::kInnerProduct:
+      return "ip";
+  }
+  return "unknown";
+}
+
+double Distance(DistanceMetric metric, const Vector& a, const Vector& b) {
+  switch (metric) {
+    case DistanceMetric::kCosine: {
+      double dot = 0.0;
+      double na = 0.0;
+      double nb = 0.0;
+      const size_t n = a.size();
+      for (size_t i = 0; i < n; ++i) {
+        const double x = a[i];
+        const double y = b[i];
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+      }
+      if (na <= 0.0 || nb <= 0.0) return 1.0;
+      return 1.0 - dot / (std::sqrt(na) * std::sqrt(nb));
+    }
+    case DistanceMetric::kL2: {
+      double sum = 0.0;
+      const size_t n = a.size();
+      for (size_t i = 0; i < n; ++i) {
+        const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+        sum += d * d;
+      }
+      return sum;
+    }
+    case DistanceMetric::kInnerProduct:
+      return -Dot(a, b);
+  }
+  return 0.0;
+}
+
+double SimilarityFromDistance(DistanceMetric metric, double distance) {
+  switch (metric) {
+    case DistanceMetric::kCosine:
+      return 1.0 - distance;
+    case DistanceMetric::kL2:
+      return -std::sqrt(distance > 0.0 ? distance : 0.0);
+    case DistanceMetric::kInnerProduct:
+      return -distance;
+  }
+  return 0.0;
+}
+
+}  // namespace llmms::vectordb

@@ -1,0 +1,18 @@
+#ifndef LLMMS_VECTORDB_DISTANCE_H_
+#define LLMMS_VECTORDB_DISTANCE_H_
+
+#include "llmms/vectordb/types.h"
+
+namespace llmms::vectordb {
+
+// Distance for index-internal ordering: smaller = closer, for every metric.
+// kCosine -> 1 - cos, kL2 -> squared L2, kInnerProduct -> -dot.
+double Distance(DistanceMetric metric, const Vector& a, const Vector& b);
+
+// User-facing similarity: larger = closer. kCosine -> cos, kL2 -> -sqrt(d2),
+// kInnerProduct -> dot.
+double SimilarityFromDistance(DistanceMetric metric, double distance);
+
+}  // namespace llmms::vectordb
+
+#endif  // LLMMS_VECTORDB_DISTANCE_H_

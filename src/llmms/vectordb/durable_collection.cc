@@ -1,0 +1,78 @@
+#include "llmms/vectordb/durable_collection.h"
+
+#include <cstdio>
+
+namespace llmms::vectordb {
+
+DurableCollection::DurableCollection(std::unique_ptr<Collection> collection,
+                                     std::unique_ptr<WriteAheadLog> wal,
+                                     std::string wal_path,
+                                     Collection::Options options,
+                                     std::string name)
+    : collection_(std::move(collection)),
+      wal_(std::move(wal)),
+      wal_path_(std::move(wal_path)),
+      options_(options),
+      name_(std::move(name)) {}
+
+StatusOr<std::unique_ptr<DurableCollection>> DurableCollection::Open(
+    const std::string& name, const Collection::Options& options,
+    const std::string& wal_path, OpenStats* stats) {
+  auto collection = std::make_unique<Collection>(name, options);
+  LLMMS_ASSIGN_OR_RETURN(auto replay,
+                         WriteAheadLog::Replay(wal_path, collection.get()));
+  if (stats != nullptr) {
+    stats->replayed_upserts = replay.upserts;
+    stats->replayed_deletes = replay.deletes;
+    stats->recovered_torn_tail = replay.torn_tail;
+  }
+  // A torn tail means the last write crashed mid-record; rewrite the log to
+  // the recovered state so the tail garbage cannot confuse later replays.
+  if (replay.torn_tail) {
+    const std::string tmp = wal_path + ".compact";
+    {
+      LLMMS_ASSIGN_OR_RETURN(auto fresh, WriteAheadLog::Open(tmp));
+      for (const auto& id : collection->Ids()) {
+        LLMMS_ASSIGN_OR_RETURN(auto record, collection->Get(id));
+        LLMMS_RETURN_NOT_OK(fresh->AppendUpsert(record));
+      }
+    }
+    if (std::rename(tmp.c_str(), wal_path.c_str()) != 0) {
+      return Status::IOError("cannot replace torn WAL: " + wal_path);
+    }
+  }
+  LLMMS_ASSIGN_OR_RETURN(auto wal, WriteAheadLog::Open(wal_path));
+  return std::unique_ptr<DurableCollection>(
+      new DurableCollection(std::move(collection), std::move(wal), wal_path,
+                            options, name));
+}
+
+Status DurableCollection::Upsert(VectorRecord record) {
+  LLMMS_RETURN_NOT_OK(wal_->AppendUpsert(record));
+  return collection_->Upsert(std::move(record));
+}
+
+Status DurableCollection::Delete(const std::string& id) {
+  LLMMS_RETURN_NOT_OK(wal_->AppendDelete(id));
+  return collection_->Delete(id);
+}
+
+Status DurableCollection::Compact() {
+  const std::string tmp = wal_path_ + ".compact";
+  {
+    std::remove(tmp.c_str());
+    LLMMS_ASSIGN_OR_RETURN(auto fresh, WriteAheadLog::Open(tmp));
+    for (const auto& id : collection_->Ids()) {
+      LLMMS_ASSIGN_OR_RETURN(auto record, collection_->Get(id));
+      LLMMS_RETURN_NOT_OK(fresh->AppendUpsert(record));
+    }
+  }
+  wal_.reset();  // close the old handle before replacing the file
+  if (std::rename(tmp.c_str(), wal_path_.c_str()) != 0) {
+    return Status::IOError("compaction rename failed: " + wal_path_);
+  }
+  LLMMS_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(wal_path_));
+  return Status::OK();
+}
+
+}  // namespace llmms::vectordb

@@ -1,0 +1,68 @@
+#ifndef LLMMS_VECTORDB_DURABLE_COLLECTION_H_
+#define LLMMS_VECTORDB_DURABLE_COLLECTION_H_
+
+#include <memory>
+#include <string>
+
+#include "llmms/vectordb/collection.h"
+#include "llmms/vectordb/wal.h"
+
+namespace llmms::vectordb {
+
+// A Collection whose mutations are journaled to a write-ahead log before
+// they are applied, so the in-memory state is rebuilt from disk on open —
+// the durability story of the storage layer (§3.3) at record granularity
+// (whole-database snapshots via VectorDatabase::Save complement it).
+//
+// Open() replays any existing log (including torn tails from a crash) into
+// a fresh Collection, then appends subsequent mutations to the same log.
+// Compact() rewrites the log to the live record set.
+class DurableCollection {
+ public:
+  struct OpenStats {
+    size_t replayed_upserts = 0;
+    size_t replayed_deletes = 0;
+    bool recovered_torn_tail = false;
+  };
+
+  // Opens (or creates) the durable collection journaled at `wal_path`.
+  static StatusOr<std::unique_ptr<DurableCollection>> Open(
+      const std::string& name, const Collection::Options& options,
+      const std::string& wal_path, OpenStats* stats = nullptr);
+
+  // Journal-then-apply mutations.
+  Status Upsert(VectorRecord record);
+  Status Delete(const std::string& id);
+
+  // Reads pass through to the in-memory collection.
+  StatusOr<std::vector<QueryResult>> Query(
+      const Vector& query, size_t k, const MetadataFilter& filter = {}) const {
+    return collection_->Query(query, k, filter);
+  }
+  StatusOr<VectorRecord> Get(const std::string& id) const {
+    return collection_->Get(id);
+  }
+  size_t size() const { return collection_->size(); }
+
+  // Rewrites the log so it contains exactly the live records (drops
+  // superseded upserts and applied deletes).
+  Status Compact();
+
+  const std::string& wal_path() const { return wal_path_; }
+  Collection* collection() { return collection_.get(); }
+
+ private:
+  DurableCollection(std::unique_ptr<Collection> collection,
+                    std::unique_ptr<WriteAheadLog> wal, std::string wal_path,
+                    Collection::Options options, std::string name);
+
+  std::unique_ptr<Collection> collection_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::string wal_path_;
+  Collection::Options options_;
+  std::string name_;
+};
+
+}  // namespace llmms::vectordb
+
+#endif  // LLMMS_VECTORDB_DURABLE_COLLECTION_H_

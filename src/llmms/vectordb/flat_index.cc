@@ -1,0 +1,61 @@
+#include "llmms/vectordb/flat_index.h"
+
+#include <algorithm>
+
+#include "llmms/vectordb/distance.h"
+
+namespace llmms::vectordb {
+
+StatusOr<SlotId> FlatIndex::Add(const Vector& vector) {
+  if (vector.size() != dimension_) {
+    return Status::InvalidArgument(
+        "vector dimension " + std::to_string(vector.size()) +
+        " does not match index dimension " + std::to_string(dimension_));
+  }
+  vectors_.push_back(vector);
+  removed_.push_back(false);
+  ++live_count_;
+  return static_cast<SlotId>(vectors_.size() - 1);
+}
+
+Status FlatIndex::Remove(SlotId slot) {
+  if (slot >= vectors_.size()) {
+    return Status::NotFound("slot " + std::to_string(slot) + " out of range");
+  }
+  if (!removed_[slot]) {
+    removed_[slot] = true;
+    --live_count_;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<IndexHit>> FlatIndex::Search(const Vector& query,
+                                                  size_t k) const {
+  if (query.size() != dimension_) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  std::vector<IndexHit> hits;
+  hits.reserve(vectors_.size());
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    if (removed_[i]) continue;
+    hits.push_back(
+        IndexHit{static_cast<SlotId>(i), Distance(metric_, query, vectors_[i])});
+  }
+  const size_t limit = std::min(k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<ptrdiff_t>(limit),
+                    hits.end(), [](const IndexHit& a, const IndexHit& b) {
+                      if (a.distance != b.distance) {
+                        return a.distance < b.distance;
+                      }
+                      return a.slot < b.slot;
+                    });
+  hits.resize(limit);
+  return hits;
+}
+
+const Vector* FlatIndex::GetVector(SlotId slot) const {
+  if (slot >= vectors_.size() || removed_[slot]) return nullptr;
+  return &vectors_[slot];
+}
+
+}  // namespace llmms::vectordb

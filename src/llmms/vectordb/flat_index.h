@@ -1,0 +1,37 @@
+#ifndef LLMMS_VECTORDB_FLAT_INDEX_H_
+#define LLMMS_VECTORDB_FLAT_INDEX_H_
+
+#include <vector>
+
+#include "llmms/vectordb/index.h"
+
+namespace llmms::vectordb {
+
+// Exact brute-force index: O(n·d) per query. The reference implementation
+// against which HnswIndex recall is measured, and the right choice for the
+// small per-session collections the RAG pipeline creates.
+class FlatIndex final : public VectorIndex {
+ public:
+  FlatIndex(size_t dimension, DistanceMetric metric)
+      : dimension_(dimension), metric_(metric) {}
+
+  StatusOr<SlotId> Add(const Vector& vector) override;
+  Status Remove(SlotId slot) override;
+  StatusOr<std::vector<IndexHit>> Search(const Vector& query,
+                                         size_t k) const override;
+  size_t size() const override { return live_count_; }
+  size_t dimension() const override { return dimension_; }
+  DistanceMetric metric() const override { return metric_; }
+  const Vector* GetVector(SlotId slot) const override;
+
+ private:
+  size_t dimension_;
+  DistanceMetric metric_;
+  std::vector<Vector> vectors_;
+  std::vector<bool> removed_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace llmms::vectordb
+
+#endif  // LLMMS_VECTORDB_FLAT_INDEX_H_

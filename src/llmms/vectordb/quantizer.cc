@@ -1,0 +1,142 @@
+#include "llmms/vectordb/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "llmms/vectordb/distance.h"
+
+namespace llmms::vectordb {
+
+Status ScalarQuantizer::Train(const std::vector<Vector>& sample) {
+  if (sample.empty()) {
+    return Status::InvalidArgument("quantizer needs a non-empty sample");
+  }
+  const size_t dim = sample[0].size();
+  if (dim == 0) {
+    return Status::InvalidArgument("vectors must have dimension > 0");
+  }
+  std::vector<float> lo(dim, std::numeric_limits<float>::max());
+  std::vector<float> hi(dim, std::numeric_limits<float>::lowest());
+  for (const auto& v : sample) {
+    if (v.size() != dim) {
+      return Status::InvalidArgument("sample vectors differ in dimension");
+    }
+    for (size_t d = 0; d < dim; ++d) {
+      lo[d] = std::min(lo[d], v[d]);
+      hi[d] = std::max(hi[d], v[d]);
+    }
+  }
+  min_ = std::move(lo);
+  step_.resize(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    const float range = hi[d] - min_[d];
+    // Degenerate dimensions quantize everything to one bucket.
+    step_[d] = range > 0.0f ? range / 255.0f : 1.0f;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<uint8_t>> ScalarQuantizer::Encode(
+    const Vector& vector) const {
+  if (!trained()) {
+    return Status::FailedPrecondition("quantizer is not trained");
+  }
+  if (vector.size() != dimension()) {
+    return Status::InvalidArgument("vector dimension mismatch");
+  }
+  std::vector<uint8_t> codes(vector.size());
+  for (size_t d = 0; d < vector.size(); ++d) {
+    const float normalized = (vector[d] - min_[d]) / step_[d];
+    const float clamped = std::clamp(normalized, 0.0f, 255.0f);
+    codes[d] = static_cast<uint8_t>(std::lround(clamped));
+  }
+  return codes;
+}
+
+StatusOr<Vector> ScalarQuantizer::Decode(
+    const std::vector<uint8_t>& codes) const {
+  if (!trained()) {
+    return Status::FailedPrecondition("quantizer is not trained");
+  }
+  if (codes.size() != dimension()) {
+    return Status::InvalidArgument("code length mismatch");
+  }
+  Vector out(codes.size());
+  for (size_t d = 0; d < codes.size(); ++d) {
+    out[d] = min_[d] + static_cast<float>(codes[d]) * step_[d];
+  }
+  return out;
+}
+
+double ScalarQuantizer::MaxErrorFor(size_t d) const {
+  if (d >= step_.size()) return 0.0;
+  return step_[d] / 2.0;  // round-to-nearest leaves at most half a bucket
+}
+
+QuantizedFlatIndex::QuantizedFlatIndex(const ScalarQuantizer& quantizer,
+                                       DistanceMetric metric)
+    : quantizer_(quantizer), metric_(metric) {}
+
+StatusOr<SlotId> QuantizedFlatIndex::Add(const Vector& vector) {
+  LLMMS_ASSIGN_OR_RETURN(auto codes, quantizer_.Encode(vector));
+  codes_.insert(codes_.end(), codes.begin(), codes.end());
+  removed_.push_back(false);
+  ++live_count_;
+  return static_cast<SlotId>(removed_.size() - 1);
+}
+
+Status QuantizedFlatIndex::Remove(SlotId slot) {
+  if (slot >= removed_.size()) {
+    return Status::NotFound("slot " + std::to_string(slot) + " out of range");
+  }
+  if (!removed_[slot]) {
+    removed_[slot] = true;
+    --live_count_;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<IndexHit>> QuantizedFlatIndex::Search(const Vector& query,
+                                                           size_t k) const {
+  if (query.size() != dimension()) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  const size_t dim = dimension();
+  std::vector<IndexHit> hits;
+  hits.reserve(removed_.size());
+  std::vector<uint8_t> codes(dim);
+  Vector decoded(dim);
+  for (size_t slot = 0; slot < removed_.size(); ++slot) {
+    if (removed_[slot]) continue;
+    const uint8_t* base = codes_.data() + slot * dim;
+    codes.assign(base, base + dim);
+    auto vec = quantizer_.Decode(codes);
+    if (!vec.ok()) return vec.status();
+    hits.push_back(IndexHit{static_cast<SlotId>(slot),
+                            Distance(metric_, query, *vec)});
+  }
+  const size_t limit = std::min(k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<ptrdiff_t>(limit),
+                    hits.end(), [](const IndexHit& a, const IndexHit& b) {
+                      if (a.distance != b.distance) {
+                        return a.distance < b.distance;
+                      }
+                      return a.slot < b.slot;
+                    });
+  hits.resize(limit);
+  return hits;
+}
+
+const Vector* QuantizedFlatIndex::GetVector(SlotId slot) const {
+  if (slot >= removed_.size() || removed_[slot]) return nullptr;
+  const size_t dim = dimension();
+  std::vector<uint8_t> codes(codes_.begin() + slot * dim,
+                             codes_.begin() + (slot + 1) * dim);
+  auto decoded = quantizer_.Decode(codes);
+  if (!decoded.ok()) return nullptr;
+  decoded_ = std::move(decoded).value();
+  return &decoded_;
+}
+
+}  // namespace llmms::vectordb

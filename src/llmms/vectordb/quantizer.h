@@ -1,0 +1,74 @@
+#ifndef LLMMS_VECTORDB_QUANTIZER_H_
+#define LLMMS_VECTORDB_QUANTIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+#include "llmms/vectordb/index.h"
+#include "llmms/vectordb/types.h"
+
+namespace llmms::vectordb {
+
+// Per-dimension symmetric int8 scalar quantizer — the standard 4x memory
+// reduction for embedding storage (FAISS's SQ8). Trained on a sample to fix
+// each dimension's [min, max] range; encode clamps and buckets, decode
+// returns bucket midpoints.
+class ScalarQuantizer {
+ public:
+  // Fits per-dimension ranges. All vectors must share one dimension;
+  // InvalidArgument otherwise or when `sample` is empty.
+  Status Train(const std::vector<Vector>& sample);
+
+  bool trained() const { return !min_.empty(); }
+  size_t dimension() const { return min_.size(); }
+
+  // Encodes to one byte per dimension. Preconditions: trained(), matching
+  // dimension.
+  StatusOr<std::vector<uint8_t>> Encode(const Vector& vector) const;
+
+  // Decodes codes back to approximate floats.
+  StatusOr<Vector> Decode(const std::vector<uint8_t>& codes) const;
+
+  // Max absolute reconstruction error for dimension `d` (half a bucket).
+  double MaxErrorFor(size_t d) const;
+
+ private:
+  std::vector<float> min_;
+  std::vector<float> step_;  // bucket width per dimension
+};
+
+// A flat (exact-scan) index over int8-quantized vectors: 4x less memory
+// than FlatIndex at a small recall cost. Distances are computed against the
+// dequantized midpoints. GetVector returns the dequantized approximation.
+class QuantizedFlatIndex final : public VectorIndex {
+ public:
+  // The quantizer must already be trained; it is copied in.
+  QuantizedFlatIndex(const ScalarQuantizer& quantizer, DistanceMetric metric);
+
+  StatusOr<SlotId> Add(const Vector& vector) override;
+  Status Remove(SlotId slot) override;
+  StatusOr<std::vector<IndexHit>> Search(const Vector& query,
+                                         size_t k) const override;
+  size_t size() const override { return live_count_; }
+  size_t dimension() const override { return quantizer_.dimension(); }
+  DistanceMetric metric() const override { return metric_; }
+  const Vector* GetVector(SlotId slot) const override;
+
+  // Bytes used by the stored codes (excluding bookkeeping).
+  size_t code_bytes() const { return codes_.size(); }
+
+ private:
+  ScalarQuantizer quantizer_;
+  DistanceMetric metric_;
+  std::vector<uint8_t> codes_;  // dimension() bytes per slot, contiguous
+  std::vector<bool> removed_;
+  size_t live_count_ = 0;
+  // Dequantization scratch for GetVector (stable address per call site).
+  mutable Vector decoded_;
+};
+
+}  // namespace llmms::vectordb
+
+#endif  // LLMMS_VECTORDB_QUANTIZER_H_

@@ -1,0 +1,214 @@
+#include "llmms/vectordb/wal.h"
+
+#include <cstring>
+
+#include "llmms/common/rng.h"
+
+namespace llmms::vectordb {
+namespace {
+
+// Record framing: [u32 payload length][u32 FNV checksum][payload].
+// Payload: 'U' + record fields, or 'D' + id.
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU64(out, s.size());
+  out->append(s);
+}
+
+// Cursor-based payload reader; every getter returns false on truncation.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool GetU64(uint64_t* v) {
+    if (pos_ + sizeof(*v) > data_.size()) return false;
+    std::memcpy(v, data_.data() + pos_, sizeof(*v));
+    pos_ += sizeof(*v);
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    uint64_t len = 0;
+    if (!GetU64(&len) || pos_ + len > data_.size()) return false;
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool GetByte(char* c) {
+    if (pos_ >= data_.size()) return false;
+    *c = data_[pos_++];
+    return true;
+  }
+
+  bool GetFloats(size_t n, Vector* v) {
+    if (pos_ + n * sizeof(float) > data_.size()) return false;
+    v->resize(n);
+    std::memcpy(v->data(), data_.data() + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+uint32_t Checksum(std::string_view payload) {
+  return static_cast<uint32_t>(HashBytes(payload.data(), payload.size()));
+}
+
+std::string SerializeUpsert(const VectorRecord& record) {
+  std::string payload;
+  payload.push_back('U');
+  PutString(&payload, record.id);
+  PutU64(&payload, record.vector.size());
+  payload.append(reinterpret_cast<const char*>(record.vector.data()),
+                 record.vector.size() * sizeof(float));
+  PutU64(&payload, record.metadata.size());
+  for (const auto& [k, v] : record.metadata) {
+    PutString(&payload, k);
+    PutString(&payload, v);
+  }
+  PutString(&payload, record.document);
+  return payload;
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IOError("cannot open WAL for append: " + path);
+  }
+  return std::unique_ptr<WriteAheadLog>(new WriteAheadLog(path, file));
+}
+
+Status WriteAheadLog::AppendRecord(const std::string& payload) {
+  std::string framed;
+  PutU32(&framed, static_cast<uint32_t>(payload.size()));
+  PutU32(&framed, Checksum(payload));
+  framed += payload;
+  if (std::fwrite(framed.data(), 1, framed.size(), file_) != framed.size()) {
+    return Status::IOError("WAL append failed: " + path_);
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("WAL flush failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::AppendUpsert(const VectorRecord& record) {
+  if (record.id.empty()) {
+    return Status::InvalidArgument("record id must not be empty");
+  }
+  return AppendRecord(SerializeUpsert(record));
+}
+
+Status WriteAheadLog::AppendDelete(const std::string& id) {
+  if (id.empty()) {
+    return Status::InvalidArgument("record id must not be empty");
+  }
+  std::string payload;
+  payload.push_back('D');
+  PutString(&payload, id);
+  return AppendRecord(payload);
+}
+
+StatusOr<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
+    const std::string& path, Collection* collection) {
+  ReplayStats stats;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return stats;  // no log yet: nothing to replay
+
+  std::string contents;
+  {
+    char buffer[1 << 16];
+    size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      contents.append(buffer, n);
+    }
+    std::fclose(file);
+  }
+
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    if (pos + 8 > contents.size()) {
+      stats.torn_tail = true;
+      break;
+    }
+    uint32_t length = 0;
+    uint32_t checksum = 0;
+    std::memcpy(&length, contents.data() + pos, 4);
+    std::memcpy(&checksum, contents.data() + pos + 4, 4);
+    if (pos + 8 + length > contents.size()) {
+      stats.torn_tail = true;
+      break;
+    }
+    const std::string_view payload(contents.data() + pos + 8, length);
+    if (Checksum(payload) != checksum) {
+      stats.torn_tail = true;
+      break;
+    }
+    pos += 8 + length;
+
+    Reader reader(payload);
+    char op = 0;
+    if (!reader.GetByte(&op)) {
+      stats.torn_tail = true;
+      break;
+    }
+    if (op == 'U') {
+      VectorRecord record;
+      uint64_t dim = 0;
+      uint64_t num_meta = 0;
+      if (!reader.GetString(&record.id) || !reader.GetU64(&dim) ||
+          !reader.GetFloats(static_cast<size_t>(dim), &record.vector) ||
+          !reader.GetU64(&num_meta)) {
+        return Status::IOError("corrupt WAL upsert record in " + path);
+      }
+      for (uint64_t i = 0; i < num_meta; ++i) {
+        std::string k;
+        std::string v;
+        if (!reader.GetString(&k) || !reader.GetString(&v)) {
+          return Status::IOError("corrupt WAL metadata in " + path);
+        }
+        record.metadata[std::move(k)] = std::move(v);
+      }
+      if (!reader.GetString(&record.document)) {
+        return Status::IOError("corrupt WAL document in " + path);
+      }
+      LLMMS_RETURN_NOT_OK(collection->Upsert(std::move(record)));
+      ++stats.upserts;
+    } else if (op == 'D') {
+      std::string id;
+      if (!reader.GetString(&id)) {
+        return Status::IOError("corrupt WAL delete record in " + path);
+      }
+      Status status = collection->Delete(id);
+      if (!status.ok() && !status.IsNotFound()) return status;
+      ++stats.deletes;
+    } else {
+      return Status::IOError("unknown WAL record type in " + path);
+    }
+  }
+  return stats;
+}
+
+}  // namespace llmms::vectordb

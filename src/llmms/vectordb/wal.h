@@ -1,0 +1,63 @@
+#ifndef LLMMS_VECTORDB_WAL_H_
+#define LLMMS_VECTORDB_WAL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "llmms/common/result.h"
+#include "llmms/common/status.h"
+#include "llmms/vectordb/collection.h"
+#include "llmms/vectordb/types.h"
+
+namespace llmms::vectordb {
+
+// Append-only write-ahead log for one collection: every upsert/delete is
+// recorded as a length-prefixed, checksummed record, so the collection state
+// can be rebuilt after a crash by replaying the log (the standard
+// database-durability pattern; whole-database snapshots via
+// VectorDatabase::Save complement it).
+//
+// Recovery is torn-tail tolerant: Replay applies records until the first
+// truncated or checksum-failing record and reports how many were applied —
+// a partially written final record (the crash case) is not an error.
+class WriteAheadLog {
+ public:
+  // Opens (creating or appending to) the log at `path`.
+  static StatusOr<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // Appends an upsert record (flushed before returning).
+  Status AppendUpsert(const VectorRecord& record);
+
+  // Appends a delete record.
+  Status AppendDelete(const std::string& id);
+
+  const std::string& path() const { return path_; }
+
+  struct ReplayStats {
+    size_t upserts = 0;
+    size_t deletes = 0;
+    bool torn_tail = false;  // log ended mid-record (clean crash recovery)
+  };
+
+  // Replays the log at `path` into `collection` (applied in order; deletes
+  // of absent ids are ignored). The file not existing yields empty stats.
+  static StatusOr<ReplayStats> Replay(const std::string& path,
+                                      Collection* collection);
+
+ private:
+  WriteAheadLog(std::string path, std::FILE* file);
+
+  Status AppendRecord(const std::string& payload);
+
+  std::string path_;
+  std::FILE* file_;
+};
+
+}  // namespace llmms::vectordb
+
+#endif  // LLMMS_VECTORDB_WAL_H_

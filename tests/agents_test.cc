@@ -1,0 +1,162 @@
+#include "llmms/core/agents.h"
+
+#include <gtest/gtest.h>
+
+#include "llmms/core/scoring.h"
+#include "llmms/eval/qa_dataset.h"
+#include "testutil.h"
+
+namespace llmms::core {
+namespace {
+
+TEST(DecomposeTest, SinglePartQuestionPassesThrough) {
+  const auto parts = DecomposeQuestion("What is the capital of Veldan?");
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "What is the capital of Veldan?");
+}
+
+TEST(DecomposeTest, SplitsTwoPartQuestions) {
+  const auto parts = DecomposeQuestion(
+      "What is 5 plus 3? Also, who won the battle of Drennos?");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "What is 5 plus 3?");
+  EXPECT_EQ(parts[1], "who won the battle of Drennos?");
+}
+
+TEST(DecomposeTest, StripsVariousJoiners) {
+  const auto parts = DecomposeQuestion(
+      "First question? Additionally, second question? And third question?");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "second question?");
+  EXPECT_EQ(parts[2], "third question?");
+}
+
+TEST(DecomposeTest, StatementsAttachToPrecedingQuestion) {
+  const auto parts =
+      DecomposeQuestion("What color is veltrite? Answer briefly.");
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "What color is veltrite? Answer briefly.");
+}
+
+TEST(DecomposeTest, EmptyAndWhitespaceInput) {
+  EXPECT_EQ(DecomposeQuestion("").size(), 1u);
+  EXPECT_EQ(DecomposeQuestion("no question mark here").size(), 1u);
+}
+
+class AgentsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = testutil::MakeWorld(6);
+    composites_ = eval::GenerateCompositeDataset(world_.dataset, 8);
+  }
+
+  MultiAgentPipeline MakePipeline(MultiAgentPipeline::Config config = {}) {
+    return MultiAgentPipeline(world_.runtime.get(), world_.model_names,
+                              world_.embedder, config);
+  }
+
+  testutil::World world_;
+  std::vector<llm::QaItem> composites_;
+};
+
+TEST_F(AgentsTest, CompositeGeneratorProducesTraps) {
+  ASSERT_EQ(composites_.size(), 8u);
+  for (const auto& item : composites_) {
+    EXPECT_EQ(item.domain, "composite");
+    EXPECT_NE(item.question.find(" Also, "), std::string::npos);
+    EXPECT_GE(item.correct.size(), 1u);
+    EXPECT_GE(item.incorrect.size(), 2u);
+  }
+  // Degenerate inputs.
+  EXPECT_TRUE(eval::GenerateCompositeDataset({}, 5).empty());
+  EXPECT_TRUE(eval::GenerateCompositeDataset(world_.dataset, 0).empty());
+}
+
+TEST_F(AgentsTest, AnswersBothPartsOfCompositeQuestions) {
+  auto pipeline = MakePipeline();
+  const auto& item = composites_[0];
+  auto result = pipeline.Run(item.question);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->sub_results.size(), 2u);
+  EXPECT_FALSE(result->answer.empty());
+  for (const auto& sub : result->sub_results) {
+    EXPECT_FALSE(sub.answer.empty());
+    EXPECT_FALSE(sub.model.empty());
+    EXPECT_GT(sub.tokens, 0u);
+  }
+  EXPECT_EQ(result->total_tokens,
+            result->sub_results[0].tokens + result->sub_results[1].tokens);
+}
+
+TEST_F(AgentsTest, Deterministic) {
+  auto pipeline = MakePipeline();
+  auto a = pipeline.Run(composites_[1].question);
+  auto b = pipeline.Run(composites_[1].question);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->answer, b->answer);
+  EXPECT_EQ(a->total_tokens, b->total_tokens);
+}
+
+TEST_F(AgentsTest, PipelineBeatsSingleShotOnComposites) {
+  // The decompose-research-compose crew should collect more combined F1
+  // than one orchestration run over the fused question (whose KB lookup can
+  // only resolve one half).
+  auto pipeline = MakePipeline();
+  OuaOrchestrator single_shot(world_.runtime.get(), world_.model_names,
+                              world_.embedder, {});
+  double pipeline_f1 = 0.0;
+  double single_f1 = 0.0;
+  for (const auto& item : composites_) {
+    auto crew = pipeline.Run(item.question);
+    auto solo = single_shot.Run(item.question);
+    ASSERT_TRUE(crew.ok());
+    ASSERT_TRUE(solo.ok());
+    pipeline_f1 += BestTokenF1(crew->answer, item.golden, item.correct);
+    single_f1 += BestTokenF1(solo->answer, item.golden, item.correct);
+  }
+  EXPECT_GT(pipeline_f1, single_f1);
+}
+
+TEST_F(AgentsTest, VerifierRetriesLowSimilarityAnswers) {
+  MultiAgentPipeline::Config config;
+  config.verify_threshold = 0.99;  // unreachable: force the retry path
+  config.max_retries = 1;
+  auto pipeline = MakePipeline(config);
+  auto result = pipeline.Run(composites_[2].question);
+  ASSERT_TRUE(result.ok());
+  for (const auto& sub : result->sub_results) {
+    EXPECT_TRUE(sub.retried);
+    EXPECT_FALSE(sub.verified);  // threshold is impossible
+  }
+}
+
+TEST_F(AgentsTest, NoRetryWhenVerificationPasses) {
+  MultiAgentPipeline::Config config;
+  config.verify_threshold = -1.0;  // always verified
+  auto pipeline = MakePipeline(config);
+  auto result = pipeline.Run(composites_[3].question);
+  ASSERT_TRUE(result.ok());
+  for (const auto& sub : result->sub_results) {
+    EXPECT_TRUE(sub.verified);
+    EXPECT_FALSE(sub.retried);
+  }
+}
+
+TEST_F(AgentsTest, ValidatesInput) {
+  auto pipeline = MakePipeline();
+  EXPECT_TRUE(pipeline.Run("").status().IsInvalidArgument());
+  MultiAgentPipeline empty(world_.runtime.get(), {}, world_.embedder, {});
+  EXPECT_TRUE(empty.Run("q?").status().IsFailedPrecondition());
+}
+
+TEST_F(AgentsTest, SimplePassthroughForSinglePartQuestions) {
+  auto pipeline = MakePipeline();
+  const auto& item = world_.dataset[0];
+  auto result = pipeline.Run(item.question);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sub_results.size(), 1u);
+}
+
+}  // namespace
+}  // namespace llmms::core

@@ -1,0 +1,137 @@
+#include "llmms/tokenizer/bpe_tokenizer.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+namespace llmms::tokenizer {
+namespace {
+
+std::vector<std::string> SmallCorpus() {
+  return {
+      "the quick brown fox jumps over the lazy dog",
+      "the quick brown fox is quick and brown",
+      "language models predict the next token in the sequence",
+      "the token budget limits how many tokens a model may generate",
+      "models are quick to generate tokens over the budget",
+  };
+}
+
+TEST(BpeTokenizerTest, UntrainedEncodesBytes) {
+  BpeTokenizer tok;
+  EXPECT_FALSE(tok.trained());
+  const auto ids = tok.Encode("ab");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 'a');
+  EXPECT_EQ(ids[1], 'b');
+}
+
+TEST(BpeTokenizerTest, TrainingGrowsVocabulary) {
+  BpeTokenizer tok;
+  BpeTokenizer::TrainOptions opts;
+  opts.vocab_size = 300;
+  ASSERT_TRUE(tok.Train(SmallCorpus(), opts).ok());
+  EXPECT_TRUE(tok.trained());
+  EXPECT_GT(tok.vocab_size(), 256);
+  EXPECT_LE(tok.vocab_size(), 300);
+}
+
+TEST(BpeTokenizerTest, TrainingRejectsBadArguments) {
+  BpeTokenizer tok;
+  BpeTokenizer::TrainOptions opts;
+  opts.vocab_size = 100;  // below byte vocabulary
+  EXPECT_TRUE(tok.Train(SmallCorpus(), opts).IsInvalidArgument());
+  opts.vocab_size = 300;
+  EXPECT_TRUE(tok.Train({}, opts).IsInvalidArgument());
+}
+
+TEST(BpeTokenizerTest, EncodeDecodeRoundTrip) {
+  BpeTokenizer tok;
+  BpeTokenizer::TrainOptions opts;
+  opts.vocab_size = 400;
+  ASSERT_TRUE(tok.Train(SmallCorpus(), opts).ok());
+  for (const std::string text :
+       {"the quick brown fox", "models generate tokens",
+        "completely unseen words xyzzy", "punctuation, and; symbols!"}) {
+    EXPECT_EQ(tok.Decode(tok.Encode(text)), text) << text;
+  }
+}
+
+TEST(BpeTokenizerTest, TrainingCompressesFrequentWords) {
+  BpeTokenizer tok;
+  BpeTokenizer::TrainOptions opts;
+  opts.vocab_size = 500;
+  ASSERT_TRUE(tok.Train(SmallCorpus(), opts).ok());
+  // "the" occurs many times; it should encode to far fewer tokens than
+  // its byte length.
+  EXPECT_LT(tok.CountTokens("the quick brown"), strlen("the quick brown"));
+}
+
+TEST(BpeTokenizerTest, CountTokensMatchesEncode) {
+  BpeTokenizer tok;
+  BpeTokenizer::TrainOptions opts;
+  opts.vocab_size = 300;
+  ASSERT_TRUE(tok.Train(SmallCorpus(), opts).ok());
+  const std::string text = "the lazy dog jumps";
+  EXPECT_EQ(tok.CountTokens(text), tok.Encode(text).size());
+}
+
+TEST(BpeTokenizerTest, DecodeIgnoresOutOfRangeIds) {
+  BpeTokenizer tok;
+  EXPECT_EQ(tok.Decode({'h', 'i', 99999, -1}), "hi");
+}
+
+TEST(BpeTokenizerTest, EmptyInput) {
+  BpeTokenizer tok;
+  EXPECT_TRUE(tok.Encode("").empty());
+  EXPECT_EQ(tok.Decode({}), "");
+  EXPECT_EQ(tok.CountTokens(""), 0u);
+}
+
+TEST(BpeTokenizerTest, WhitespaceNormalizesToSingleSpaces) {
+  BpeTokenizer tok;
+  // Tabs/newlines act as word boundaries; decode restores single spaces.
+  EXPECT_EQ(tok.Decode(tok.Encode("a\tb\nc")), "a b c");
+}
+
+TEST(BpeTokenizerTest, SaveLoadRoundTrip) {
+  BpeTokenizer tok;
+  BpeTokenizer::TrainOptions opts;
+  opts.vocab_size = 350;
+  ASSERT_TRUE(tok.Train(SmallCorpus(), opts).ok());
+  const std::string path = ::testing::TempDir() + "/bpe_tok.txt";
+  ASSERT_TRUE(tok.Save(path).ok());
+  auto loaded = BpeTokenizer::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->vocab_size(), tok.vocab_size());
+  const std::string text = "the quick brown fox jumps";
+  EXPECT_EQ(loaded->Encode(text), tok.Encode(text));
+  std::remove(path.c_str());
+}
+
+TEST(BpeTokenizerTest, LoadRejectsCorruptFiles) {
+  const std::string path = ::testing::TempDir() + "/bpe_bad.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("not-a-tokenizer\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(BpeTokenizer::Load(path).ok());
+  EXPECT_FALSE(BpeTokenizer::Load("/nonexistent/path/tok.txt").ok());
+  std::remove(path.c_str());
+}
+
+TEST(BpeTokenizerTest, DeterministicTraining) {
+  BpeTokenizer a;
+  BpeTokenizer b;
+  BpeTokenizer::TrainOptions opts;
+  opts.vocab_size = 320;
+  ASSERT_TRUE(a.Train(SmallCorpus(), opts).ok());
+  ASSERT_TRUE(b.Train(SmallCorpus(), opts).ok());
+  const std::string text = "the brown token budget";
+  EXPECT_EQ(a.Encode(text), b.Encode(text));
+  EXPECT_EQ(a.vocab_size(), b.vocab_size());
+}
+
+}  // namespace
+}  // namespace llmms::tokenizer

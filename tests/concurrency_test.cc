@@ -1,0 +1,160 @@
+// Concurrency: the platform serves several sessions at once (§3.4 parallel
+// inference; §7.1 production hosting). These tests hammer the thread-safe
+// surfaces from many threads; run under TSan for full effect.
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <thread>
+
+#include "llmms/app/service.h"
+#include "llmms/common/rng.h"
+#include "llmms/embedding/embedding_cache.h"
+#include "testutil.h"
+
+namespace llmms {
+namespace {
+
+TEST(ConcurrencyTest, ParallelAsksAcrossSessions) {
+  auto world = testutil::MakeWorld(4);
+  auto db = std::make_shared<vectordb::VectorDatabase>();
+  auto sessions = std::make_shared<session::SessionStore>();
+  core::SearchEngine engine(world.runtime.get(), world.embedder, db, sessions);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      core::SearchEngine::QueryOptions options;
+      options.algorithm =
+          t % 2 == 0 ? core::Algorithm::kOua : core::Algorithm::kMab;
+      for (int i = 0; i < 5; ++i) {
+        const auto& item = world.dataset[(t * 5 + i) % world.dataset.size()];
+        auto result =
+            engine.Ask("session-" + std::to_string(t), item.question, options);
+        if (!result.ok() || result->orchestration.answer.empty()) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(sessions->size(), 8u);
+}
+
+TEST(ConcurrencyTest, ParallelCollectionUpsertsAndQueries) {
+  vectordb::Collection::Options opts;
+  opts.dimension = 8;
+  opts.index_kind = vectordb::IndexKind::kHnsw;
+  vectordb::Collection collection("c", opts);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < 100; ++i) {
+        vectordb::VectorRecord record;
+        record.id = "t" + std::to_string(t) + "-" + std::to_string(i);
+        record.vector.resize(8);
+        for (auto& x : record.vector) x = static_cast<float>(rng.Normal());
+        if (!collection.Upsert(std::move(record)).ok()) ++failures;
+        if (i % 10 == 0) {
+          vectordb::Vector query(8, 0.5f);
+          if (!collection.Query(query, 3).ok()) ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(collection.size(), 600u);
+}
+
+TEST(ConcurrencyTest, ParallelRegistryMutations) {
+  auto world = testutil::MakeWorld(2);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 200; ++i) {
+        if (world.registry->List().size() > 10) ++failures;
+        (void)world.registry->Contains("llama3:8b");
+        auto model = world.registry->Get("mistral:7b");
+        if (!model.ok()) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, EmbeddingCacheUnderContention) {
+  auto inner = std::make_shared<embedding::HashEmbedder>();
+  embedding::EmbeddingCache cache(inner, 32);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 300; ++i) {
+        const std::string text =
+            "text " + std::to_string((t * 7 + i) % 50);
+        const auto cached = cache.Embed(text);
+        if (cached != inner->Embed(text)) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(cache.size(), 32u);
+}
+
+TEST(ConcurrencyTest, ParallelSessionStoreAccess) {
+  session::SessionStore store;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 100; ++i) {
+        auto session = store.GetOrCreate("s" + std::to_string(i % 10));
+        if (!session.ok()) {
+          ++failures;
+          continue;
+        }
+        (*session)->Append(session::Role::kUser,
+                           "msg " + std::to_string(t * 100 + i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(store.size(), 10u);
+}
+
+TEST(ConcurrencyTest, ApiServiceParallelRequests) {
+  auto world = testutil::MakeWorld(3);
+  auto db = std::make_shared<vectordb::VectorDatabase>();
+  auto sessions = std::make_shared<session::SessionStore>();
+  core::SearchEngine engine(world.runtime.get(), world.embedder, db, sessions);
+  app::ApiService service(&engine);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 3; ++i) {
+        Json request = Json::MakeObject();
+        request.Set("session", "api-" + std::to_string(t));
+        request.Set("query",
+                    world.dataset[(t + i) % world.dataset.size()].question);
+        auto response = service.Handle("/api/query", request);
+        if (!response["ok"].AsBool()) ++failures;
+        auto health = service.Handle("/api/health", Json::MakeObject());
+        if (!health["ok"].AsBool()) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace llmms

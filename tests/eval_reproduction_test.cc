@@ -1,0 +1,153 @@
+// Shape-level reproduction of the thesis evaluation (Chapter 8): on a
+// TruthfulQA-style benchmark, multi-model orchestration must beat the static
+// single-model baselines on answer quality, with OUA the most token-efficient
+// strategy. These assertions encode the qualitative claims of Figures
+// 8.1-8.3; the bench binaries print the full series.
+
+#include <gtest/gtest.h>
+
+#include "llmms/eval/harness.h"
+#include "llmms/eval/qa_dataset.h"
+#include "testutil.h"
+
+namespace llmms::eval {
+namespace {
+
+class ReproductionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new testutil::World(testutil::MakeWorld(15));
+    HarnessConfig config;
+    EvaluationHarness harness(world_->runtime.get(), world_->embedder,
+                              world_->model_names, config);
+    auto report = harness.Run(world_->dataset);
+    ASSERT_TRUE(report.ok());
+    report_ = new EvaluationReport(std::move(report).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete report_;
+    delete world_;
+    report_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static double BestSingle(double StrategyAggregate::*metric) {
+    double best = -1e9;
+    for (const auto& name : world_->model_names) {
+      const auto* run = report_->Find(name);
+      EXPECT_NE(run, nullptr);
+      best = std::max(best, run->aggregate.*metric);
+    }
+    return best;
+  }
+
+  static testutil::World* world_;
+  static EvaluationReport* report_;
+};
+
+testutil::World* ReproductionTest::world_ = nullptr;
+EvaluationReport* ReproductionTest::report_ = nullptr;
+
+TEST_F(ReproductionTest, AllFiveStrategiesRan) {
+  EXPECT_EQ(report_->runs.size(), 5u);
+  EXPECT_NE(report_->Find("llm-ms-oua"), nullptr);
+  EXPECT_NE(report_->Find("llm-ms-mab"), nullptr);
+  for (const auto& run : report_->runs) {
+    EXPECT_EQ(run.per_question.size(), world_->dataset.size());
+  }
+}
+
+// Figure 8.1 shape: the orchestration strategies out-reward every static
+// single-model baseline, and MAB achieves the highest average reward
+// (§8.3.1).
+TEST_F(ReproductionTest, OrchestrationBeatsSinglesOnRewardAndMabLeads) {
+  const double best_single = BestSingle(&StrategyAggregate::mean_reward);
+  const double oua = report_->Find("llm-ms-oua")->aggregate.mean_reward;
+  const double mab = report_->Find("llm-ms-mab")->aggregate.mean_reward;
+  EXPECT_GT(oua, best_single);
+  EXPECT_GT(mab, best_single);
+  EXPECT_GT(mab, oua);
+}
+
+// Figure 8.2 shape: the orchestration strategies beat every single model on
+// F1, and OUA achieves the highest average F1 (§8.3.2).
+TEST_F(ReproductionTest, OrchestrationBeatsSinglesOnF1AndOuaLeads) {
+  const double best_single = BestSingle(&StrategyAggregate::mean_f1);
+  const double oua = report_->Find("llm-ms-oua")->aggregate.mean_f1;
+  const double mab = report_->Find("llm-ms-mab")->aggregate.mean_f1;
+  EXPECT_GT(oua, best_single);
+  EXPECT_GT(mab, best_single);
+  EXPECT_GE(oua, mab);
+}
+
+// Figure 8.3 shape (the §8.2 token definition: tokens of the final answer):
+// OUA shows the best reward-to-tokens trade-off of the two LLM-MS
+// strategies, and orchestration beats the singles on the ratio too.
+TEST_F(ReproductionTest, OuaBestRewardToTokenRatio) {
+  const auto* oua = report_->Find("llm-ms-oua");
+  const auto* mab = report_->Find("llm-ms-mab");
+  EXPECT_GE(oua->aggregate.mean_reward_per_answer_token,
+            mab->aggregate.mean_reward_per_answer_token);
+  const double best_single =
+      BestSingle(&StrategyAggregate::mean_reward_per_answer_token);
+  EXPECT_GT(oua->aggregate.mean_reward_per_answer_token, best_single);
+}
+
+// §8.4: accuracy follows the same ordering as reward/F1.
+TEST_F(ReproductionTest, OrchestrationAccuracyAtLeastBestSingle) {
+  const double best_single = BestSingle(&StrategyAggregate::accuracy);
+  EXPECT_GE(report_->Find("llm-ms-oua")->aggregate.accuracy, best_single);
+  EXPECT_GE(report_->Find("llm-ms-mab")->aggregate.accuracy, best_single);
+}
+
+// The premise of the paper: each model dominates its own specialty domains,
+// so no single model wins everywhere.
+TEST_F(ReproductionTest, SpecialistsWinTheirOwnDomains) {
+  auto domain_reward = [&](const std::string& strategy,
+                           const std::string& domain) {
+    const auto* run = report_->Find(strategy);
+    for (const auto& [d, agg] :
+         AggregateByDomain(strategy, run->per_question)) {
+      if (d == domain) return agg.mean_reward;
+    }
+    return -1e9;
+  };
+  // LLaMA leads science; Mistral leads math; Qwen leads language.
+  EXPECT_GT(domain_reward("llama3:8b", "science"),
+            domain_reward("mistral:7b", "science"));
+  EXPECT_GT(domain_reward("mistral:7b", "math"),
+            domain_reward("llama3:8b", "math"));
+  EXPECT_GT(domain_reward("qwen2:7b", "language"),
+            domain_reward("llama3:8b", "language"));
+}
+
+// §8.4 "Better resource utilization": the orchestrators must not exceed the
+// budget, and OUA should spend meaningfully less than 3x the single models.
+TEST_F(ReproductionTest, TokenBudgetsRespected) {
+  for (const auto& run : report_->runs) {
+    for (const auto& q : run.per_question) {
+      EXPECT_LE(q.total_tokens, 2048u) << run.strategy;
+    }
+  }
+}
+
+// Determinism: a second harness run reproduces the numbers exactly.
+TEST_F(ReproductionTest, HarnessIsDeterministic) {
+  HarnessConfig config;
+  config.run_singles = false;
+  config.run_mab = false;
+  EvaluationHarness harness(world_->runtime.get(), world_->embedder,
+                            world_->model_names, config);
+  auto again = harness.Run(world_->dataset);
+  ASSERT_TRUE(again.ok());
+  const auto* first = report_->Find("llm-ms-oua");
+  const auto* second = again->Find("llm-ms-oua");
+  ASSERT_NE(second, nullptr);
+  EXPECT_DOUBLE_EQ(first->aggregate.mean_reward,
+                   second->aggregate.mean_reward);
+  EXPECT_DOUBLE_EQ(first->aggregate.mean_f1, second->aggregate.mean_f1);
+}
+
+}  // namespace
+}  // namespace llmms::eval

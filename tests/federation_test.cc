@@ -1,0 +1,133 @@
+// Federated model integration (§9.5): node B hosts models behind the HTTP
+// API; node A registers a RemoteModel adapter for one of them and
+// orchestrates it together with its local models — across a real socket.
+
+#include <gtest/gtest.h>
+
+#include "llmms/app/http_server.h"
+#include "llmms/app/remote_model.h"
+#include "llmms/core/oua.h"
+#include "testutil.h"
+
+namespace llmms::app {
+namespace {
+
+class FederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // --- Node B: the remote host serving the default three models. ---
+    remote_world_ = testutil::MakeWorld(4);
+    remote_db_ = std::make_shared<vectordb::VectorDatabase>();
+    remote_sessions_ = std::make_shared<session::SessionStore>();
+    remote_engine_ = std::make_unique<core::SearchEngine>(
+        remote_world_.runtime.get(), remote_world_.embedder, remote_db_,
+        remote_sessions_);
+    remote_service_ = std::make_unique<ApiService>(remote_engine_.get());
+    remote_server_ = std::make_unique<HttpServer>(remote_service_.get());
+    ASSERT_TRUE(remote_server_->Start(0).ok());
+  }
+
+  void TearDown() override { remote_server_->Stop(); }
+
+  testutil::World remote_world_;
+  std::shared_ptr<vectordb::VectorDatabase> remote_db_;
+  std::shared_ptr<session::SessionStore> remote_sessions_;
+  std::unique_ptr<core::SearchEngine> remote_engine_;
+  std::unique_ptr<ApiService> remote_service_;
+  std::unique_ptr<HttpServer> remote_server_;
+};
+
+TEST_F(FederationTest, GenerateEndpointServesCompletions) {
+  Json body = Json::MakeObject();
+  body.Set("model", "mistral:7b");
+  body.Set("prompt", remote_world_.dataset[0].question);
+  auto response = HttpFetch("127.0.0.1", remote_server_->port(), "POST",
+                            "/api/generate", body.Dump());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  auto result = Json::Parse(response->body);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE((*result)["ok"].AsBool());
+  EXPECT_FALSE((*result)["text"].AsString().empty());
+  EXPECT_GT((*result)["tokens"].AsInt(), 0);
+  EXPECT_EQ((*result)["done_reason"].AsString(), "stop");
+}
+
+TEST_F(FederationTest, GenerateValidatesArguments) {
+  Json body = Json::MakeObject();
+  body.Set("model", "no-such-model");
+  body.Set("prompt", "hello");
+  auto response = HttpFetch("127.0.0.1", remote_server_->port(), "POST",
+                            "/api/generate", body.Dump());
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->status, 200);
+}
+
+TEST_F(FederationTest, ModelInfoEndpoint) {
+  Json body = Json::MakeObject();
+  body.Set("model", "qwen2:7b");
+  auto response = HttpFetch("127.0.0.1", remote_server_->port(), "POST",
+                            "/api/model_info", body.Dump());
+  ASSERT_TRUE(response.ok());
+  auto info = Json::Parse(response->body);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE((*info)["ok"].AsBool());
+  EXPECT_GT((*info)["tokens_per_second"].AsDouble(), 0.0);
+  EXPECT_GT((*info)["context_window"].AsInt(), 0);
+  EXPECT_TRUE((*info)["loaded"].AsBool());
+}
+
+TEST_F(FederationTest, ConnectFetchesMetadata) {
+  auto remote = RemoteModel::Connect("127.0.0.1", remote_server_->port(),
+                                     "mistral:7b");
+  ASSERT_TRUE(remote.ok());
+  EXPECT_EQ((*remote)->remote_name(), "mistral:7b");
+  EXPECT_NE((*remote)->name().find("mistral:7b@127.0.0.1"),
+            std::string::npos);
+  EXPECT_EQ((*remote)->memory_mb(), 0u);  // weights live remotely
+  EXPECT_DOUBLE_EQ((*remote)->tokens_per_second(), 95.0);
+}
+
+TEST_F(FederationTest, ConnectRejectsUnknownModel) {
+  EXPECT_FALSE(RemoteModel::Connect("127.0.0.1", remote_server_->port(),
+                                    "ghost:13b")
+                   .ok());
+  EXPECT_FALSE(RemoteModel::Connect("127.0.0.1", 1, "mistral:7b").ok());
+}
+
+TEST_F(FederationTest, RemoteStreamMatchesRemoteExecution) {
+  auto remote = RemoteModel::Connect("127.0.0.1", remote_server_->port(),
+                                     "mistral:7b", "fed-mistral");
+  ASSERT_TRUE(remote.ok());
+  llm::GenerationRequest request;
+  request.prompt = remote_world_.dataset[1].question;
+  auto via_adapter = (*remote)->Generate(request);
+  ASSERT_TRUE(via_adapter.ok());
+  auto direct = remote_world_.runtime->Generate("mistral:7b", request);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(via_adapter->text, direct->text);
+  EXPECT_EQ(via_adapter->num_tokens, direct->num_tokens);
+  EXPECT_EQ(via_adapter->stop_reason, llm::StopReason::kStop);
+}
+
+TEST_F(FederationTest, RemoteModelJoinsLocalOrchestration) {
+  // --- Node A: a local node with two local models + the federated one. ---
+  auto local_world = testutil::MakeWorld(4);
+  auto remote = RemoteModel::Connect("127.0.0.1", remote_server_->port(),
+                                     "mistral:7b", "fed-mistral");
+  ASSERT_TRUE(remote.ok());
+  ASSERT_TRUE(local_world.registry->Register(*remote).ok());
+  ASSERT_TRUE(local_world.runtime->LoadModel("fed-mistral").ok());
+
+  core::OuaOrchestrator orchestrator(
+      local_world.runtime.get(),
+      {"llama3:8b", "qwen2:7b", "fed-mistral"}, local_world.embedder, {});
+  auto result = orchestrator.Run(local_world.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->answer.empty());
+  ASSERT_EQ(result->per_model.size(), 3u);
+  EXPECT_GT(result->per_model["fed-mistral"].tokens, 0u);
+}
+
+}  // namespace
+}  // namespace llmms::app

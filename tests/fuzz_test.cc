@@ -1,0 +1,204 @@
+// Deterministic fuzz sweeps over hostile inputs: parsers and interpreters
+// must never crash and must fail with typed statuses, not garbage state.
+
+#include <gtest/gtest.h>
+
+#include "llmms/app/http.h"
+#include "llmms/app/nl_config.h"
+#include "llmms/app/sse.h"
+#include "llmms/common/json.h"
+#include "llmms/common/rng.h"
+#include "llmms/eval/qa_dataset.h"
+#include "llmms/tokenizer/bpe_tokenizer.h"
+
+namespace llmms {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  const size_t n =
+      static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(max_len)));
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>(rng->UniformInt(0, 255)));
+  }
+  return out;
+}
+
+std::string RandomAsciiSoup(Rng* rng, size_t max_len) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz 0123456789{}[]\":,.\\/?\r\n-";
+  const size_t n =
+      static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(max_len)));
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(
+        kAlphabet[rng->UniformInt(0, sizeof(kAlphabet) - 2)]);
+  }
+  return out;
+}
+
+TEST(FuzzTest, JsonParserSurvivesRandomBytes) {
+  Rng rng(0xF022);
+  for (int i = 0; i < 2000; ++i) {
+    (void)Json::Parse(RandomBytes(&rng, 200));
+    (void)Json::Parse(RandomAsciiSoup(&rng, 200));
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTest, JsonParserSurvivesMutatedValidDocuments) {
+  Rng rng(0xF023);
+  const std::string valid =
+      R"({"a":[1,2.5,"x",null,true],"b":{"c":"d\ne"},"n":-12})";
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = valid;
+    const size_t edits = static_cast<size_t>(rng.UniformInt(1, 5));
+    for (size_t e = 0; e < edits; ++e) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    }
+    auto parsed = Json::Parse(mutated);
+    if (parsed.ok()) {
+      // Whatever parsed must serialize and re-parse to itself.
+      auto round = Json::Parse(parsed->Dump());
+      ASSERT_TRUE(round.ok());
+      EXPECT_EQ(*round, *parsed);
+    }
+  }
+}
+
+TEST(FuzzTest, HttpRequestParserSurvivesRandomBytes) {
+  Rng rng(0xF024);
+  for (int i = 0; i < 2000; ++i) {
+    (void)app::ParseHttpRequest(RandomBytes(&rng, 300));
+    (void)app::ParseHttpRequest(RandomAsciiSoup(&rng, 300));
+    (void)app::ParseHttpResponse(RandomBytes(&rng, 300));
+    (void)app::ParseHttpResponse(RandomAsciiSoup(&rng, 300));
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTest, HttpRequestParserSurvivesMutatedValidRequests) {
+  Rng rng(0xF025);
+  const std::string valid =
+      "POST /api/query?stream=1 HTTP/1.1\r\nhost: x\r\ncontent-length: "
+      "4\r\n\r\nbody";
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = valid;
+    const size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.UniformInt(0, 255));
+    (void)app::ParseHttpRequest(mutated);
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTest, SseDecoderSurvivesAnything) {
+  Rng rng(0xF026);
+  for (int i = 0; i < 2000; ++i) {
+    (void)app::DecodeSse(RandomBytes(&rng, 300));
+    (void)app::DecodeSse(RandomAsciiSoup(&rng, 300));
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTest, SseEncodeDecodeRoundTripsRandomPayloads) {
+  Rng rng(0xF027);
+  for (int i = 0; i < 500; ++i) {
+    app::SseEvent event;
+    event.event = "e";
+    // SSE data cannot carry raw '\r'; the encoder splits on '\n'.
+    std::string data = RandomAsciiSoup(&rng, 100);
+    data.erase(std::remove(data.begin(), data.end(), '\r'), data.end());
+    event.data = data;
+    const auto decoded = app::DecodeSse(app::EncodeSse(event));
+    ASSERT_EQ(decoded.size(), 1u) << data;
+    EXPECT_EQ(decoded[0].data, data);
+  }
+}
+
+TEST(FuzzTest, NlConfigNeverCrashesAndPoolStaysValid) {
+  Rng rng(0xF028);
+  const std::vector<app::NlModelInfo> models = {
+      {"llama3:8b", 75.0}, {"mistral:7b", 95.0}, {"qwen2:7b", 85.0}};
+  static const char* kFragments[] = {
+      "avoid", "use", "the", "bandit", "llama3", "mistral", "qwen2",
+      "budget", "512", "tokens", "slow", "models", "only", "prioritize",
+      "no", "retrieval", "consensus", "focus", "on", ",", ".", "hybrid"};
+  for (int i = 0; i < 2000; ++i) {
+    std::string instruction;
+    const int words = static_cast<int>(rng.UniformInt(0, 12));
+    for (int w = 0; w < words; ++w) {
+      if (!instruction.empty()) instruction += ' ';
+      instruction += kFragments[rng.UniformInt(0, 21)];
+    }
+    auto result = app::ApplyNlConfig(
+        instruction, core::SearchEngine::QueryOptions{}, models);
+    if (result.ok()) {
+      // The pool must only ever contain known models, no duplicates.
+      ASSERT_FALSE(result->options.models.empty());
+      for (const auto& m : result->options.models) {
+        bool known = false;
+        for (const auto& info : models) known = known || info.name == m;
+        EXPECT_TRUE(known) << m << " from: " << instruction;
+      }
+      EXPECT_GT(result->options.token_budget, 0u) << instruction;
+    }
+  }
+}
+
+TEST(FuzzTest, DatasetLoaderSurvivesMutatedJsonl) {
+  Rng rng(0xF029);
+  eval::DatasetOptions opts;
+  opts.questions_per_domain = 1;
+  const auto items = eval::GenerateDataset(opts);
+  const std::string path = ::testing::TempDir() + "/fuzz.jsonl";
+  ASSERT_TRUE(eval::SaveDatasetJsonl(items, path).ok());
+  std::string contents;
+  {
+    FILE* f = fopen(path.c_str(), "rb");
+    char buf[65536];
+    size_t n = 0;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+    fclose(f);
+  }
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = contents;
+    const size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    {
+      FILE* f = fopen(path.c_str(), "wb");
+      fwrite(mutated.data(), 1, mutated.size(), f);
+      fclose(f);
+    }
+    auto loaded = eval::LoadDatasetJsonl(path);
+    if (loaded.ok()) {
+      for (const auto& item : *loaded) {
+        EXPECT_FALSE(item.question.empty());
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FuzzTest, BpeSurvivesBinaryInput) {
+  Rng rng(0xF02A);
+  tokenizer::BpeTokenizer tok;
+  tokenizer::BpeTokenizer::TrainOptions opts;
+  opts.vocab_size = 300;
+  ASSERT_TRUE(tok.Train({"some ordinary training text here"}, opts).ok());
+  for (int i = 0; i < 500; ++i) {
+    const std::string input = RandomBytes(&rng, 100);
+    const auto ids = tok.Encode(input);
+    const std::string decoded = tok.Decode(ids);
+    // Byte-level BPE must round-trip anything modulo whitespace runs.
+    EXPECT_LE(decoded.size(), input.size());
+  }
+}
+
+}  // namespace
+}  // namespace llmms

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "llmms/app/http.h"
+#include "llmms/app/http_server.h"
+#include "llmms/app/sse.h"
+#include "testutil.h"
+
+namespace llmms::app {
+namespace {
+
+// ------------------------------------------------------- message parsing
+TEST(HttpParseTest, ParsesRequestWithBody) {
+  const std::string raw =
+      "POST /api/query?stream=1 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 13\r\n"
+      "\r\n"
+      "{\"a\": \"b\"}123";
+  auto request = ParseHttpRequest(raw);
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->method, "POST");
+  EXPECT_EQ(request->path, "/api/query");
+  EXPECT_EQ(request->query, "stream=1");
+  EXPECT_EQ(request->headers.at("host"), "localhost");
+  EXPECT_EQ(request->body.size(), 13u);
+}
+
+TEST(HttpParseTest, HeaderKeysLowercased) {
+  auto request = ParseHttpRequest(
+      "GET /x HTTP/1.1\r\nX-CUSTOM-Header:  spaced value \r\n\r\n");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->headers.at("x-custom-header"), "spaced value");
+}
+
+TEST(HttpParseTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseHttpRequest("").ok());
+  EXPECT_FALSE(ParseHttpRequest("GET /x HTTP/1.1\r\n").ok());  // no blank line
+  EXPECT_FALSE(ParseHttpRequest("NOT-HTTP\r\n\r\n").ok());
+  EXPECT_FALSE(ParseHttpRequest("GET /x JUNK/9\r\n\r\n").ok());
+  EXPECT_FALSE(
+      ParseHttpRequest("GET /x HTTP/1.1\r\nbadheaderline\r\n\r\n").ok());
+  // Body shorter than declared.
+  EXPECT_FALSE(
+      ParseHttpRequest("POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc")
+          .ok());
+}
+
+TEST(HttpParseTest, ResponseRoundTrip) {
+  HttpResponse response;
+  response.status = 404;
+  response.headers["content-type"] = "application/json";
+  response.body = "{\"ok\":false}";
+  auto parsed = ParseHttpResponse(SerializeHttpResponse(response));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->status, 404);
+  EXPECT_EQ(parsed->body, response.body);
+  EXPECT_EQ(parsed->headers.at("content-type"), "application/json");
+}
+
+TEST(HttpParseTest, ChunkedResponseDecoded) {
+  const std::string raw =
+      "HTTP/1.1 200 OK\r\n"
+      "transfer-encoding: chunked\r\n"
+      "\r\n"
+      "5\r\nhello\r\n"
+      "6\r\n world\r\n"
+      "0\r\n\r\n";
+  auto parsed = ParseHttpResponse(raw);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->body, "hello world");
+}
+
+TEST(HttpParseTest, TruncatedChunkRejected) {
+  const std::string raw =
+      "HTTP/1.1 200 OK\r\n"
+      "transfer-encoding: chunked\r\n"
+      "\r\n"
+      "ff\r\nshort";
+  EXPECT_FALSE(ParseHttpResponse(raw).ok());
+}
+
+TEST(HttpParseTest, ReasonPhrases) {
+  EXPECT_STREQ(HttpReasonPhrase(200), "OK");
+  EXPECT_STREQ(HttpReasonPhrase(404), "Not Found");
+  EXPECT_STREQ(HttpReasonPhrase(418), "Unknown");
+}
+
+// --------------------------------------------------- server integration
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = testutil::MakeWorld(4);
+    db_ = std::make_shared<vectordb::VectorDatabase>();
+    sessions_ = std::make_shared<session::SessionStore>();
+    engine_ = std::make_unique<core::SearchEngine>(
+        world_.runtime.get(), world_.embedder, db_, sessions_);
+    service_ = std::make_unique<ApiService>(engine_.get());
+    server_ = std::make_unique<HttpServer>(service_.get());
+    ASSERT_TRUE(server_->Start(0).ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  testutil::World world_;
+  std::shared_ptr<vectordb::VectorDatabase> db_;
+  std::shared_ptr<session::SessionStore> sessions_;
+  std::unique_ptr<core::SearchEngine> engine_;
+  std::unique_ptr<ApiService> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpServerTest, HealthEndpointOverTheWire) {
+  auto response =
+      HttpFetch("127.0.0.1", server_->port(), "GET", "/api/health");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  auto body = Json::Parse(response->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_TRUE((*body)["ok"].AsBool());
+  EXPECT_EQ((*body)["status"].AsString(), "healthy");
+}
+
+TEST_F(HttpServerTest, QueryEndToEnd) {
+  Json request = Json::MakeObject();
+  request.Set("session", "wire");
+  request.Set("query", world_.dataset[0].question);
+  auto response = HttpFetch("127.0.0.1", server_->port(), "POST",
+                            "/api/query", request.Dump());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  auto body = Json::Parse(response->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_TRUE((*body)["ok"].AsBool());
+  EXPECT_FALSE((*body)["answer"].AsString().empty());
+}
+
+TEST_F(HttpServerTest, StreamingQueryDeliversSseFrames) {
+  Json request = Json::MakeObject();
+  request.Set("session", "wire-sse");
+  request.Set("query", world_.dataset[1].question);
+  auto response = HttpFetch("127.0.0.1", server_->port(), "POST",
+                            "/api/query?stream=1", request.Dump());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->headers.at("content-type"), "text/event-stream");
+
+  const auto frames = DecodeSse(response->body);
+  ASSERT_GT(frames.size(), 1u);
+  EXPECT_EQ(frames.back().event, "result");
+  auto result = Json::Parse(frames.back().data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE((*result)["ok"].AsBool());
+  // At least one orchestration frame with a chunk or score event.
+  bool saw_orchestration = false;
+  for (const auto& frame : frames) {
+    saw_orchestration =
+        saw_orchestration || frame.event == "orchestration";
+  }
+  EXPECT_TRUE(saw_orchestration);
+}
+
+TEST_F(HttpServerTest, ErrorsMapToHttpStatusCodes) {
+  auto not_found =
+      HttpFetch("127.0.0.1", server_->port(), "GET", "/api/nothing");
+  ASSERT_TRUE(not_found.ok());
+  EXPECT_EQ(not_found->status, 404);
+
+  auto bad_json = HttpFetch("127.0.0.1", server_->port(), "POST",
+                            "/api/query", "this is not json");
+  ASSERT_TRUE(bad_json.ok());
+  EXPECT_EQ(bad_json->status, 400);
+
+  auto bad_method =
+      HttpFetch("127.0.0.1", server_->port(), "DELETE", "/api/health");
+  ASSERT_TRUE(bad_method.ok());
+  EXPECT_EQ(bad_method->status, 405);
+
+  Json missing = Json::MakeObject();
+  missing.Set("session", "x");
+  auto invalid = HttpFetch("127.0.0.1", server_->port(), "POST", "/api/query",
+                           missing.Dump());
+  ASSERT_TRUE(invalid.ok());
+  EXPECT_EQ(invalid->status, 400);
+}
+
+TEST_F(HttpServerTest, UploadThenQueryOverTheWire) {
+  const auto& item = world_.dataset[0];
+  Json upload = Json::MakeObject();
+  upload.Set("session", "wire-rag");
+  upload.Set("document_id", "doc");
+  upload.Set("text", item.golden);
+  auto up = HttpFetch("127.0.0.1", server_->port(), "POST", "/api/upload",
+                      upload.Dump());
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->status, 200);
+
+  Json query = Json::MakeObject();
+  query.Set("session", "wire-rag");
+  query.Set("query", item.question);
+  auto response = HttpFetch("127.0.0.1", server_->port(), "POST",
+                            "/api/query", query.Dump());
+  ASSERT_TRUE(response.ok());
+  auto body = Json::Parse(response->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_GE((*body)["retrieved_chunks"].AsInt(), 1);
+}
+
+TEST_F(HttpServerTest, ConcurrentClients) {
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 5; ++i) {
+        auto response =
+            HttpFetch("127.0.0.1", server_->port(), "GET", "/api/models");
+        if (!response.ok() || response->status != 200) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(HttpServerTest, DoubleStartRejectedStopIdempotent) {
+  EXPECT_TRUE(server_->Start(0).IsFailedPrecondition());
+  server_->Stop();
+  server_->Stop();  // idempotent
+  EXPECT_FALSE(server_->running());
+  // Connections after stop fail cleanly.
+  auto response =
+      HttpFetch("127.0.0.1", server_->port(), "GET", "/api/health");
+  EXPECT_FALSE(response.ok());
+}
+
+}  // namespace
+}  // namespace llmms::app

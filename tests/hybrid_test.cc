@@ -1,0 +1,144 @@
+#include "llmms/core/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include "llmms/core/mab.h"
+#include "llmms/core/trace_report.h"
+#include "testutil.h"
+
+namespace llmms::core {
+namespace {
+
+class HybridTest : public ::testing::Test {
+ protected:
+  void SetUp() override { world_ = testutil::MakeWorld(6); }
+
+  HybridOrchestrator MakeOrchestrator(HybridOrchestrator::Config config = {}) {
+    return HybridOrchestrator(world_.runtime.get(), world_.model_names,
+                              world_.embedder, config);
+  }
+
+  testutil::World world_;
+};
+
+TEST_F(HybridTest, ProducesAnswerWithinBudget) {
+  HybridOrchestrator::Config config;
+  config.token_budget = 400;
+  auto orchestrator = MakeOrchestrator(config);
+  auto result = orchestrator.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->answer.empty());
+  EXPECT_LE(result->total_tokens, config.token_budget);
+  EXPECT_EQ(result->answer, result->per_model[result->best_model].response);
+}
+
+TEST_F(HybridTest, Deterministic) {
+  auto orchestrator = MakeOrchestrator();
+  auto a = orchestrator.Run(world_.dataset[1].question);
+  auto b = orchestrator.Run(world_.dataset[1].question);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->best_model, b->best_model);
+  EXPECT_EQ(a->answer, b->answer);
+  EXPECT_EQ(a->total_tokens, b->total_tokens);
+}
+
+TEST_F(HybridTest, ScreeningPhasePrunesWithAggressiveMargin) {
+  HybridOrchestrator::Config config;
+  config.prune_margin = -1.0;  // prune each screening round
+  config.min_survivors = 1;
+  config.screening_rounds = 4;
+  auto orchestrator = MakeOrchestrator(config);
+  auto result = orchestrator.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  size_t pruned = 0;
+  for (const auto& [model, outcome] : result->per_model) {
+    pruned += outcome.pruned ? 1 : 0;
+  }
+  EXPECT_GE(pruned, 1u);
+  EXPECT_FALSE(result->per_model[result->best_model].pruned);
+}
+
+TEST_F(HybridTest, MinSurvivorsRespected) {
+  HybridOrchestrator::Config config;
+  config.prune_margin = -1.0;
+  config.min_survivors = 2;
+  config.screening_rounds = 6;
+  auto orchestrator = MakeOrchestrator(config);
+  auto result = orchestrator.Run(world_.dataset[2].question);
+  ASSERT_TRUE(result.ok());
+  size_t survivors = 0;
+  for (const auto& [model, outcome] : result->per_model) {
+    survivors += outcome.pruned ? 0 : 1;
+  }
+  EXPECT_GE(survivors, 2u);
+}
+
+TEST_F(HybridTest, UsesFewerTokensThanPureMab) {
+  HybridOrchestrator::Config hybrid_config;
+  auto hybrid = MakeOrchestrator(hybrid_config);
+  MabOrchestrator mab(world_.runtime.get(), world_.model_names,
+                      world_.embedder, {});
+  size_t hybrid_tokens = 0;
+  size_t mab_tokens = 0;
+  for (size_t i = 0; i < 8 && i < world_.dataset.size(); ++i) {
+    auto h = hybrid.Run(world_.dataset[i].question);
+    auto m = mab.Run(world_.dataset[i].question);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(m.ok());
+    hybrid_tokens += h->total_tokens;
+    mab_tokens += m->total_tokens;
+  }
+  EXPECT_LT(hybrid_tokens, mab_tokens);
+}
+
+TEST_F(HybridTest, ValidatesConfiguration) {
+  HybridOrchestrator::Config config;
+  config.token_budget = 0;
+  auto orchestrator = MakeOrchestrator(config);
+  EXPECT_TRUE(orchestrator.Run(world_.dataset[0].question)
+                  .status()
+                  .IsInvalidArgument());
+  HybridOrchestrator empty(world_.runtime.get(), {}, world_.embedder, {});
+  EXPECT_TRUE(empty.Run("q").status().IsFailedPrecondition());
+}
+
+TEST_F(HybridTest, EmitsEventsFromBothPhases) {
+  auto orchestrator = MakeOrchestrator();
+  size_t chunks = 0;
+  size_t scores = 0;
+  bool final_seen = false;
+  auto result = orchestrator.Run(world_.dataset[0].question,
+                                 [&](const OrchestratorEvent& e) {
+                                   chunks += e.type == EventType::kChunk;
+                                   scores += e.type == EventType::kScore;
+                                   final_seen |= e.type == EventType::kFinal;
+                                 });
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(chunks, 0u);
+  EXPECT_GT(scores, 0u);
+  EXPECT_TRUE(final_seen);
+}
+
+TEST_F(HybridTest, NameIsStable) {
+  auto orchestrator = MakeOrchestrator();
+  EXPECT_EQ(orchestrator.name(), "llm-ms-hybrid");
+}
+
+TEST_F(HybridTest, TraceReportFormatsDecisions) {
+  HybridOrchestrator::Config config;
+  config.prune_margin = -1.0;
+  config.min_survivors = 1;
+  auto orchestrator = MakeOrchestrator(config);
+  auto result = orchestrator.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  const std::string trace = FormatTrace(*result);
+  EXPECT_NE(trace.find("pruned"), std::string::npos);
+  EXPECT_NE(trace.find("final: " + result->best_model), std::string::npos);
+  const std::string summary = SummarizeOutcome(*result);
+  EXPECT_NE(summary.find(result->best_model), std::string::npos);
+  EXPECT_NE(summary.find("pruned"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace llmms::core

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "llmms/llm/knowledge.h"
+#include "llmms/llm/registry.h"
+#include "llmms/llm/runtime.h"
+#include "testutil.h"
+
+namespace llmms::llm {
+namespace {
+
+TEST(KnowledgeBaseTest, LookupFindsMatchingItem) {
+  auto world = testutil::MakeWorld();
+  const auto& item = world.dataset[3];
+  const QaItem* found = world.knowledge->Lookup(item.question);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id, item.id);
+}
+
+TEST(KnowledgeBaseTest, LookupSurvivesPromptDecoration) {
+  auto world = testutil::MakeWorld();
+  const auto& item = world.dataset[5];
+  const std::string decorated =
+      "Conversation so far:\nuser: hello\n\nQuestion: " + item.question;
+  const QaItem* found = world.knowledge->Lookup(decorated);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id, item.id);
+}
+
+TEST(KnowledgeBaseTest, LookupRejectsOffTopicPrompts) {
+  auto world = testutil::MakeWorld();
+  EXPECT_EQ(world.knowledge->Lookup("zzz qqq completely unrelated blorp",
+                                    /*min_similarity=*/0.3),
+            nullptr);
+}
+
+TEST(KnowledgeBaseTest, FindByIdAndValidation) {
+  auto world = testutil::MakeWorld();
+  EXPECT_NE(world.knowledge->FindById(world.dataset[0].id), nullptr);
+  EXPECT_EQ(world.knowledge->FindById("no-such-id"), nullptr);
+  KnowledgeBase kb(world.embedder);
+  QaItem empty;
+  EXPECT_TRUE(kb.Add(empty).IsInvalidArgument());
+  EXPECT_EQ(kb.Lookup("anything"), nullptr);
+}
+
+TEST(ModelRegistryTest, RegisterGetRemove) {
+  auto world = testutil::MakeWorld();
+  EXPECT_EQ(world.registry->size(), 3u);
+  EXPECT_TRUE(world.registry->Contains("llama3:8b"));
+  auto model = world.registry->Get("mistral:7b");
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->name(), "mistral:7b");
+  EXPECT_TRUE(world.registry->Get("nope").status().IsNotFound());
+  EXPECT_TRUE(world.registry->Remove("nope").IsNotFound());
+  ASSERT_TRUE(world.registry->Remove("qwen2:7b").ok());
+  EXPECT_EQ(world.registry->size(), 2u);
+}
+
+TEST(ModelRegistryTest, DuplicateRegistrationRejectedPullReplaces) {
+  auto world = testutil::MakeWorld();
+  auto model = world.registry->Get("llama3:8b");
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(world.registry->Register(*model).IsAlreadyExists());
+  EXPECT_TRUE(world.registry->Pull(*model).ok());
+  EXPECT_TRUE(world.registry->Register(nullptr).IsInvalidArgument());
+}
+
+TEST(ModelRegistryTest, ListIsSorted) {
+  auto world = testutil::MakeWorld();
+  const auto names = world.registry->List();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "llama3:8b");
+  EXPECT_EQ(names[1], "mistral:7b");
+  EXPECT_EQ(names[2], "qwen2:7b");
+}
+
+TEST(ModelRuntimeTest, LoadReservesDeviceMemory) {
+  auto world = testutil::MakeWorld();
+  // The test world loads all three models in MakeWorld; together they need
+  // ~14.6 GB of the 32 GB V100.
+  const auto snapshot = world.hardware->Snapshot();
+  uint64_t used = 0;
+  for (const auto& t : snapshot) used += t.memory_used_mb;
+  EXPECT_GT(used, 14000u);
+  EXPECT_EQ(world.runtime->LoadedModels().size(), 3u);
+  EXPECT_TRUE(world.runtime->IsLoaded("llama3:8b"));
+}
+
+TEST(ModelRuntimeTest, LoadTwiceIsNoop) {
+  auto world = testutil::MakeWorld();
+  const auto before = world.hardware->Snapshot();
+  ASSERT_TRUE(world.runtime->LoadModel("llama3:8b").ok());
+  const auto after = world.hardware->Snapshot();
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].memory_used_mb, after[i].memory_used_mb);
+  }
+}
+
+TEST(ModelRuntimeTest, UnloadFreesMemory) {
+  auto world = testutil::MakeWorld();
+  uint64_t used_before = 0;
+  for (const auto& t : world.hardware->Snapshot()) {
+    used_before += t.memory_used_mb;
+  }
+  ASSERT_TRUE(world.runtime->UnloadModel("llama3:8b").ok());
+  uint64_t used_after = 0;
+  for (const auto& t : world.hardware->Snapshot()) {
+    used_after += t.memory_used_mb;
+  }
+  EXPECT_LT(used_after, used_before);
+  EXPECT_TRUE(world.runtime->UnloadModel("llama3:8b").IsNotFound());
+}
+
+TEST(ModelRuntimeTest, GenerateUnloadedModelFails) {
+  auto world = testutil::MakeWorld();
+  ASSERT_TRUE(world.runtime->UnloadModel("qwen2:7b").ok());
+  GenerationRequest request;
+  request.prompt = world.dataset[0].question;
+  EXPECT_TRUE(world.runtime->Generate("qwen2:7b", request)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(ModelRuntimeTest, StartGenerationValidatesInput) {
+  auto world = testutil::MakeWorld();
+  GenerationRequest request;
+  request.prompt = world.dataset[0].question;
+  EXPECT_TRUE(world.runtime->StartGeneration({}, request)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(world.runtime
+                  ->StartGeneration({"llama3:8b", "llama3:8b"}, request)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ParallelGenerationTest, NextChunksRunsAllModels) {
+  auto world = testutil::MakeWorld();
+  GenerationRequest request;
+  request.prompt = world.dataset[0].question;
+  auto generation =
+      world.runtime->StartGeneration(world.model_names, request);
+  ASSERT_TRUE(generation.ok());
+  std::vector<std::pair<std::string, size_t>> requests;
+  for (const auto& m : world.model_names) requests.emplace_back(m, 8);
+  auto chunks = (*generation)->NextChunks(requests);
+  ASSERT_TRUE(chunks.ok());
+  EXPECT_EQ(chunks->size(), 3u);
+  for (const auto& [model, chunk] : *chunks) {
+    EXPECT_LE(chunk.num_tokens, 8u);
+    EXPECT_GT(chunk.num_tokens, 0u) << model;
+  }
+  EXPECT_EQ((*generation)->TotalTokens(),
+            chunks->at("llama3:8b").num_tokens +
+                chunks->at("mistral:7b").num_tokens +
+                chunks->at("qwen2:7b").num_tokens);
+}
+
+TEST(ParallelGenerationTest, UnknownModelRejected) {
+  auto world = testutil::MakeWorld();
+  GenerationRequest request;
+  request.prompt = world.dataset[0].question;
+  auto generation = world.runtime->StartGeneration({"llama3:8b"}, request);
+  ASSERT_TRUE(generation.ok());
+  EXPECT_TRUE((*generation)->NextChunk("mistral:7b", 4).status().IsNotFound());
+  EXPECT_TRUE((*generation)->TextOf("nope").status().IsNotFound());
+  EXPECT_TRUE((*generation)->StatsOf("nope").status().IsNotFound());
+}
+
+TEST(ParallelGenerationTest, SimulatedTimeUsesSlowestOfRound) {
+  auto world = testutil::MakeWorld();
+  GenerationRequest request;
+  request.prompt = world.dataset[0].question;
+  auto generation =
+      world.runtime->StartGeneration(world.model_names, request);
+  ASSERT_TRUE(generation.ok());
+  std::vector<std::pair<std::string, size_t>> requests;
+  for (const auto& m : world.model_names) requests.emplace_back(m, 8);
+  ASSERT_TRUE((*generation)->NextChunks(requests).ok());
+  // Parallel round: wall time must be <= the sum of per-model times.
+  double sum = 0.0;
+  for (const auto& m : world.model_names) {
+    auto stats = (*generation)->StatsOf(m);
+    ASSERT_TRUE(stats.ok());
+    sum += stats->simulated_seconds;
+  }
+  EXPECT_GT((*generation)->SimulatedWallSeconds(), 0.0);
+  EXPECT_LT((*generation)->SimulatedWallSeconds(), sum);
+}
+
+TEST(ParallelGenerationTest, GenerateToCompletionViaRuntime) {
+  auto world = testutil::MakeWorld();
+  GenerationRequest request;
+  request.prompt = world.dataset[2].question;
+  auto result = world.runtime->Generate("mistral:7b", request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->num_tokens, 0u);
+  EXPECT_EQ(result->stop_reason, StopReason::kStop);
+  EXPECT_GT(result->simulated_seconds, 0.0);
+  EXPECT_FALSE(result->text.empty());
+}
+
+}  // namespace
+}  // namespace llmms::llm

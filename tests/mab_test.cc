@@ -1,0 +1,171 @@
+#include "llmms/core/mab.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace llmms::core {
+namespace {
+
+class MabTest : public ::testing::Test {
+ protected:
+  void SetUp() override { world_ = testutil::MakeWorld(6); }
+
+  MabOrchestrator MakeOrchestrator(MabOrchestrator::Config config = {}) {
+    return MabOrchestrator(world_.runtime.get(), world_.model_names,
+                           world_.embedder, config);
+  }
+
+  testutil::World world_;
+};
+
+TEST_F(MabTest, ProducesAnswerWithinBudget) {
+  MabOrchestrator::Config config;
+  config.token_budget = 256;
+  auto orchestrator = MakeOrchestrator(config);
+  auto result = orchestrator.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->answer.empty());
+  EXPECT_LE(result->total_tokens, config.token_budget);
+  EXPECT_GT(result->rounds, 0u);
+}
+
+TEST_F(MabTest, Deterministic) {
+  auto orchestrator = MakeOrchestrator();
+  auto a = orchestrator.Run(world_.dataset[1].question);
+  auto b = orchestrator.Run(world_.dataset[1].question);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->best_model, b->best_model);
+  EXPECT_EQ(a->answer, b->answer);
+  EXPECT_EQ(a->total_tokens, b->total_tokens);
+}
+
+TEST_F(MabTest, ColdStartPullsEveryArmOnce) {
+  MabOrchestrator::Config config;
+  config.chunk_tokens = 4;
+  auto orchestrator = MakeOrchestrator(config);
+  std::vector<std::string> first_three;
+  auto result = orchestrator.Run(
+      world_.dataset[0].question, [&first_three](const OrchestratorEvent& e) {
+        if (e.type == EventType::kChunk && first_three.size() < 3) {
+          first_three.push_back(e.model);
+        }
+      });
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(first_three.size(), 3u);
+  // The first three pulls must touch three distinct arms (UCB1 cold start).
+  EXPECT_NE(first_three[0], first_three[1]);
+  EXPECT_NE(first_three[1], first_three[2]);
+  EXPECT_NE(first_three[0], first_three[2]);
+}
+
+TEST_F(MabTest, EveryModelGetsTokens) {
+  auto orchestrator = MakeOrchestrator();
+  auto result = orchestrator.Run(world_.dataset[2].question);
+  ASSERT_TRUE(result.ok());
+  for (const auto& [name, outcome] : result->per_model) {
+    EXPECT_GT(outcome.tokens, 0u) << name;
+  }
+}
+
+TEST_F(MabTest, WinnerHasHighestReward) {
+  auto orchestrator = MakeOrchestrator();
+  auto result = orchestrator.Run(world_.dataset[3].question);
+  ASSERT_TRUE(result.ok());
+  const double winner = result->per_model[result->best_model].final_score;
+  for (const auto& [name, outcome] : result->per_model) {
+    EXPECT_LE(outcome.final_score, winner + 1e-9) << name;
+  }
+  EXPECT_EQ(result->answer, result->per_model[result->best_model].response);
+}
+
+TEST_F(MabTest, ExploitationConcentratesTokensOnWinner) {
+  MabOrchestrator::Config config;
+  config.token_budget = 512;
+  config.chunk_tokens = 8;
+  config.gamma0 = 0.05;  // strongly exploitative
+  auto orchestrator = MakeOrchestrator(config);
+  // Average over several questions: the winning arm should receive at least
+  // as many tokens as the average arm.
+  double winner_tokens = 0.0;
+  double all_tokens = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < 6 && i < world_.dataset.size(); ++i) {
+    auto result = orchestrator.Run(world_.dataset[i].question);
+    ASSERT_TRUE(result.ok());
+    winner_tokens +=
+        static_cast<double>(result->per_model[result->best_model].tokens);
+    all_tokens += static_cast<double>(result->total_tokens);
+    ++n;
+  }
+  EXPECT_GT(winner_tokens / n, all_tokens / n / 3.0);
+}
+
+TEST_F(MabTest, GammaZeroIsPureExploitation) {
+  MabOrchestrator::Config config;
+  config.gamma0 = 0.0;
+  auto orchestrator = MakeOrchestrator(config);
+  auto result = orchestrator.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->answer.empty());
+}
+
+TEST_F(MabTest, FixedGammaAlsoWorks) {
+  MabOrchestrator::Config config;
+  config.decay_gamma = false;
+  config.gamma0 = 0.5;
+  auto orchestrator = MakeOrchestrator(config);
+  auto result = orchestrator.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->answer.empty());
+}
+
+TEST_F(MabTest, StopsWhenAllArmsFinish) {
+  MabOrchestrator::Config config;
+  config.token_budget = 100000;  // effectively unlimited
+  config.chunk_tokens = 64;
+  auto orchestrator = MakeOrchestrator(config);
+  auto result = orchestrator.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  // Far less than the budget: generation ended when the arms did.
+  EXPECT_LT(result->total_tokens, 2000u);
+  for (const auto& [name, outcome] : result->per_model) {
+    (void)name;
+    (void)outcome;
+  }
+}
+
+TEST_F(MabTest, ValidatesConfiguration) {
+  MabOrchestrator::Config config;
+  config.token_budget = 0;
+  auto orchestrator = MakeOrchestrator(config);
+  EXPECT_TRUE(orchestrator.Run(world_.dataset[0].question)
+                  .status()
+                  .IsInvalidArgument());
+  MabOrchestrator empty(world_.runtime.get(), {}, world_.embedder, {});
+  EXPECT_TRUE(empty.Run("q").status().IsFailedPrecondition());
+}
+
+TEST_F(MabTest, EventsIncludeScoresPerPull) {
+  auto orchestrator = MakeOrchestrator();
+  size_t chunks = 0;
+  size_t scores = 0;
+  auto result = orchestrator.Run(world_.dataset[0].question,
+                                 [&](const OrchestratorEvent& e) {
+                                   chunks += e.type == EventType::kChunk;
+                                   scores += e.type == EventType::kScore;
+                                 });
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(scores, 0u);
+  // One score per pull (chunks may be fewer if a chunk was empty).
+  EXPECT_GE(scores, chunks);
+}
+
+TEST_F(MabTest, NameIsStable) {
+  auto orchestrator = MakeOrchestrator();
+  EXPECT_EQ(orchestrator.name(), "llm-ms-mab");
+}
+
+}  // namespace
+}  // namespace llmms::core

@@ -1,0 +1,136 @@
+#include "llmms/session/memory_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "llmms/embedding/hash_embedder.h"
+
+namespace llmms::session {
+namespace {
+
+class MemoryGraphTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const embedding::Embedder> embedder_ =
+      std::make_shared<embedding::HashEmbedder>();
+};
+
+TEST_F(MemoryGraphTest, AddAndRecallDirectMatch) {
+  MemoryGraph graph(embedder_);
+  ASSERT_TRUE(graph
+                  .Add("what color does veltrite turn when heated",
+                       "veltrite turns crimson when heated")
+                  .ok());
+  ASSERT_TRUE(graph.Add("who won the battle of drennos",
+                        "general maltok won the battle").ok());
+  const auto recalled = graph.Recall("veltrite color when hot", 2);
+  ASSERT_FALSE(recalled.empty());
+  EXPECT_NE(recalled[0].node.answer.find("crimson"), std::string::npos);
+  EXPECT_FALSE(recalled[0].via_edge);
+  EXPECT_GT(recalled[0].similarity, 0.2);
+}
+
+TEST_F(MemoryGraphTest, RejectsEmptyQuestion) {
+  MemoryGraph graph(embedder_);
+  EXPECT_TRUE(graph.Add("", "answer").status().IsInvalidArgument());
+}
+
+TEST_F(MemoryGraphTest, SimilarExchangesGetLinked) {
+  MemoryGraph graph(embedder_);
+  auto a = graph.Add("what color does veltrite turn when heated",
+                     "veltrite turns crimson when heated");
+  auto b = graph.Add("does veltrite change color when you heat it",
+                     "yes veltrite shifts to crimson under heat");
+  auto c = graph.Add("who discovered the element drathium",
+                     "drathium was discovered by veska");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_GE(graph.DegreeOf(*a), 1u);
+  EXPECT_GE(graph.DegreeOf(*b), 1u);
+  EXPECT_EQ(graph.DegreeOf(*c), 0u);
+  EXPECT_GE(graph.edge_count(), 2u);
+}
+
+TEST_F(MemoryGraphTest, RecallExpandsThroughEdges) {
+  MemoryGraph::Options opts;
+  opts.link_threshold = 0.3;
+  MemoryGraph graph(embedder_, opts);
+  // Two linked mineral exchanges; the second phrased so a color query hits
+  // the first directly and reaches the second via the edge.
+  ASSERT_TRUE(graph
+                  .Add("what color does the mineral veltrite turn when heated",
+                       "the mineral veltrite turns crimson when heated")
+                  .ok());
+  ASSERT_TRUE(graph
+                  .Add("tell me about heating the mineral veltrite",
+                       "heating the mineral veltrite is studied in the lab")
+                  .ok());
+  ASSERT_TRUE(graph.Add("capital of the country veldan", "the capital is oskar")
+                  .ok());
+  const auto recalled =
+      graph.Recall("veltrite color when heated", 3, /*min_similarity=*/0.45);
+  ASSERT_GE(recalled.size(), 2u);
+  bool via_edge = false;
+  for (const auto& r : recalled) via_edge = via_edge || r.via_edge;
+  EXPECT_TRUE(via_edge);
+}
+
+TEST_F(MemoryGraphTest, RecallRespectsKAndThreshold) {
+  MemoryGraph graph(embedder_);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(graph
+                    .Add("question about topic " + std::to_string(i),
+                         "answer about topic " + std::to_string(i))
+                    .ok());
+  }
+  EXPECT_LE(graph.Recall("question about topic 3", 2).size(), 2u);
+  EXPECT_TRUE(graph.Recall("zzz completely unrelated qqq", 5, 0.5).empty());
+  EXPECT_TRUE(graph.Recall("anything", 0).empty());
+}
+
+TEST_F(MemoryGraphTest, CapacityEvictsOldest) {
+  MemoryGraph::Options opts;
+  opts.capacity = 3;
+  MemoryGraph graph(embedder_, opts);
+  auto first = graph.Add("first question about alpha", "alpha answer");
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(graph
+                    .Add("later question " + std::to_string(i),
+                         "later answer " + std::to_string(i))
+                    .ok());
+  }
+  EXPECT_EQ(graph.size(), 3u);
+  // The evicted node is gone from recall and from edges.
+  const auto recalled = graph.Recall("first question about alpha", 5, 0.0);
+  for (const auto& r : recalled) {
+    EXPECT_NE(r.node.id, *first);
+  }
+  EXPECT_EQ(graph.DegreeOf(*first), 0u);
+}
+
+TEST_F(MemoryGraphTest, MaxDegreeBoundsEdges) {
+  MemoryGraph::Options opts;
+  opts.link_threshold = 0.05;  // link nearly everything
+  opts.max_degree = 2;
+  MemoryGraph graph(embedder_, opts);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    auto id = graph.Add("shared topic words question " + std::to_string(i),
+                        "shared topic words answer");
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (uint64_t id : ids) {
+    EXPECT_LE(graph.DegreeOf(id), 2u);
+  }
+}
+
+TEST_F(MemoryGraphTest, EmptyGraphRecallsNothing) {
+  MemoryGraph graph(embedder_);
+  EXPECT_TRUE(graph.Recall("anything", 3).empty());
+  EXPECT_EQ(graph.size(), 0u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace llmms::session

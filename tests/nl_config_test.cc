@@ -1,0 +1,152 @@
+#include "llmms/app/nl_config.h"
+
+#include <gtest/gtest.h>
+
+namespace llmms::app {
+namespace {
+
+std::vector<NlModelInfo> Models() {
+  return {
+      {"llama3:8b", 75.0},
+      {"mistral:7b", 95.0},
+      {"qwen2:7b", 85.0},
+  };
+}
+
+core::SearchEngine::QueryOptions Base() {
+  return core::SearchEngine::QueryOptions{};
+}
+
+TEST(NlConfigTest, EmptyInstructionChangesNothing) {
+  auto result = ApplyNlConfig("", Base(), Models());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->applied.empty());
+  EXPECT_EQ(result->options.models.size(), 3u);
+  EXPECT_EQ(result->options.token_budget, 2048u);
+}
+
+TEST(NlConfigTest, UnrecognizedTextIgnored) {
+  auto result = ApplyNlConfig("please be excellent and kind", Base(), Models());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->applied.empty());
+}
+
+TEST(NlConfigTest, SelectsBanditAlgorithm) {
+  auto result = ApplyNlConfig("use the bandit algorithm", Base(), Models());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->options.algorithm, core::Algorithm::kMab);
+  ASSERT_EQ(result->applied.size(), 1u);
+}
+
+TEST(NlConfigTest, SelectsHybrid) {
+  auto result = ApplyNlConfig("try the hybrid strategy", Base(), Models());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->options.algorithm, core::Algorithm::kHybrid);
+}
+
+TEST(NlConfigTest, SelectsOua) {
+  auto result =
+      ApplyNlConfig("switch to the overperformers method", Base(), Models());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->options.algorithm, core::Algorithm::kOua);
+}
+
+TEST(NlConfigTest, SetsTokenBudget) {
+  auto result = ApplyNlConfig("budget 512 tokens please", Base(), Models());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->options.token_budget, 512u);
+}
+
+TEST(NlConfigTest, ResponseLengthLimitMapsToBudget) {
+  auto result =
+      ApplyNlConfig("keep responses under 200 words", Base(), Models());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->options.token_budget, 200u);
+}
+
+TEST(NlConfigTest, AvoidModelByFamilyName) {
+  auto result = ApplyNlConfig("avoid using mistral", Base(), Models());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->options.models.size(), 2u);
+  for (const auto& m : result->options.models) EXPECT_NE(m, "mistral:7b");
+}
+
+TEST(NlConfigTest, AvoidSlowModelsDropsSlowest) {
+  auto result = ApplyNlConfig("avoid slow models", Base(), Models());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->options.models.size(), 2u);
+  // llama3:8b is the slowest (75 tok/s).
+  for (const auto& m : result->options.models) EXPECT_NE(m, "llama3:8b");
+}
+
+TEST(NlConfigTest, OnlyUseOneModel) {
+  auto result = ApplyNlConfig("only use qwen2:7b", Base(), Models());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->options.models.size(), 1u);
+  EXPECT_EQ(result->options.models[0], "qwen2:7b");
+  EXPECT_EQ(result->options.algorithm, core::Algorithm::kSingle);
+  EXPECT_EQ(result->options.single_model, "qwen2:7b");
+}
+
+TEST(NlConfigTest, PrioritizeMovesModelToFront) {
+  auto result = ApplyNlConfig("prioritize our qwen2 model", Base(), Models());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->options.models.size(), 3u);
+  EXPECT_EQ(result->options.models[0], "qwen2:7b");
+}
+
+TEST(NlConfigTest, ScoringEmphasisDirectives) {
+  auto consensus =
+      ApplyNlConfig("focus on consensus between models", Base(), Models());
+  ASSERT_TRUE(consensus.ok());
+  EXPECT_GT(consensus->options.weights.beta, consensus->options.weights.alpha);
+
+  auto relevance =
+      ApplyNlConfig("emphasize relevance to the question", Base(), Models());
+  ASSERT_TRUE(relevance.ok());
+  EXPECT_GT(relevance->options.weights.alpha, relevance->options.weights.beta);
+}
+
+TEST(NlConfigTest, TogglesRagAndHistory) {
+  auto result = ApplyNlConfig(
+      "ignore documents, and forget the conversation", Base(), Models());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->options.use_rag);
+  EXPECT_FALSE(result->options.use_history);
+  EXPECT_EQ(result->applied.size(), 2u);
+}
+
+TEST(NlConfigTest, MultipleDirectivesCompose) {
+  auto result = ApplyNlConfig(
+      "use the bandit algorithm, avoid llama3, budget 1024 tokens", Base(),
+      Models());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->options.algorithm, core::Algorithm::kMab);
+  EXPECT_EQ(result->options.models.size(), 2u);
+  EXPECT_EQ(result->options.token_budget, 1024u);
+  EXPECT_EQ(result->applied.size(), 3u);
+}
+
+TEST(NlConfigTest, ExcludingEveryModelFails) {
+  auto result = ApplyNlConfig(
+      "avoid llama3, avoid mistral, avoid qwen2", Base(), Models());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(NlConfigTest, CaseInsensitive) {
+  auto result = ApplyNlConfig("USE THE BANDIT Algorithm", Base(), Models());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->options.algorithm, core::Algorithm::kMab);
+}
+
+TEST(NlConfigTest, PreservesExplicitBasePool) {
+  auto base = Base();
+  base.models = {"mistral:7b", "qwen2:7b"};
+  auto result = ApplyNlConfig("avoid qwen2", base, Models());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->options.models.size(), 1u);
+  EXPECT_EQ(result->options.models[0], "mistral:7b");
+}
+
+}  // namespace
+}  // namespace llmms::app

@@ -1,0 +1,200 @@
+#include "llmms/core/oua.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace llmms::core {
+namespace {
+
+class OuaTest : public ::testing::Test {
+ protected:
+  void SetUp() override { world_ = testutil::MakeWorld(6); }
+
+  OuaOrchestrator MakeOrchestrator(OuaOrchestrator::Config config = {}) {
+    return OuaOrchestrator(world_.runtime.get(), world_.model_names,
+                           world_.embedder, config);
+  }
+
+  // A question from the given domain.
+  const llm::QaItem& QuestionIn(const std::string& domain) {
+    for (const auto& item : world_.dataset) {
+      if (item.domain == domain) return item;
+    }
+    std::abort();
+  }
+
+  testutil::World world_;
+};
+
+TEST_F(OuaTest, ProducesAnswerWithinBudget) {
+  OuaOrchestrator::Config config;
+  config.token_budget = 300;
+  auto orchestrator = MakeOrchestrator(config);
+  auto result = orchestrator.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->answer.empty());
+  EXPECT_FALSE(result->best_model.empty());
+  EXPECT_LE(result->total_tokens, config.token_budget);
+  EXPECT_GT(result->total_tokens, 0u);
+  EXPECT_GT(result->rounds, 0u);
+}
+
+TEST_F(OuaTest, DeterministicAcrossRuns) {
+  auto orchestrator = MakeOrchestrator();
+  auto a = orchestrator.Run(world_.dataset[1].question);
+  auto b = orchestrator.Run(world_.dataset[1].question);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->best_model, b->best_model);
+  EXPECT_EQ(a->answer, b->answer);
+  EXPECT_EQ(a->total_tokens, b->total_tokens);
+}
+
+TEST_F(OuaTest, AnswerComesFromWinner) {
+  auto orchestrator = MakeOrchestrator();
+  auto result = orchestrator.Run(world_.dataset[2].question);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->per_model.count(result->best_model) > 0);
+  EXPECT_EQ(result->answer, result->per_model[result->best_model].response);
+  // The winner must not be a pruned model.
+  EXPECT_FALSE(result->per_model[result->best_model].pruned);
+}
+
+TEST_F(OuaTest, WinnerHasTopScoreAmongCandidates) {
+  auto orchestrator = MakeOrchestrator();
+  auto result = orchestrator.Run(world_.dataset[3].question);
+  ASSERT_TRUE(result.ok());
+  const double winner_score =
+      result->per_model[result->best_model].final_score;
+  for (const auto& [name, outcome] : result->per_model) {
+    if (outcome.pruned) continue;
+    EXPECT_LE(outcome.final_score, winner_score + 1e-9) << name;
+  }
+}
+
+TEST_F(OuaTest, EventsStreamInOrder) {
+  auto orchestrator = MakeOrchestrator();
+  std::vector<OrchestratorEvent> events;
+  auto result = orchestrator.Run(
+      world_.dataset[0].question,
+      [&events](const OrchestratorEvent& e) { events.push_back(e); });
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(events.empty());
+  // Last event is the final selection; chunks precede scores per round.
+  EXPECT_EQ(events.back().type, EventType::kFinal);
+  EXPECT_EQ(events.back().model, result->best_model);
+  bool saw_chunk = false;
+  bool saw_score = false;
+  for (const auto& e : events) {
+    saw_chunk = saw_chunk || e.type == EventType::kChunk;
+    saw_score = saw_score || e.type == EventType::kScore;
+  }
+  EXPECT_TRUE(saw_chunk);
+  EXPECT_TRUE(saw_score);
+}
+
+TEST_F(OuaTest, TraceRecordsDecisions) {
+  auto orchestrator = MakeOrchestrator();
+  auto result = orchestrator.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->trace.empty());
+  EXPECT_EQ(result->trace.back().action, "final");
+}
+
+TEST_F(OuaTest, AggressivePruningDropsModels) {
+  OuaOrchestrator::Config config;
+  config.prune_margin = -1.0;  // prune every round regardless of gap
+  config.early_stop_margin = 1e9;  // never early-stop
+  auto orchestrator = MakeOrchestrator(config);
+  auto result = orchestrator.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  size_t pruned = 0;
+  for (const auto& [name, outcome] : result->per_model) {
+    pruned += outcome.pruned ? 1 : 0;
+  }
+  EXPECT_GE(pruned, 1u);
+  EXPECT_FALSE(result->per_model[result->best_model].pruned);
+}
+
+TEST_F(OuaTest, NoPruningWhenMarginHuge) {
+  OuaOrchestrator::Config config;
+  config.prune_margin = 1e9;
+  config.early_stop_margin = 1e9;
+  auto orchestrator = MakeOrchestrator(config);
+  auto result = orchestrator.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  for (const auto& [name, outcome] : result->per_model) {
+    EXPECT_FALSE(outcome.pruned) << name;
+  }
+  EXPECT_FALSE(result->early_stopped);
+}
+
+TEST_F(OuaTest, EarlyStopWithZeroMarginWhenWinnerFinishes) {
+  OuaOrchestrator::Config config;
+  config.early_stop_margin = -1.0;  // any finished leader wins immediately
+  config.chunk_tokens = 256;        // finish in one round
+  auto orchestrator = MakeOrchestrator(config);
+  auto result = orchestrator.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->early_stopped);
+  EXPECT_TRUE(result->per_model[result->best_model].finished);
+  EXPECT_EQ(result->per_model[result->best_model].stop_reason,
+            llm::StopReason::kStop);
+}
+
+TEST_F(OuaTest, PrunedModelsSpendFewerTokensThanBudgetShare) {
+  OuaOrchestrator::Config config;
+  config.token_budget = 600;
+  config.chunk_tokens = 8;
+  config.prune_margin = -1.0;      // aggressive pruning
+  config.early_stop_margin = 1e9;  // isolate the pruning effect
+  auto orchestrator = MakeOrchestrator(config);
+  auto result = orchestrator.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  for (const auto& [name, outcome] : result->per_model) {
+    if (outcome.pruned) {
+      EXPECT_LT(outcome.tokens, config.token_budget / 3) << name;
+    }
+  }
+}
+
+TEST_F(OuaTest, SmallBudgetRespectedPerModel) {
+  OuaOrchestrator::Config config;
+  config.token_budget = 30;  // 10 tokens per model
+  config.chunk_tokens = 4;
+  auto orchestrator = MakeOrchestrator(config);
+  auto result = orchestrator.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->total_tokens, 30u);
+}
+
+TEST_F(OuaTest, ValidatesConfiguration) {
+  OuaOrchestrator::Config config;
+  config.token_budget = 0;
+  auto orchestrator = MakeOrchestrator(config);
+  EXPECT_TRUE(
+      orchestrator.Run(world_.dataset[0].question).status().IsInvalidArgument());
+  OuaOrchestrator empty(world_.runtime.get(), {}, world_.embedder, {});
+  EXPECT_TRUE(empty.Run("question").status().IsFailedPrecondition());
+}
+
+TEST_F(OuaTest, SingleModelPoolDegeneratesGracefully) {
+  OuaOrchestrator solo(world_.runtime.get(), {"llama3:8b"}, world_.embedder,
+                       {});
+  auto result = solo.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best_model, "llama3:8b");
+  EXPECT_FALSE(result->answer.empty());
+}
+
+TEST_F(OuaTest, ReportsSimulatedLatency) {
+  auto orchestrator = MakeOrchestrator();
+  auto result = orchestrator.Run(world_.dataset[0].question);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->simulated_seconds, 0.0);
+  EXPECT_LT(result->simulated_seconds, 60.0);
+}
+
+}  // namespace
+}  // namespace llmms::core

@@ -1,0 +1,157 @@
+#include "llmms/core/scoring.h"
+
+#include <gtest/gtest.h>
+
+#include "llmms/embedding/hash_embedder.h"
+
+namespace llmms::core {
+namespace {
+
+class ScoringTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const embedding::Embedder> embedder_ =
+      std::make_shared<embedding::HashEmbedder>();
+};
+
+TEST_F(ScoringTest, ScoreRoundRanksTopicalResponseHighest) {
+  ResponseScorer scorer(embedder_, ScoringWeights{});
+  const std::string query = "what color does the veltrite mineral turn when heated";
+  const auto scores = scorer.ScoreRound(
+      query, {"the veltrite mineral turns crimson when heated",
+              "veltrite becomes crimson under heat",
+              "general maltok won the naval battle of drennos"});
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_GT(scores[0].combined, scores[2].combined);
+  EXPECT_GT(scores[1].combined, scores[2].combined);
+  // The two agreeing responses have higher inter-model similarity.
+  EXPECT_GT(scores[0].inter_similarity, scores[2].inter_similarity);
+}
+
+TEST_F(ScoringTest, EmptyResponsesScoreZero) {
+  ResponseScorer scorer(embedder_, ScoringWeights{});
+  const auto scores = scorer.ScoreRound("query", {"", "related query text"});
+  EXPECT_EQ(scores[0].combined, 0.0);
+  EXPECT_GT(scores[1].combined, 0.0);
+}
+
+TEST_F(ScoringTest, WeightsChangeCombination) {
+  ScoringWeights query_only{1.0, 0.0};
+  ScoringWeights inter_only{0.0, 1.0};
+  ResponseScorer a(embedder_, query_only);
+  ResponseScorer b(embedder_, inter_only);
+  const std::string query = "the veltrite mineral color when heated";
+  const std::vector<std::string> responses{
+      "the veltrite mineral turns crimson when heated",
+      "the veltrite mineral becomes crimson when heated"};
+  const auto sa = a.ScoreRound(query, responses);
+  const auto sb = b.ScoreRound(query, responses);
+  EXPECT_DOUBLE_EQ(sa[0].combined, sa[0].query_similarity);
+  EXPECT_DOUBLE_EQ(sb[0].combined, sb[0].inter_similarity);
+}
+
+TEST_F(ScoringTest, SingleResponseHasZeroInterSimilarity) {
+  ResponseScorer scorer(embedder_, ScoringWeights{});
+  const auto scores = scorer.ScoreRound("query text", {"query text answer"});
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_EQ(scores[0].inter_similarity, 0.0);
+}
+
+TEST_F(ScoringTest, ScoreOneMatchesScoreRound) {
+  ResponseScorer scorer(embedder_, ScoringWeights{});
+  const std::string query = "the veltrite mineral";
+  const std::vector<std::string> responses{
+      "veltrite is a crimson mineral", "the mineral is heated"};
+  const auto round = scorer.ScoreRound(query, responses);
+  const double one = scorer.ScoreOne(query, responses[0], {responses[1]});
+  EXPECT_NEAR(one, round[0].combined, 1e-9);
+}
+
+TEST_F(ScoringTest, ScoreOneSkipsEmptyOthers) {
+  ResponseScorer scorer(embedder_, ScoringWeights{});
+  const double with_empty =
+      scorer.ScoreOne("query", "query response", {"", ""});
+  const double alone = scorer.ScoreOne("query", "query response", {});
+  EXPECT_DOUBLE_EQ(with_empty, alone);
+  EXPECT_EQ(scorer.ScoreOne("query", "", {"other"}), 0.0);
+}
+
+TEST_F(ScoringTest, RewardPrefersGoldenAlignedResponse) {
+  const std::string golden = "the mineral turns crimson when heated";
+  const std::vector<std::string> correct{"it becomes crimson under heat"};
+  const std::vector<std::string> incorrect{
+      "the mineral turns azure when heated"};
+  const double good = ComputeReward(
+      *embedder_, "the mineral turns crimson when heated", golden, correct,
+      incorrect);
+  const double bad = ComputeReward(
+      *embedder_, "the mineral turns azure when heated", golden, correct,
+      incorrect);
+  EXPECT_GT(good, bad);
+}
+
+TEST_F(ScoringTest, RewardWeightsApplied) {
+  const std::string golden = "crimson mineral";
+  RewardWeights no_penalty{1.0, 0.5, 0.0};
+  RewardWeights full_penalty{1.0, 0.5, 2.0};
+  const std::string response = "azure mineral";
+  const std::vector<std::string> incorrect{"azure mineral"};
+  const double lenient =
+      ComputeReward(*embedder_, response, golden, {}, incorrect, no_penalty);
+  const double strict =
+      ComputeReward(*embedder_, response, golden, {}, incorrect, full_penalty);
+  EXPECT_GT(lenient, strict);
+}
+
+TEST_F(ScoringTest, RewardEmptySetsContributeZero) {
+  const double r = ComputeReward(*embedder_, "any response", "", {}, {});
+  EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(TokenF1Test, PerfectMatch) {
+  EXPECT_DOUBLE_EQ(TokenF1("The capital is Paris", "the capital is paris!"),
+                   1.0);
+}
+
+TEST(TokenF1Test, NoOverlap) {
+  EXPECT_DOUBLE_EQ(TokenF1("alpha beta", "gamma delta"), 0.0);
+}
+
+TEST(TokenF1Test, PartialOverlapComputesHarmonicMean) {
+  // response: {answer, 42, extra, words} (4), reference: {answer, 42} (2),
+  // overlap 2 -> p=0.5, r=1.0 -> f1=2/3.
+  EXPECT_NEAR(TokenF1("answer 42 extra words", "answer 42"), 2.0 / 3.0, 1e-9);
+}
+
+TEST(TokenF1Test, ArticlesIgnored) {
+  EXPECT_DOUBLE_EQ(TokenF1("the answer", "answer"), 1.0);
+}
+
+TEST(TokenF1Test, BagSemanticsCountDuplicates) {
+  // reference has one "x"; response has two -> only one counts.
+  const double f1 = TokenF1("x x", "x y");
+  // overlap=1, p=1/2, r=1/2 -> f1=1/2.
+  EXPECT_NEAR(f1, 0.5, 1e-9);
+}
+
+TEST(TokenF1Test, EmptyEdgeCases) {
+  EXPECT_DOUBLE_EQ(TokenF1("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(TokenF1("something", ""), 0.0);
+  EXPECT_DOUBLE_EQ(TokenF1("", "something"), 0.0);
+}
+
+TEST(TokenF1Test, BestTokenF1TakesMaximum) {
+  const double best = BestTokenF1("the city was founded in 1200",
+                                  "completely different words",
+                                  {"founded in 1200", "unrelated answer"});
+  EXPECT_NEAR(best, TokenF1("the city was founded in 1200", "founded in 1200"),
+              1e-9);
+}
+
+TEST(TokenF1Test, SymmetricInArguments) {
+  const double ab = TokenF1("alpha beta gamma", "beta gamma delta");
+  const double ba = TokenF1("beta gamma delta", "alpha beta gamma");
+  EXPECT_NEAR(ab, ba, 1e-12);
+}
+
+}  // namespace
+}  // namespace llmms::core

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "llmms/common/string_util.h"
+#include "llmms/session/session.h"
+#include "llmms/session/session_store.h"
+#include "llmms/session/summarizer.h"
+
+namespace llmms::session {
+namespace {
+
+TEST(SummarizerTest, ShortTextReturnedVerbatim) {
+  Summarizer summarizer;
+  EXPECT_EQ(summarizer.Summarize("A short text."), "A short text.");
+}
+
+TEST(SummarizerTest, RespectsWordBudget) {
+  Summarizer::Options opts;
+  opts.max_words = 20;
+  Summarizer summarizer(opts);
+  std::string text;
+  for (int i = 0; i < 40; ++i) {
+    text += "The mineral veltrite appears in sentence " + std::to_string(i) +
+            " about geology. ";
+  }
+  const std::string summary = summarizer.Summarize(text);
+  EXPECT_LE(SplitWhitespace(summary).size(), 30u);  // budget + one sentence
+  EXPECT_FALSE(summary.empty());
+}
+
+TEST(SummarizerTest, KeepsCentralSentences) {
+  Summarizer::Options opts;
+  opts.max_words = 12;
+  Summarizer summarizer(opts);
+  const std::string text =
+      "The reactor temperature limit is 900 degrees and reactor safety "
+      "depends on the reactor cooling. "
+      "Reactor cooling pumps protect the reactor temperature limit. "
+      "Unrelatedly someone ate lunch. "
+      "The reactor cooling system is serviced monthly for reactor safety.";
+  const std::string summary = summarizer.Summarize(text);
+  EXPECT_NE(summary.find("reactor"), std::string::npos);
+  EXPECT_EQ(summary.find("lunch"), std::string::npos);
+}
+
+TEST(SummarizerTest, PreservesOriginalSentenceOrder) {
+  Summarizer::Options opts;
+  opts.max_words = 30;
+  Summarizer summarizer(opts);
+  std::string text;
+  for (int i = 0; i < 20; ++i) {
+    text += "Topic alpha sentence " + std::to_string(i) + " about alpha. ";
+  }
+  const std::string summary = summarizer.Summarize(text);
+  // Extract the sentence numbers that survived; they must be increasing.
+  std::vector<int> numbers;
+  const auto words = SplitWhitespace(summary);
+  for (size_t i = 0; i + 1 < words.size(); ++i) {
+    if (words[i] == "sentence") numbers.push_back(std::stoi(words[i + 1]));
+  }
+  ASSERT_GE(numbers.size(), 2u);
+  for (size_t i = 1; i < numbers.size(); ++i) {
+    EXPECT_LT(numbers[i - 1], numbers[i]);
+  }
+}
+
+TEST(SessionTest, KeepsRecentTurnsVerbatim) {
+  Session session("s");
+  session.Append(Role::kUser, "first question");
+  session.Append(Role::kAssistant, "first answer");
+  const auto messages = session.RecentMessages();
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].text, "first question");
+  EXPECT_EQ(messages[1].role, Role::kAssistant);
+  EXPECT_TRUE(session.summary().empty());
+}
+
+TEST(SessionTest, FoldsOldTurnsIntoSummary) {
+  Session::Options opts;
+  opts.keep_recent = 3;
+  opts.summarizer.max_words = 40;
+  Session session("s", opts);
+  for (int i = 0; i < 8; ++i) {
+    session.Append(Role::kUser, "The veltrite mineral question number " +
+                                    std::to_string(i) + " concerns geology.");
+  }
+  EXPECT_EQ(session.RecentMessages().size(), 3u);
+  EXPECT_FALSE(session.summary().empty());
+  EXPECT_EQ(session.message_count(), 8u);
+}
+
+TEST(SessionTest, ContextTextCombinesSummaryAndRecent) {
+  Session::Options opts;
+  opts.keep_recent = 2;
+  Session session("s", opts);
+  for (int i = 0; i < 5; ++i) {
+    session.Append(Role::kUser,
+                   "question about veltrite number " + std::to_string(i));
+  }
+  const std::string context = session.ContextText();
+  EXPECT_NE(context.find("Summary of earlier conversation"),
+            std::string::npos);
+  EXPECT_NE(context.find("number 4"), std::string::npos);
+}
+
+TEST(SessionTest, ContextClippedToBudget) {
+  Session::Options opts;
+  opts.keep_recent = 5;
+  opts.max_context_words = 15;
+  Session session("s", opts);
+  for (int i = 0; i < 5; ++i) {
+    session.Append(Role::kUser,
+                   "a very long message with many words number " +
+                       std::to_string(i) + " padding padding padding");
+  }
+  EXPECT_LE(SplitWhitespace(session.ContextText()).size(), 15u);
+  // The most recent content must survive the clipping.
+  EXPECT_NE(session.ContextText().find("number 4"), std::string::npos);
+}
+
+TEST(SessionTest, ClearResetsState) {
+  Session session("s");
+  session.Append(Role::kUser, "hello");
+  session.Clear();
+  EXPECT_TRUE(session.RecentMessages().empty());
+  EXPECT_TRUE(session.summary().empty());
+  EXPECT_TRUE(session.ContextText().empty());
+}
+
+TEST(SessionTest, RoleNames) {
+  EXPECT_STREQ(RoleToString(Role::kUser), "user");
+  EXPECT_STREQ(RoleToString(Role::kAssistant), "assistant");
+  EXPECT_STREQ(RoleToString(Role::kSystem), "system");
+}
+
+TEST(SessionStoreTest, CreateGetRemove) {
+  SessionStore store;
+  ASSERT_TRUE(store.Create("a").ok());
+  EXPECT_TRUE(store.Create("a").status().IsAlreadyExists());
+  EXPECT_TRUE(store.Create("").status().IsInvalidArgument());
+  ASSERT_TRUE(store.Get("a").ok());
+  EXPECT_TRUE(store.Get("b").status().IsNotFound());
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_TRUE(store.Remove("a").ok());
+  EXPECT_TRUE(store.Remove("a").IsNotFound());
+}
+
+TEST(SessionStoreTest, GetOrCreateReusesExisting) {
+  SessionStore store;
+  auto a = store.GetOrCreate("x");
+  ASSERT_TRUE(a.ok());
+  (*a)->Append(Role::kUser, "hello");
+  auto b = store.GetOrCreate("x");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)->message_count(), 1u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(SessionStoreTest, ListIsSorted) {
+  SessionStore store;
+  ASSERT_TRUE(store.Create("zeta").ok());
+  ASSERT_TRUE(store.Create("alpha").ok());
+  const auto ids = store.List();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], "alpha");
+  EXPECT_EQ(ids[1], "zeta");
+}
+
+TEST(SessionStoreTest, DefaultsPropagateToSessions) {
+  Session::Options defaults;
+  defaults.keep_recent = 1;
+  SessionStore store(defaults);
+  auto session = store.GetOrCreate("s");
+  ASSERT_TRUE(session.ok());
+  (*session)->Append(Role::kUser, "the veltrite mineral question one");
+  (*session)->Append(Role::kUser, "the veltrite mineral question two");
+  EXPECT_EQ((*session)->RecentMessages().size(), 1u);
+}
+
+}  // namespace
+}  // namespace llmms::session

@@ -1,0 +1,99 @@
+#include "llmms/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "llmms/common/result.h"
+
+namespace llmms {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = ParsePositive(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = ParsePositive(-1);
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsInvalidArgument());
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(5);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+Status UseAssignOrReturn(int input, int* out) {
+  LLMMS_ASSIGN_OR_RETURN(int value, ParsePositive(input));
+  *out = value * 2;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(3, &out).ok());
+  EXPECT_EQ(out, 6);
+  EXPECT_TRUE(UseAssignOrReturn(-3, &out).IsInvalidArgument());
+}
+
+Status UseReturnNotOk(bool fail) {
+  LLMMS_RETURN_NOT_OK(fail ? Status::Internal("boom") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UseReturnNotOk(false).ok());
+  EXPECT_TRUE(UseReturnNotOk(true).IsInternal());
+}
+
+}  // namespace
+}  // namespace llmms

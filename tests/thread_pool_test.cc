@@ -1,0 +1,66 @@
+#include "llmms/common/thread_pool.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+
+namespace llmms {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  auto future = pool.Submit([]() { return 21 * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&counter]() { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(50);
+  pool.ParallelFor(50, [&hits](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&called](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter]() { ++counter; });
+    }
+  }  // destructor must run all queued tasks before joining
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, TasksCanReturnValuesOfDifferentTypes) {
+  ThreadPool pool(2);
+  auto s = pool.Submit([]() { return std::string("hi"); });
+  auto d = pool.Submit([]() { return 2.5; });
+  EXPECT_EQ(s.get(), "hi");
+  EXPECT_DOUBLE_EQ(d.get(), 2.5);
+}
+
+}  // namespace
+}  // namespace llmms
