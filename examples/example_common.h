@@ -11,8 +11,10 @@
 #include "llmms/embedding/hash_embedder.h"
 #include "llmms/eval/qa_dataset.h"
 #include "llmms/hardware/placement.h"
+#include "llmms/llm/fault_injection.h"
 #include "llmms/llm/model_profile.h"
 #include "llmms/llm/registry.h"
+#include "llmms/llm/resilient_model.h"
 #include "llmms/llm/runtime.h"
 #include "llmms/llm/synthetic_model.h"
 #include "llmms/session/session_store.h"
@@ -50,12 +52,27 @@ inline Platform MakePlatform(size_t questions_per_domain = 12) {
   p.knowledge = knowledge;
 
   p.registry = std::make_shared<llm::ModelRegistry>();
+  // Every model serves behind the resilience layer (DESIGN.md §8), so
+  // /api/health reports a live circuit per model. LLMMS_CHAOS=<prob> also
+  // injects that per-call probability of transient chunk errors (seeded) —
+  // a quick way to watch retries, quarantine, and a degraded /api/health.
+  const char* chaos_env = std::getenv("LLMMS_CHAOS");
+  const double chaos_prob = chaos_env != nullptr ? std::atof(chaos_env) : 0.0;
+  size_t model_index = 0;
   for (const auto& profile : llm::DefaultProfiles()) {
     p.model_names.push_back(profile.name);
-    if (!p.registry
-             ->Register(
-                 std::make_shared<llm::SyntheticModel>(profile, knowledge))
-             .ok()) {
+    std::shared_ptr<llm::LanguageModel> model =
+        std::make_shared<llm::SyntheticModel>(profile, knowledge);
+    if (chaos_prob > 0.0) {
+      llm::FaultConfig faults;
+      faults.chunk_error_prob = chaos_prob;
+      faults.seed += model_index;
+      model = std::make_shared<llm::FaultyModel>(model, faults);
+    }
+    llm::ResilienceConfig resilience;
+    resilience.seed += model_index++;
+    model = std::make_shared<llm::ResilientModel>(model, resilience);
+    if (!p.registry->Register(model).ok()) {
       std::abort();
     }
   }

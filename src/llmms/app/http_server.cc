@@ -3,9 +3,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 
@@ -232,9 +234,18 @@ StatusOr<HttpResponse> HttpFetch(const std::string& host, int port,
                                  const std::string& method,
                                  const std::string& target,
                                  const std::string& body,
-                                 const std::string& content_type) {
+                                 const std::string& content_type,
+                                 double timeout_seconds) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::IOError("socket() failed");
+  if (timeout_seconds > 0.0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
@@ -263,6 +274,11 @@ StatusOr<HttpResponse> HttpFetch(const std::string& host, int port,
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
       ::close(fd);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("recv timed out after " +
+                                        std::to_string(timeout_seconds) +
+                                        "s");
+      }
       return Status::IOError("recv failed");
     }
     if (n == 0) break;

@@ -57,12 +57,16 @@ class HttpServer {
 };
 
 // Minimal blocking test/demo client: one request, reads to EOF.
+// `timeout_seconds` > 0 bounds the connect/send/recv syscalls (SO_SNDTIMEO /
+// SO_RCVTIMEO); an expired deadline surfaces as DeadlineExceeded. 0 blocks
+// indefinitely (the pre-resilience behaviour).
 StatusOr<HttpResponse> HttpFetch(const std::string& host, int port,
                                  const std::string& method,
                                  const std::string& target,
                                  const std::string& body = "",
                                  const std::string& content_type =
-                                     "application/json");
+                                     "application/json",
+                                 double timeout_seconds = 0.0);
 
 }  // namespace llmms::app
 

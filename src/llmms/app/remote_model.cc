@@ -9,15 +9,40 @@
 namespace llmms::app {
 namespace {
 
+// A transport failure is worth another attempt: the node may be restarting,
+// the socket may have hit a transient reset, or a proxy returned 5xx.
+// Protocol-level errors (NotFound, InvalidArgument, an explicit remote error
+// payload) are permanent.
+bool IsRetryableTransport(const Status& status) {
+  return status.IsIOError() || status.IsDeadlineExceeded();
+}
+
+// Runs `call` up to 1 + max_retries times, returning the first success or
+// the last error. Only transport-level failures are retried.
+template <typename Fn>
+auto WithTransportRetries(const RemoteModel::TransportOptions& transport,
+                          Fn&& call) -> decltype(call()) {
+  decltype(call()) result = call();
+  for (size_t attempt = 0;
+       attempt < transport.max_retries && !result.ok() &&
+       IsRetryableTransport(result.status());
+       ++attempt) {
+    result = call();
+  }
+  return result;
+}
+
 // Serves chunks from a completion fetched lazily on the first NextChunk.
 class RemoteStream final : public llm::GenerationStream {
  public:
   RemoteStream(std::string host, int port, std::string remote_name,
-               llm::GenerationRequest request)
+               llm::GenerationRequest request,
+               RemoteModel::TransportOptions transport)
       : host_(std::move(host)),
         port_(port),
         remote_name_(std::move(remote_name)),
-        request_(std::move(request)) {}
+        request_(std::move(request)),
+        transport_(transport) {}
 
   StatusOr<llm::Chunk> NextChunk(size_t max_tokens) override {
     if (max_tokens == 0) {
@@ -68,7 +93,19 @@ class RemoteStream final : public llm::GenerationStream {
     body.Set("seed", request_.seed);
     LLMMS_ASSIGN_OR_RETURN(
         auto response,
-        HttpFetch(host_, port_, "POST", "/api/generate", body.Dump()));
+        WithTransportRetries(transport_, [&]() {
+          auto fetched = HttpFetch(host_, port_, "POST", "/api/generate",
+                                   body.Dump(), "application/json",
+                                   transport_.timeout_seconds);
+          // A 5xx is a transport-class failure: the node answered but could
+          // not serve; surface it retryably.
+          if (fetched.ok() && fetched->status >= 500) {
+            return StatusOr<HttpResponse>(Status::IOError(
+                "remote generate failed with HTTP " +
+                std::to_string(fetched->status)));
+          }
+          return fetched;
+        }));
     if (response.status != 200) {
       return Status::Internal("remote generate failed with HTTP " +
                               std::to_string(response.status) + ": " +
@@ -94,6 +131,7 @@ class RemoteStream final : public llm::GenerationStream {
   int port_;
   std::string remote_name_;
   llm::GenerationRequest request_;
+  RemoteModel::TransportOptions transport_;
 
   bool fetched_ = false;
   std::vector<std::string> words_;
@@ -109,22 +147,32 @@ class RemoteStream final : public llm::GenerationStream {
 
 RemoteModel::RemoteModel(std::string host, int port, std::string remote_name,
                          std::string local_name, double tokens_per_second,
-                         size_t context_window)
+                         size_t context_window, TransportOptions transport)
     : host_(std::move(host)),
       port_(port),
       remote_name_(std::move(remote_name)),
       local_name_(std::move(local_name)),
       tokens_per_second_(tokens_per_second),
-      context_window_(context_window) {}
+      context_window_(context_window),
+      transport_(transport) {}
 
 StatusOr<std::shared_ptr<RemoteModel>> RemoteModel::Connect(
     const std::string& host, int port, const std::string& remote_name,
     const std::string& local_name) {
+  return Connect(host, port, remote_name, local_name, TransportOptions());
+}
+
+StatusOr<std::shared_ptr<RemoteModel>> RemoteModel::Connect(
+    const std::string& host, int port, const std::string& remote_name,
+    const std::string& local_name, const TransportOptions& transport) {
   Json body = Json::MakeObject();
   body.Set("model", remote_name);
   LLMMS_ASSIGN_OR_RETURN(
       auto response,
-      HttpFetch(host, port, "POST", "/api/model_info", body.Dump()));
+      WithTransportRetries(transport, [&]() {
+        return HttpFetch(host, port, "POST", "/api/model_info", body.Dump(),
+                         "application/json", transport.timeout_seconds);
+      }));
   LLMMS_ASSIGN_OR_RETURN(Json info, Json::Parse(response.body));
   if (response.status != 200 || !info["ok"].AsBool()) {
     return Status::NotFound("remote node does not serve model '" +
@@ -137,7 +185,7 @@ StatusOr<std::shared_ptr<RemoteModel>> RemoteModel::Connect(
   return std::shared_ptr<RemoteModel>(new RemoteModel(
       host, port, remote_name, std::move(name),
       info["tokens_per_second"].AsDouble(),
-      static_cast<size_t>(info["context_window"].AsInt())));
+      static_cast<size_t>(info["context_window"].AsInt()), transport));
 }
 
 StatusOr<std::unique_ptr<llm::GenerationStream>> RemoteModel::StartGeneration(
@@ -145,8 +193,8 @@ StatusOr<std::unique_ptr<llm::GenerationStream>> RemoteModel::StartGeneration(
   if (request.prompt.empty()) {
     return Status::InvalidArgument("prompt must not be empty");
   }
-  return std::unique_ptr<llm::GenerationStream>(
-      std::make_unique<RemoteStream>(host_, port_, remote_name_, request));
+  return std::unique_ptr<llm::GenerationStream>(std::make_unique<RemoteStream>(
+      host_, port_, remote_name_, request, transport_));
 }
 
 }  // namespace llmms::app

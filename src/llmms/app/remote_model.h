@@ -23,11 +23,24 @@ namespace llmms::app {
 // the chunk counts either way.
 class RemoteModel final : public llm::LanguageModel {
  public:
+  // Network-level resilience for the federation link. Transport errors
+  // (connection refused/reset, timeouts, HTTP 5xx) are retried up to
+  // `max_retries` additional attempts; protocol-level rejections (the node
+  // answers but does not serve the model) are permanent and never retried.
+  struct TransportOptions {
+    size_t max_retries = 2;
+    // Per-request socket deadline, real seconds. 0 = block indefinitely.
+    double timeout_seconds = 5.0;
+  };
+
   // Connects to `host:port`, fetches the remote model's metadata via
   // /api/model_info, and returns the adapter. Fails if the node is
-  // unreachable or does not serve `remote_name`.
+  // unreachable (after retries) or does not serve `remote_name`.
   // `local_name` is how this node addresses the model; empty = use
   // "<remote_name>@<host>:<port>".
+  static StatusOr<std::shared_ptr<RemoteModel>> Connect(
+      const std::string& host, int port, const std::string& remote_name,
+      const std::string& local_name, const TransportOptions& transport);
   static StatusOr<std::shared_ptr<RemoteModel>> Connect(
       const std::string& host, int port, const std::string& remote_name,
       const std::string& local_name = "");
@@ -45,10 +58,12 @@ class RemoteModel final : public llm::LanguageModel {
 
   const std::string& remote_name() const { return remote_name_; }
 
+  const TransportOptions& transport() const { return transport_; }
+
  private:
   RemoteModel(std::string host, int port, std::string remote_name,
               std::string local_name, double tokens_per_second,
-              size_t context_window);
+              size_t context_window, TransportOptions transport);
 
   std::string host_;
   int port_;
@@ -56,6 +71,7 @@ class RemoteModel final : public llm::LanguageModel {
   std::string local_name_;
   double tokens_per_second_;
   size_t context_window_;
+  TransportOptions transport_;
 };
 
 }  // namespace llmms::app

@@ -1,6 +1,7 @@
 #include "llmms/app/service.h"
 
 #include "llmms/app/nl_config.h"
+#include "llmms/llm/resilient_model.h"
 
 namespace llmms::app {
 namespace {
@@ -250,8 +251,41 @@ Json ApiService::HandleEndSession(const Json& request) {
 Json ApiService::HandleHealth() {
   Json response = Json::MakeObject();
   response.Set("ok", true);
-  response.Set("status", "healthy");
-  response.Set("loaded_models", engine_->runtime()->LoadedModels().size());
+  const auto loaded = engine_->runtime()->LoadedModels();
+  response.Set("loaded_models", loaded.size());
+
+  // Per-model resilience state. Models wrapped in llm::ResilientModel report
+  // their circuit-breaker state and failure counters; plain models are
+  // reported as "unmanaged" (no breaker in front of them).
+  bool degraded = false;
+  Json models = Json::MakeArray();
+  for (const auto& name : loaded) {
+    auto model = engine_->runtime()->registry()->Get(name);
+    if (!model.ok()) continue;
+    Json entry = Json::MakeObject();
+    entry.Set("model", name);
+    auto resilient = std::dynamic_pointer_cast<llm::ResilientModel>(*model);
+    if (resilient == nullptr) {
+      entry.Set("circuit", "unmanaged");
+    } else {
+      const auto health = resilient->health();
+      if (health.circuit != llm::CircuitBreaker::State::kClosed) {
+        degraded = true;
+      }
+      entry.Set("circuit", llm::CircuitStateToString(health.circuit));
+      entry.Set("consecutive_failures", health.consecutive_failures);
+      entry.Set("total_failures", health.total_failures);
+      entry.Set("fast_rejections", health.fast_rejections);
+      entry.Set("start_retries", health.start_retries);
+      entry.Set("chunk_retries", health.chunk_retries);
+      entry.Set("deadlines_exceeded", health.deadlines_exceeded);
+      entry.Set("stalls_detected", health.stalls_detected);
+      entry.Set("backoff_seconds", health.backoff_seconds);
+    }
+    models.Append(std::move(entry));
+  }
+  response.Set("status", degraded ? "degraded" : "healthy");
+  response.Set("models", std::move(models));
   return response;
 }
 

@@ -27,7 +27,8 @@ using StreamCallback = std::function<void(const Json& event)>;
 //   POST /api/model_info {model}
 //   GET  /api/sessions {}
 //   POST /api/session/end {session}
-//   GET  /api/health   {}
+//   GET  /api/health   {}  (per-model circuit state + failure counters;
+//                       "status" is "degraded" while any circuit is open)
 //   GET  /api/hardware {}
 class ApiService {
  public:

@@ -69,39 +69,61 @@ StatusOr<MultiAgentPipeline::Result> MultiAgentPipeline::Run(
     SubResult sub;
     sub.question = sub_question;
 
-    // --- Researcher: orchestrate the sub-question. ---
-    OuaOrchestrator researcher(runtime_, models_, embedder_, config_.research);
-    LLMMS_ASSIGN_OR_RETURN(auto research,
-                           researcher.Run(sub_question, callback));
-    sub.answer = research.answer;
-    sub.model = research.best_model;
-    sub.tokens = research.total_tokens;
-    result.total_tokens += research.total_tokens;
-    result.simulated_seconds += research.simulated_seconds;
-
     // --- Verifier: semantic alignment of answer and sub-question. ---
     auto verify = [this, &sub_question](const std::string& answer) {
       return embedding::CosineSimilarity(embedder_->Embed(answer),
                                          embedder_->Embed(sub_question));
     };
-    sub.similarity = verify(sub.answer);
-    sub.verified = sub.similarity >= config_.verify_threshold;
 
-    // --- Retry with the alternate strategy when verification fails. ---
+    // --- Researcher: orchestrate the sub-question. A failed research pass
+    // (e.g. quarantined models taking the whole pool down) is not fatal to
+    // the pipeline: the retry path below gets a chance to recover it with
+    // the alternate strategy. ---
+    Status research_error = Status::OK();
+    OuaOrchestrator researcher(runtime_, models_, embedder_, config_.research);
+    auto research = researcher.Run(sub_question, callback);
+    if (research.ok()) {
+      sub.answer = research->answer;
+      sub.model = research->best_model;
+      sub.tokens = research->total_tokens;
+      result.total_tokens += research->total_tokens;
+      result.simulated_seconds += research->simulated_seconds;
+      sub.similarity = verify(sub.answer);
+      sub.verified = sub.similarity >= config_.verify_threshold;
+    } else {
+      research_error = research.status();
+      sub.similarity = -1.0;
+      sub.verified = false;
+    }
+
+    // --- Retry with the alternate strategy when verification (or the
+    // research pass itself) fails. ---
     for (size_t attempt = 0;
          !sub.verified && attempt < config_.max_retries; ++attempt) {
       sub.retried = true;
       MabOrchestrator retrier(runtime_, models_, embedder_, config_.retry);
-      LLMMS_ASSIGN_OR_RETURN(auto retry, retrier.Run(sub_question, callback));
-      result.total_tokens += retry.total_tokens;
-      result.simulated_seconds += retry.simulated_seconds;
-      const double retry_similarity = verify(retry.answer);
+      auto retry = retrier.Run(sub_question, callback);
+      if (!retry.ok()) {
+        research_error = retry.status();
+        continue;
+      }
+      result.total_tokens += retry->total_tokens;
+      result.simulated_seconds += retry->simulated_seconds;
+      const double retry_similarity = verify(retry->answer);
       if (retry_similarity > sub.similarity) {
-        sub.answer = retry.answer;
-        sub.model = retry.best_model;
+        sub.answer = retry->answer;
+        sub.model = retry->best_model;
         sub.similarity = retry_similarity;
       }
       sub.verified = sub.similarity >= config_.verify_threshold;
+    }
+
+    // Research and every retry failed outright: nothing to compose for
+    // this sub-question, so surface the typed error.
+    if (sub.answer.empty() && !research_error.ok()) {
+      return Status(research_error.code(),
+                    "multi-agent pipeline failed on sub-question '" +
+                        sub_question + "': " + research_error.message());
     }
 
     result.sub_results.push_back(std::move(sub));

@@ -33,9 +33,13 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
 
   OrchestrationResult result;
   std::unordered_set<std::string> pruned;
+  std::unordered_set<std::string> failed;
+  std::unordered_map<std::string, std::string> failure_messages;
+  Status last_failure = Status::OK();
   std::unordered_map<std::string, RoundScore> last_scores;
   size_t used_tokens = 0;
   size_t round = 0;
+  size_t stalled_rounds = 0;
 
   auto emit = [&](EventType type, const std::string& model, double score,
                   const std::string& text = "") {
@@ -52,10 +56,26 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
   auto survivors = [&]() {
     std::vector<std::string> out;
     for (const auto& m : models_) {
-      if (pruned.count(m) == 0) out.push_back(m);
+      if (pruned.count(m) == 0 && failed.count(m) == 0) out.push_back(m);
     }
     return out;
   };
+
+  // A failed model is out of both phases; the shared budget flows to the
+  // survivors automatically since allocation is per pull.
+  auto quarantine = [&](const std::string& model, const Status& error) {
+    failed.insert(model);
+    failure_messages[model] = error.message();
+    last_failure = error;
+    internal::EmitFailure(model, error, round, used_tokens, callback,
+                          &result.trace);
+  };
+
+  // Models that refused to start join the run pre-failed.
+  for (const auto& m : models_) {
+    LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(m));
+    if (stats.failed) quarantine(m, Status::Internal(stats.error));
+  }
 
   auto score_candidates = [&](const std::vector<std::string>& candidates)
       -> Status {
@@ -84,16 +104,27 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
       requests.emplace_back(m, std::min(config_.chunk_tokens, remaining));
     }
     if (!requests.empty()) {
-      LLMMS_ASSIGN_OR_RETURN(auto chunks, generation->NextChunks(requests));
-      for (const auto& [model, chunk] : chunks) {
+      LLMMS_ASSIGN_OR_RETURN(auto batch, generation->NextChunks(requests));
+      for (const auto& [model, error] : batch.errors) {
+        quarantine(model, error);
+      }
+      size_t round_tokens = 0;
+      for (const auto& [model, chunk] : batch.chunks) {
         used_tokens += chunk.num_tokens;
+        round_tokens += chunk.num_tokens;
         if (chunk.num_tokens > 0 && callback) {
           emit(EventType::kChunk, model, 0.0, chunk.text);
         }
       }
+      if (round_tokens == 0) {
+        if (++stalled_rounds >= kMaxStalledRounds) break;
+      } else {
+        stalled_rounds = 0;
+      }
     }
 
     const auto active = survivors();
+    if (active.empty()) break;  // everyone failed: handled after phase 2
     LLMMS_RETURN_NOT_OK(score_candidates(active));
     if (active.size() <= config_.min_survivors) continue;
 
@@ -168,8 +199,23 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
 
     const size_t ask = std::min(config_.mab_chunk_tokens,
                                 config_.token_budget - used_tokens);
-    LLMMS_ASSIGN_OR_RETURN(auto chunk, generation->NextChunk(chosen, ask));
+    auto chunk_or = generation->NextChunk(chosen, ask);
+    if (!chunk_or.ok()) {
+      quarantine(chosen, chunk_or.status());
+      arms[chosen].finished = true;
+      if (failed.size() == models_.size()) {
+        return internal::AllModelsFailed(name(), models_.size(),
+                                         last_failure);
+      }
+      continue;
+    }
+    const llm::Chunk chunk = std::move(chunk_or).value();
     used_tokens += chunk.num_tokens;
+    if (chunk.num_tokens == 0 && !chunk.done) {
+      if (++stalled_rounds >= kMaxStalledRounds) break;
+    } else {
+      stalled_rounds = 0;
+    }
     if (chunk.num_tokens > 0 && callback) {
       emit(EventType::kChunk, chosen, 0.0, chunk.text);
     }
@@ -190,10 +236,15 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
     emit(EventType::kScore, chosen, reward);
   }
 
-  // ---------------- Final selection. ----------------
+  // ---------------- Final selection. Failed models never win; a fully
+  // failed pool is a typed error. ----------------
+  if (failed.size() == models_.size()) {
+    return internal::AllModelsFailed(name(), models_.size(), last_failure);
+  }
   std::string winner;
   double best = -std::numeric_limits<double>::infinity();
   for (const auto& m : contenders) {
+    if (failed.count(m) > 0) continue;
     // Mean reward when the arm was pulled in phase 2; phase-1 score as the
     // fallback for arms that finished during screening.
     const double value = arms[m].pulls > 0 ? arms[m].MeanReward()
@@ -203,7 +254,16 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
       winner = m;
     }
   }
-  if (winner.empty()) winner = models_.front();
+  if (winner.empty()) {
+    // Every contender failed mid-phase-2: fall back to any healthy model
+    // (possibly one pruned during screening).
+    for (const auto& m : models_) {
+      if (failed.count(m) == 0) {
+        winner = m;
+        break;
+      }
+    }
+  }
 
   // Final per-model scores for reporting.
   std::vector<std::string> final_responses;
@@ -227,6 +287,9 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
     outcome.finished = stats.finished;
     outcome.stop_reason = stats.stop_reason;
     outcome.pruned = pruned.count(m) > 0;
+    outcome.failed = failed.count(m) > 0;
+    auto fail_it = failure_messages.find(m);
+    if (fail_it != failure_messages.end()) outcome.error = fail_it->second;
     outcome.final_score = arms.count(m) > 0 && arms[m].pulls > 0
                               ? arms[m].MeanReward()
                               : last_scores[m].combined;

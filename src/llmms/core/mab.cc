@@ -14,6 +14,8 @@ struct Arm {
   double last_reward = 0.0;
   RoundScore last_round;
   bool finished = false;
+  bool failed = false;  // stream errored; the arm is out of the tournament
+  std::string error;
   llm::StopReason stop_reason = llm::StopReason::kLength;
 
   double MeanReward() const {
@@ -53,6 +55,28 @@ StatusOr<OrchestrationResult> MabOrchestrator::Run(
   size_t used_tokens = 0;
   size_t total_pulls = 0;
   size_t round = 0;
+  size_t failed_arms = 0;
+  Status last_failure = Status::OK();
+  size_t stalled_pulls = 0;
+
+  // A failed arm leaves the tournament; the shared budget it can no longer
+  // draw from flows to the surviving arms automatically.
+  auto quarantine = [&](const std::string& model, const Status& error) {
+    Arm& arm = arms[model];
+    arm.failed = true;
+    arm.finished = true;
+    arm.error = error.message();
+    ++failed_arms;
+    last_failure = error;
+    internal::EmitFailure(model, error, round, used_tokens, callback,
+                          &result.trace);
+  };
+
+  // Models that refused to start join the run pre-failed.
+  for (const auto& m : models_) {
+    LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(m));
+    if (stats.failed) quarantine(m, Status::Internal(stats.error));
+  }
 
   auto gamma_now = [&]() {
     if (!config_.decay_gamma) return config_.gamma0;
@@ -94,11 +118,27 @@ StatusOr<OrchestrationResult> MabOrchestrator::Run(
     }
     if (chosen.empty()) break;  // every arm finished
 
-    // --- Pull: generate the next token chunk (line 7). ---
+    // --- Pull: generate the next token chunk (line 7). A failing pull
+    // quarantines the arm and the tournament continues with the rest. ---
     const size_t ask =
         std::min(config_.chunk_tokens, config_.token_budget - used_tokens);
-    LLMMS_ASSIGN_OR_RETURN(auto chunk, generation->NextChunk(chosen, ask));
+    auto chunk_or = generation->NextChunk(chosen, ask);
+    if (!chunk_or.ok()) {
+      quarantine(chosen, chunk_or.status());
+      if (failed_arms == models_.size()) {
+        return internal::AllModelsFailed(name(), models_.size(),
+                                         last_failure);
+      }
+      continue;
+    }
+    const llm::Chunk chunk = std::move(chunk_or).value();
     used_tokens += chunk.num_tokens;
+    if (chunk.num_tokens == 0 && !chunk.done) {
+      // Anti-hang guard against a pool of stalled backends.
+      if (++stalled_pulls >= kMaxStalledRounds) break;
+    } else {
+      stalled_pulls = 0;
+    }
     if (chunk.num_tokens > 0 && callback) {
       OrchestratorEvent event;
       event.type = EventType::kChunk;
@@ -188,7 +228,11 @@ StatusOr<OrchestrationResult> MabOrchestrator::Run(
 
   // --- Final selection (line 16): the arm with the highest reward, i.e.
   // the highest mean reward across its pulls — the bandit's estimate of the
-  // arm's value, averaged over many partial-response observations. ---
+  // arm's value, averaged over many partial-response observations. Failed
+  // arms never win; a fully failed pool is a typed error. ---
+  if (failed_arms == models_.size()) {
+    return internal::AllModelsFailed(name(), models_.size(), last_failure);
+  }
   std::vector<std::string> final_responses;
   for (const auto& m : models_) {
     LLMMS_ASSIGN_OR_RETURN(auto text, generation->TextOf(m));
@@ -200,13 +244,20 @@ StatusOr<OrchestrationResult> MabOrchestrator::Run(
   double best_reward = -std::numeric_limits<double>::infinity();
   for (const auto& m : models_) {
     const Arm& arm = arms[m];
-    if (arm.pulls == 0) continue;
+    if (arm.failed || arm.pulls == 0) continue;
     if (arm.MeanReward() > best_reward) {
       best_reward = arm.MeanReward();
       winner = m;
     }
   }
-  if (winner.empty()) winner = models_.front();
+  if (winner.empty()) {
+    for (const auto& m : models_) {
+      if (!arms[m].failed) {
+        winner = m;
+        break;
+      }
+    }
+  }
 
   result.best_model = winner;
   LLMMS_ASSIGN_OR_RETURN(result.answer, generation->TextOf(winner));
@@ -222,6 +273,8 @@ StatusOr<OrchestrationResult> MabOrchestrator::Run(
     outcome.tokens = stats.tokens;
     outcome.finished = stats.finished;
     outcome.stop_reason = stats.stop_reason;
+    outcome.failed = arms[m].failed;
+    outcome.error = arms[m].error;
     outcome.final_score = arms[m].MeanReward();
     outcome.query_similarity = final_scores[i].query_similarity;
     outcome.inter_similarity = final_scores[i].inter_similarity;

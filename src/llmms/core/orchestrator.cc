@@ -12,6 +12,8 @@ const char* EventTypeToString(EventType type) {
       return "prune";
     case EventType::kEarlyStop:
       return "early-stop";
+    case EventType::kFailure:
+      return "failure";
     case EventType::kFinal:
       return "final";
   }
@@ -32,6 +34,26 @@ void Emit(const OrchestratorEvent& event, const EventCallback& callback,
     entry.score = event.score;
     trace->push_back(std::move(entry));
   }
+}
+
+void EmitFailure(const std::string& model, const Status& error, size_t round,
+                 size_t total_tokens, const EventCallback& callback,
+                 std::vector<TraceEntry>* trace) {
+  OrchestratorEvent event;
+  event.type = EventType::kFailure;
+  event.model = model;
+  event.text = error.message();
+  event.round = round;
+  event.total_tokens = total_tokens;
+  Emit(event, callback, trace);
+}
+
+Status AllModelsFailed(const std::string& orchestrator, size_t pool_size,
+                       const Status& last_error) {
+  return Status::Internal(orchestrator + ": all " +
+                          std::to_string(pool_size) +
+                          " models failed; last error: " +
+                          last_error.ToString());
 }
 
 }  // namespace internal

@@ -23,6 +23,7 @@ enum class EventType {
   kScore,      // a model was (re)scored
   kPrune,      // a model was removed from the active set
   kEarlyStop,  // a model won before the budget was spent
+  kFailure,    // a model's stream failed and it was quarantined
   kFinal,      // the final answer was selected
 };
 
@@ -38,6 +39,13 @@ struct OrchestratorEvent {
 };
 
 using EventCallback = std::function<void(const OrchestratorEvent&)>;
+
+// Consecutive zero-token rounds (or pulls) an orchestrator tolerates before
+// treating the remaining pool as hung and closing the query with whatever
+// it has — the last line of defence against a stalled backend that neither
+// errors nor progresses (see llm::ResilienceConfig::max_stalled_chunks for
+// the per-model guard that normally fires first).
+inline constexpr size_t kMaxStalledRounds = 32;
 
 // One line of the transparent orchestration log.
 struct TraceEntry {
@@ -57,6 +65,12 @@ struct ModelOutcome {
   double inter_similarity = 0.0;
   bool pruned = false;
   bool finished = false;
+  // The model's stream failed (at start or mid-generation) and the
+  // orchestrator quarantined it; `error` carries the stream's status
+  // message. Its partial response (if any) is kept for transparency but is
+  // never selected as the answer.
+  bool failed = false;
+  std::string error;
   llm::StopReason stop_reason = llm::StopReason::kLength;
 };
 
@@ -96,6 +110,18 @@ namespace internal {
 // the trace.
 void Emit(const OrchestratorEvent& event, const EventCallback& callback,
           std::vector<TraceEntry>* trace);
+
+// Emits the kFailure event recording a model's quarantine; the trace entry
+// carries the stream error as its detail.
+void EmitFailure(const std::string& model, const Status& error, size_t round,
+                 size_t total_tokens, const EventCallback& callback,
+                 std::vector<TraceEntry>* trace);
+
+// The typed terminal error for a query where every pool model failed. Keeps
+// the last stream error for diagnosis; orchestrators return it instead of
+// fabricating an answer from a failed model.
+Status AllModelsFailed(const std::string& orchestrator, size_t pool_size,
+                       const Status& last_error);
 
 }  // namespace internal
 }  // namespace llmms::core

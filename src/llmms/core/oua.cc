@@ -40,13 +40,41 @@ StatusOr<OrchestrationResult> OuaOrchestrator::Run(
   }
 
   // `active`: still generating. `candidates`: eligible to win (everything
-  // not pruned, including models that finished naturally).
+  // not pruned or failed, including models that finished naturally).
   std::vector<std::string> active = models_;
   std::unordered_set<std::string> pruned;
+  std::unordered_set<std::string> failed;
+  std::unordered_map<std::string, Status> failure_reasons;
   std::unordered_map<std::string, RoundScore> last_scores;
 
   size_t round = 0;
   std::string early_winner;
+
+  // Quarantine: mark the model failed, record the failure, drop it from the
+  // active set, and hand its unspent allowance to the survivors (the same
+  // reallocation pruning performs — a dead model must not strand budget).
+  auto quarantine = [&](const std::string& model, const Status& error) {
+    failed.insert(model);
+    failure_reasons[model] = error;
+    const size_t leftover =
+        allowance[model] > spent[model] ? allowance[model] - spent[model] : 0;
+    active.erase(std::remove(active.begin(), active.end(), model),
+                 active.end());
+    if (!active.empty() && leftover > 0) {
+      const size_t share = leftover / active.size();
+      for (const auto& m : active) allowance[m] += share;
+    }
+    internal::EmitFailure(model, error, round, generation->TotalTokens(),
+                          callback, &result.trace);
+  };
+
+  // Models that refused to start join the run pre-failed.
+  for (const auto& m : models_) {
+    LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(m));
+    if (stats.failed) quarantine(m, Status::Internal(stats.error));
+  }
+
+  size_t stalled_rounds = 0;  // rounds with zero progress across the pool
 
   while (!active.empty() && early_winner.empty()) {
     ++round;
@@ -59,9 +87,12 @@ StatusOr<OrchestrationResult> OuaOrchestrator::Run(
       requests.emplace_back(m, std::min(config_.chunk_tokens, remaining));
     }
     if (requests.empty()) break;  // every active model exhausted its budget
-    LLMMS_ASSIGN_OR_RETURN(auto chunks, generation->NextChunks(requests));
-    for (const auto& [model, chunk] : chunks) {
+    LLMMS_ASSIGN_OR_RETURN(auto batch, generation->NextChunks(requests));
+    for (const auto& [model, error] : batch.errors) quarantine(model, error);
+    size_t round_tokens = 0;
+    for (const auto& [model, chunk] : batch.chunks) {
       spent[model] += chunk.num_tokens;
+      round_tokens += chunk.num_tokens;
       if (chunk.num_tokens > 0 && callback) {
         OrchestratorEvent event;
         event.type = EventType::kChunk;
@@ -72,12 +103,23 @@ StatusOr<OrchestrationResult> OuaOrchestrator::Run(
         internal::Emit(event, callback, &result.trace);
       }
     }
+    // Anti-hang guard: a pool of stalled (but not erroring) backends makes
+    // no progress; after enough empty rounds treat them as exhausted
+    // rather than spinning forever.
+    if (round_tokens == 0) {
+      if (++stalled_rounds >= kMaxStalledRounds) break;
+    } else {
+      stalled_rounds = 0;
+    }
 
     // --- Scoring (Algorithm 1 lines 10-15). ---
     std::vector<std::string> candidates;
     for (const auto& m : models_) {
-      if (pruned.count(m) == 0) candidates.push_back(m);
+      if (pruned.count(m) == 0 && failed.count(m) == 0) {
+        candidates.push_back(m);
+      }
     }
+    if (candidates.empty()) break;  // everyone failed: handled below
     std::vector<std::string> responses;
     responses.reserve(candidates.size());
     for (const auto& m : candidates) {
@@ -174,12 +216,21 @@ StatusOr<OrchestrationResult> OuaOrchestrator::Run(
     active = std::move(still_active);
   }
 
-  // --- Final selection (Algorithm 1 line 25). ---
+  // --- Final selection (Algorithm 1 line 25). Failed models can never
+  // win; when the whole pool failed the query fails with a typed error. ---
+  if (failed.size() == models_.size()) {
+    Status last = Status::Internal("unknown failure");
+    for (const auto& m : models_) {
+      auto it = failure_reasons.find(m);
+      if (it != failure_reasons.end()) last = it->second;
+    }
+    return internal::AllModelsFailed(name(), models_.size(), last);
+  }
   std::string winner = early_winner;
   if (winner.empty()) {
     double best = -std::numeric_limits<double>::infinity();
     for (const auto& m : models_) {
-      if (pruned.count(m) > 0) continue;
+      if (pruned.count(m) > 0 || failed.count(m) > 0) continue;
       auto it = last_scores.find(m);
       const double s =
           it != last_scores.end()
@@ -190,7 +241,15 @@ StatusOr<OrchestrationResult> OuaOrchestrator::Run(
         winner = m;
       }
     }
-    if (winner.empty()) winner = models_.front();  // all pruned: degenerate
+    if (winner.empty()) {
+      // All survivors pruned: degenerate, fall back to any healthy model.
+      for (const auto& m : models_) {
+        if (failed.count(m) == 0) {
+          winner = m;
+          break;
+        }
+      }
+    }
   }
 
   result.best_model = winner;
@@ -208,6 +267,11 @@ StatusOr<OrchestrationResult> OuaOrchestrator::Run(
     outcome.finished = stats.finished;
     outcome.stop_reason = stats.stop_reason;
     outcome.pruned = pruned.count(m) > 0;
+    outcome.failed = failed.count(m) > 0;
+    auto fail_it = failure_reasons.find(m);
+    if (fail_it != failure_reasons.end()) {
+      outcome.error = fail_it->second.message();
+    }
     auto it = last_scores.find(m);
     if (it != last_scores.end()) {
       outcome.final_score = it->second.combined;

@@ -26,14 +26,43 @@ StatusOr<OrchestrationResult> SingleModelOrchestrator::Run(
   OrchestrationResult result;
   size_t used = 0;
   size_t round = 0;
+  size_t stalled = 0;
+
+  // With a single model there is nobody to fail over to: a stream error is
+  // the query's outcome, surfaced as a typed Status naming the model and
+  // the round so callers (and the API error payload) can say *what* died
+  // and *when* — not just bubble a raw stream error.
+  auto typed_failure = [this, &callback](const Status& error,
+                                         size_t at_round) {
+    internal::EmitFailure(model_, error, at_round, 0, callback, nullptr);
+    return Status(error.code(), "single-model orchestration failed: model '" +
+                                    model_ + "' failed in round " +
+                                    std::to_string(at_round) + ": " +
+                                    error.message());
+  };
+
+  {
+    LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(model_));
+    if (stats.failed) {
+      return typed_failure(Status::Internal(stats.error), 0);
+    }
+  }
+
   for (;;) {
     LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(model_));
     if (stats.finished || used >= config_.token_budget) break;
     ++round;
     const size_t ask =
         std::min(config_.chunk_tokens, config_.token_budget - used);
-    LLMMS_ASSIGN_OR_RETURN(auto chunk, generation->NextChunk(model_, ask));
+    auto chunk_or = generation->NextChunk(model_, ask);
+    if (!chunk_or.ok()) return typed_failure(chunk_or.status(), round);
+    const llm::Chunk chunk = std::move(chunk_or).value();
     used += chunk.num_tokens;
+    if (chunk.num_tokens == 0 && !chunk.done) {
+      if (++stalled >= kMaxStalledRounds) break;
+    } else {
+      stalled = 0;
+    }
     if (chunk.num_tokens > 0 && callback) {
       OrchestratorEvent event;
       event.type = EventType::kChunk;

@@ -1,0 +1,110 @@
+#include "llmms/llm/fault_injection.h"
+
+#include <utility>
+
+namespace llmms::llm {
+namespace {
+
+class FaultyStream final : public GenerationStream {
+ public:
+  FaultyStream(std::unique_ptr<GenerationStream> inner,
+               const FaultConfig& config, Rng rng, const FaultyModel* owner)
+      : inner_(std::move(inner)), config_(config), rng_(rng), owner_(owner) {}
+
+  StatusOr<Chunk> NextChunk(size_t max_tokens) override {
+    if (truncated_) {
+      Chunk chunk;
+      chunk.done = true;
+      chunk.stop_reason = StopReason::kLength;
+      return chunk;
+    }
+    if (dead_ || (config_.fail_after_tokens > 0 &&
+                  inner_->tokens_generated() >= config_.fail_after_tokens)) {
+      dead_ = true;  // permanent: retries cannot resurrect the backend
+      return Status::Internal("injected fault: model '" + owner_->name() +
+                              "' stream died after " +
+                              std::to_string(inner_->tokens_generated()) +
+                              " tokens");
+    }
+    if (rng_.Bernoulli(config_.chunk_error_prob)) {
+      owner_->CountFault(
+          [](FaultyModel::Counters* c) { ++c->chunk_errors_injected; });
+      return Status::Internal("injected fault: transient chunk error on '" +
+                              owner_->name() + "'");
+    }
+    if (!inner_->finished() && rng_.Bernoulli(config_.stall_prob)) {
+      owner_->CountFault(
+          [](FaultyModel::Counters* c) { ++c->stalls_injected; });
+      Chunk chunk;  // zero tokens, not done: no progress this call
+      return chunk;
+    }
+    LLMMS_ASSIGN_OR_RETURN(Chunk chunk, inner_->NextChunk(max_tokens));
+    if (config_.truncate_after_tokens > 0 && !chunk.done &&
+        inner_->tokens_generated() >= config_.truncate_after_tokens) {
+      owner_->CountFault(
+          [](FaultyModel::Counters* c) { ++c->truncations_injected; });
+      truncated_ = true;
+      chunk.done = true;
+      chunk.stop_reason = StopReason::kLength;
+    }
+    if (rng_.Bernoulli(config_.latency_spike_prob)) {
+      owner_->CountFault(
+          [](FaultyModel::Counters* c) { ++c->latency_spikes_injected; });
+      chunk.extra_seconds += config_.latency_spike_seconds;
+    }
+    return chunk;
+  }
+
+  const std::string& text() const override { return inner_->text(); }
+  size_t tokens_generated() const override {
+    return inner_->tokens_generated();
+  }
+  bool finished() const override { return truncated_ || inner_->finished(); }
+  StopReason stop_reason() const override {
+    return truncated_ ? StopReason::kLength : inner_->stop_reason();
+  }
+
+ private:
+  std::unique_ptr<GenerationStream> inner_;
+  FaultConfig config_;
+  Rng rng_;
+  const FaultyModel* owner_;
+  bool dead_ = false;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+FaultyModel::FaultyModel(std::shared_ptr<LanguageModel> inner,
+                         const FaultConfig& config)
+    : inner_(std::move(inner)), config_(config), rng_(config.seed) {}
+
+StatusOr<std::unique_ptr<GenerationStream>> FaultyModel::StartGeneration(
+    const GenerationRequest& request) const {
+  Rng stream_rng;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.starts_attempted;
+    if (rng_.Bernoulli(config_.refuse_start_prob)) {
+      ++counters_.starts_refused;
+      return Status::Internal("injected fault: model '" + name() +
+                              "' refused to start generation");
+    }
+    stream_rng = rng_.Fork();
+  }
+  LLMMS_ASSIGN_OR_RETURN(auto stream, inner_->StartGeneration(request));
+  return std::unique_ptr<GenerationStream>(std::make_unique<FaultyStream>(
+      std::move(stream), config_, stream_rng, this));
+}
+
+void FaultyModel::CountFault(void (*update)(Counters*)) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  update(&counters_);
+}
+
+FaultyModel::Counters FaultyModel::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace llmms::llm

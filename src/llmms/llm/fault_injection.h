@@ -1,0 +1,98 @@
+#ifndef LLMMS_LLM_FAULT_INJECTION_H_
+#define LLMMS_LLM_FAULT_INJECTION_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "llmms/common/rng.h"
+#include "llmms/llm/model.h"
+
+namespace llmms::llm {
+
+// What a FaultyModel injects, and how often. All probabilities are per call
+// and drawn from a deterministic stream seeded by `seed`, so a chaos
+// scenario replays bit-identically: same seed + same call sequence = same
+// faults. Faults compose — a stream can spike latency on one chunk and
+// error on the next.
+struct FaultConfig {
+  uint64_t seed = 0xFA017EDULL;
+
+  // StartGeneration returns an Internal error (a crashed/overloaded backend
+  // refusing new work).
+  double refuse_start_prob = 0.0;
+
+  // NextChunk returns an Internal error without advancing the stream. The
+  // fault is transient: a retry of the same call may succeed.
+  double chunk_error_prob = 0.0;
+
+  // Once the stream has emitted >= this many tokens, every further NextChunk
+  // fails permanently (a backend dying mid-generation). 0 disables.
+  size_t fail_after_tokens = 0;
+
+  // NextChunk returns a zero-token, not-done chunk (a stalled backend that
+  // holds the connection but makes no progress).
+  double stall_prob = 0.0;
+
+  // NextChunk succeeds but carries `latency_spike_seconds` of extra
+  // simulated latency (network hiccup / noisy-neighbor slowdown).
+  double latency_spike_prob = 0.0;
+  double latency_spike_seconds = 0.0;
+
+  // The stream ends prematurely (done, StopReason::kLength) once it has
+  // emitted >= this many tokens (truncated response). 0 disables.
+  size_t truncate_after_tokens = 0;
+};
+
+// Chaos-testing decorator: wraps any LanguageModel and injects seeded,
+// reproducible faults at the StartGeneration and NextChunk boundaries. The
+// wrapped model is never told about the faults — an injected chunk error
+// leaves the inner stream exactly where it was, which is what makes
+// FaultConfig::chunk_error_prob faults retryable by ResilientModel.
+//
+// Decorator stack (see DESIGN.md "Resilience layer"):
+//   SyntheticModel -> FaultyModel -> ResilientModel -> ModelRuntime
+class FaultyModel final : public LanguageModel {
+ public:
+  FaultyModel(std::shared_ptr<LanguageModel> inner, const FaultConfig& config);
+
+  const std::string& name() const override { return inner_->name(); }
+  uint64_t memory_mb() const override { return inner_->memory_mb(); }
+  double tokens_per_second() const override {
+    return inner_->tokens_per_second();
+  }
+  size_t context_window() const override { return inner_->context_window(); }
+
+  StatusOr<std::unique_ptr<GenerationStream>> StartGeneration(
+      const GenerationRequest& request) const override;
+
+  const FaultConfig& config() const { return config_; }
+
+  // Totals across all streams, for assertions in chaos tests.
+  struct Counters {
+    size_t starts_attempted = 0;
+    size_t starts_refused = 0;
+    size_t chunk_errors_injected = 0;
+    size_t stalls_injected = 0;
+    size_t latency_spikes_injected = 0;
+    size_t truncations_injected = 0;
+  };
+  Counters counters() const;
+
+  // Internal: streams report injected faults into the model's counters.
+  void CountFault(void (*update)(Counters*)) const;
+
+ private:
+  std::shared_ptr<LanguageModel> inner_;
+  FaultConfig config_;
+
+  // One deterministic stream for start-time draws and for forking per-stream
+  // generators; the mutex keeps draws well-defined under concurrent starts.
+  mutable std::mutex mu_;
+  mutable Rng rng_;
+  mutable Counters counters_;
+};
+
+}  // namespace llmms::llm
+
+#endif  // LLMMS_LLM_FAULT_INJECTION_H_

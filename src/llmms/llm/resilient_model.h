@@ -1,0 +1,153 @@
+#ifndef LLMMS_LLM_RESILIENT_MODEL_H_
+#define LLMMS_LLM_RESILIENT_MODEL_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "llmms/common/rng.h"
+#include "llmms/llm/model.h"
+
+namespace llmms::llm {
+
+// Knobs of the resilience layer. Backoff is charged in *simulated* seconds
+// (attached to the next successful chunk's `extra_seconds`), consistent with
+// ParallelGeneration::SimulatedWallSeconds — retries cost simulated wall
+// clock, never real sleep. The jitter is drawn from a deterministic stream
+// seeded by `seed`.
+struct ResilienceConfig {
+  uint64_t seed = 0x5E111E47ULL;
+
+  // Additional attempts after the first failure, per call site.
+  size_t max_start_retries = 2;
+  size_t max_chunk_retries = 2;
+
+  // attempt k (0-based) waits min(initial * multiplier^k, max) * jitter,
+  // with jitter uniform in [1 - backoff_jitter, 1 + backoff_jitter].
+  double backoff_initial_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 2.0;
+  double backoff_jitter = 0.1;
+
+  // A chunk whose simulated cost (injected latency + tokens at the model's
+  // nominal speed) exceeds this deadline is converted into a
+  // DeadlineExceeded failure. 0 disables.
+  double chunk_deadline_seconds = 0.0;
+
+  // This many consecutive zero-token, not-done chunks count as a stalled
+  // backend and fail with DeadlineExceeded. 0 disables.
+  size_t max_stalled_chunks = 8;
+
+  // Circuit breaker: this many consecutive retry-exhausted failures open the
+  // circuit; while open, StartGeneration fails fast. After
+  // `breaker_open_calls` fast rejections the breaker goes half-open and
+  // admits one probe — success closes it, failure re-opens it. The cooldown
+  // is counted in calls rather than wall time so that breaker behaviour is
+  // deterministic under simulated time.
+  size_t breaker_failure_threshold = 3;
+  size_t breaker_open_calls = 4;
+};
+
+// Per-model circuit breaker (closed -> open -> half-open -> closed).
+// Thread-safe; shared by a ResilientModel and all of its live streams.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker(size_t failure_threshold, size_t open_calls)
+      : failure_threshold_(failure_threshold), open_calls_(open_calls) {}
+
+  // True if a request may proceed. While open, counts the rejection and
+  // flips to half-open once `open_calls` rejections have elapsed; in
+  // half-open only one probe is admitted at a time.
+  bool AllowRequest();
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  size_t consecutive_failures() const;
+  size_t total_failures() const;
+  size_t fast_rejections() const;
+
+ private:
+  const size_t failure_threshold_;
+  const size_t open_calls_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  size_t consecutive_failures_ = 0;
+  size_t total_failures_ = 0;
+  size_t fast_rejections_ = 0;
+  size_t rejections_since_open_ = 0;
+  bool probe_in_flight_ = false;
+};
+
+const char* CircuitStateToString(CircuitBreaker::State state);
+
+// The deterministic jittered-backoff schedule used by ResilientModel,
+// exposed for tests: same config + same rng seed => same sequence.
+double JitteredBackoffSeconds(const ResilienceConfig& config, size_t attempt,
+                              Rng* rng);
+
+// Resilience decorator: wraps any LanguageModel with retry + exponential
+// backoff (simulated time), a per-chunk deadline, stall detection, and a
+// per-model circuit breaker whose health counters feed /api/health.
+//
+// Transient faults (e.g. FaultConfig::chunk_error_prob) are absorbed by
+// retries; permanent ones (fail_after_tokens, a dead backend) exhaust the
+// retry budget, trip the breaker, and surface to the orchestrator, which
+// quarantines the model.
+//
+// Streams returned by StartGeneration must not outlive the model.
+class ResilientModel final : public LanguageModel {
+ public:
+  ResilientModel(std::shared_ptr<LanguageModel> inner,
+                 const ResilienceConfig& config);
+
+  const std::string& name() const override { return inner_->name(); }
+  uint64_t memory_mb() const override { return inner_->memory_mb(); }
+  double tokens_per_second() const override {
+    return inner_->tokens_per_second();
+  }
+  size_t context_window() const override { return inner_->context_window(); }
+
+  StatusOr<std::unique_ptr<GenerationStream>> StartGeneration(
+      const GenerationRequest& request) const override;
+
+  const ResilienceConfig& config() const { return config_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+
+  // Queryable health, surfaced per model by /api/health.
+  struct Health {
+    CircuitBreaker::State circuit = CircuitBreaker::State::kClosed;
+    size_t consecutive_failures = 0;
+    size_t total_failures = 0;   // retry-exhausted failures
+    size_t fast_rejections = 0;  // starts rejected while the circuit was open
+    size_t starts = 0;
+    size_t start_retries = 0;
+    size_t chunk_retries = 0;
+    size_t deadlines_exceeded = 0;
+    size_t stalls_detected = 0;
+    double backoff_seconds = 0.0;  // total simulated backoff charged
+  };
+  Health health() const;
+
+  // Internal: streams report retry activity into the model's counters.
+  void CountRetry(size_t chunk_retries, double backoff_seconds,
+                  size_t deadlines, size_t stalls) const;
+  // Internal: streams record chunk outcomes on the shared breaker.
+  CircuitBreaker* mutable_breaker() const { return &breaker_; }
+
+ private:
+  std::shared_ptr<LanguageModel> inner_;
+  ResilienceConfig config_;
+  mutable CircuitBreaker breaker_;
+
+  mutable std::mutex mu_;
+  mutable Rng rng_;
+  mutable Health health_;
+};
+
+}  // namespace llmms::llm
+
+#endif  // LLMMS_LLM_RESILIENT_MODEL_H_

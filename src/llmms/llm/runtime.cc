@@ -7,6 +7,7 @@ namespace llmms::llm {
 
 StatusOr<Chunk> ParallelGeneration::NextChunkLocked(Entry* entry,
                                                     size_t max_tokens) {
+  if (entry->stats.failed) return entry->error;  // sticky failure
   if (entry->stats.finished) {
     Chunk chunk;
     chunk.done = true;
@@ -16,9 +17,17 @@ StatusOr<Chunk> ParallelGeneration::NextChunkLocked(Entry* entry,
   if (entry->device != nullptr) entry->device->BeginJob();
   auto chunk_or = entry->stream->NextChunk(max_tokens);
   if (entry->device != nullptr) entry->device->EndJob();
-  if (!chunk_or.ok()) return chunk_or.status();
+  if (!chunk_or.ok()) {
+    // Quarantine the stream: no further tokens, error kept for StatsOf.
+    entry->stats.failed = true;
+    entry->stats.finished = true;
+    entry->stats.error = chunk_or.status().message();
+    entry->error = chunk_or.status();
+    return chunk_or.status();
+  }
   Chunk chunk = std::move(chunk_or).value();
   entry->stats.tokens += chunk.num_tokens;
+  entry->stats.simulated_seconds += chunk.extra_seconds;
   if (entry->effective_tps > 0.0) {
     entry->stats.simulated_seconds +=
         static_cast<double>(chunk.num_tokens) / entry->effective_tps;
@@ -46,10 +55,10 @@ StatusOr<Chunk> ParallelGeneration::NextChunk(const std::string& model,
   return chunk;
 }
 
-StatusOr<std::map<std::string, Chunk>> ParallelGeneration::NextChunks(
+StatusOr<ParallelGeneration::ChunkBatch> ParallelGeneration::NextChunks(
     const std::vector<std::pair<std::string, size_t>>& requests) {
   std::lock_guard<std::mutex> lock(mu_);
-  // Validate first so we fail atomically.
+  // Validate first so misuse fails atomically.
   for (const auto& [name, tokens] : requests) {
     if (entries_.find(name) == entries_.end()) {
       return Status::NotFound("model '" + name +
@@ -70,27 +79,28 @@ StatusOr<std::map<std::string, Chunk>> ParallelGeneration::NextChunks(
     }));
   }
 
-  std::map<std::string, Chunk> result;
-  Status first_error = Status::OK();
+  // A failing model costs the round its own simulated time so far, not the
+  // survivors' chunks: failures land in `errors`, successes in `chunks`.
+  ChunkBatch batch;
   double round_max_seconds = 0.0;
   for (size_t i = 0; i < requests.size(); ++i) {
     auto chunk_or = futures[i].get();
     if (!chunk_or.ok()) {
-      if (first_error.ok()) first_error = chunk_or.status();
+      batch.errors[requests[i].first] = chunk_or.status();
       continue;
     }
     const Entry& entry = entries_[requests[i].first];
+    double chunk_seconds = chunk_or->extra_seconds;
     if (entry.effective_tps > 0.0) {
-      round_max_seconds = std::max(
-          round_max_seconds, static_cast<double>(chunk_or->num_tokens) /
-                                 entry.effective_tps);
+      chunk_seconds += static_cast<double>(chunk_or->num_tokens) /
+                       entry.effective_tps;
     }
-    result[requests[i].first] = std::move(chunk_or).value();
+    round_max_seconds = std::max(round_max_seconds, chunk_seconds);
+    batch.chunks[requests[i].first] = std::move(chunk_or).value();
   }
-  if (!first_error.ok()) return first_error;
   // Chunks in one round run in parallel: wall time advances by the slowest.
   simulated_wall_seconds_ += round_max_seconds;
-  return result;
+  return batch;
 }
 
 StatusOr<std::string> ParallelGeneration::TextOf(
@@ -101,6 +111,8 @@ StatusOr<std::string> ParallelGeneration::TextOf(
     return Status::NotFound("model '" + model +
                             "' is not part of this generation");
   }
+  // A model that failed at start has no stream and produced no text.
+  if (it->second.stream == nullptr) return std::string();
   return it->second.stream->text();
 }
 
@@ -169,6 +181,8 @@ StatusOr<std::unique_ptr<ParallelGeneration>> ModelRuntime::StartGeneration(
   std::lock_guard<std::mutex> lock(mu_);
   auto generation =
       std::unique_ptr<ParallelGeneration>(new ParallelGeneration(&pool_));
+  size_t started = 0;
+  Status last_start_error = Status::OK();
   for (const auto& name : models) {
     auto it = loaded_.find(name);
     if (it == loaded_.end()) {
@@ -178,15 +192,30 @@ StatusOr<std::unique_ptr<ParallelGeneration>> ModelRuntime::StartGeneration(
     if (generation->entries_.count(name) > 0) {
       return Status::InvalidArgument("duplicate model '" + name + "'");
     }
-    LLMMS_ASSIGN_OR_RETURN(auto stream,
-                           it->second.model->StartGeneration(request));
     ParallelGeneration::Entry entry;
-    entry.stream = std::move(stream);
-    entry.device = it->second.placement->device();
-    entry.effective_tps = it->second.model->tokens_per_second() *
-                          entry.device->spec().throughput_factor;
+    auto stream_or = it->second.model->StartGeneration(request);
+    if (stream_or.ok()) {
+      ++started;
+      entry.stream = std::move(stream_or).value();
+      entry.device = it->second.placement->device();
+      entry.effective_tps = it->second.model->tokens_per_second() *
+                            entry.device->spec().throughput_factor;
+    } else {
+      // The model refused to start: it joins pre-failed so orchestrators
+      // can quarantine it instead of losing the whole query.
+      last_start_error = stream_or.status();
+      entry.stats.failed = true;
+      entry.stats.finished = true;
+      entry.stats.error = stream_or.status().message();
+      entry.error = stream_or.status();
+    }
     generation->entries_[name] = std::move(entry);
     generation->order_.push_back(name);
+  }
+  if (started == 0) {
+    return Status(last_start_error.code(),
+                  "no model could start generation; last error: " +
+                      last_start_error.message());
   }
   return generation;
 }

@@ -33,13 +33,31 @@ class ParallelGeneration {
     double simulated_seconds = 0.0;
     bool finished = false;
     StopReason stop_reason = StopReason::kLength;
+    // Set when the model's stream errored (at start or mid-generation). A
+    // failed model is also `finished`: it will produce no further tokens.
+    bool failed = false;
+    std::string error;
   };
 
-  // Requests the next chunk (up to max_tokens) from one model.
+  // Result of one parallel round. A model appears in exactly one map: in
+  // `chunks` if its stream produced a chunk, in `errors` if it failed this
+  // round (or had already failed). One model's failure never discards the
+  // chunks the other models generated in the same round.
+  struct ChunkBatch {
+    std::map<std::string, Chunk> chunks;
+    std::map<std::string, Status> errors;
+  };
+
+  // Requests the next chunk (up to max_tokens) from one model. A stream
+  // error is sticky: the model is marked failed and every further call
+  // returns the recorded error.
   StatusOr<Chunk> NextChunk(const std::string& model, size_t max_tokens);
 
-  // Requests chunks from several models concurrently; returns model -> chunk.
-  StatusOr<std::map<std::string, Chunk>> NextChunks(
+  // Requests chunks from several models concurrently. Per-model stream
+  // errors are reported in the batch, not as the call's status; the call
+  // itself only fails on misuse (a model that is not part of the
+  // generation).
+  StatusOr<ChunkBatch> NextChunks(
       const std::vector<std::pair<std::string, size_t>>& requests);
 
   // Accumulated response text of a model.
@@ -62,10 +80,12 @@ class ParallelGeneration {
   friend class ModelRuntime;
 
   struct Entry {
+    // Null when the model failed to start; stats.failed is set instead.
     std::unique_ptr<GenerationStream> stream;
     hardware::Device* device = nullptr;  // where the model is placed
     double effective_tps = 1.0;
     ModelStats stats;
+    Status error;  // sticky stream error, meaningful when stats.failed
   };
 
   explicit ParallelGeneration(ThreadPool* pool) : pool_(pool) {}
@@ -98,7 +118,11 @@ class ModelRuntime {
   bool IsLoaded(const std::string& name) const;
   std::vector<std::string> LoadedModels() const;
 
-  // Starts a parallel generation across `models` (all must be loaded).
+  // Starts a parallel generation across `models` (all must be loaded —
+  // asking for an unloaded model fails the whole call, a config error). A
+  // model whose StartGeneration is *refused* is tolerated: it joins the
+  // generation pre-failed (StatsOf reports failed) so orchestrators can
+  // quarantine it; the call only fails when every model refuses.
   StatusOr<std::unique_ptr<ParallelGeneration>> StartGeneration(
       const std::vector<std::string>& models,
       const GenerationRequest& request);

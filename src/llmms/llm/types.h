@@ -32,6 +32,10 @@ struct Chunk {
   size_t num_tokens = 0;   // tokens in this chunk
   bool done = false;       // true when the stream is finished
   StopReason stop_reason = StopReason::kLength;  // meaningful when done
+  // Additional simulated latency attached by decorators (fault injection
+  // spikes, resilience-layer retry backoff). The runtime folds this into
+  // per-model and wall-clock simulated time on top of the tokens/tps cost.
+  double extra_seconds = 0.0;
 };
 
 // A completed generation.

@@ -143,17 +143,18 @@ TEST(ParallelGenerationTest, NextChunksRunsAllModels) {
   ASSERT_TRUE(generation.ok());
   std::vector<std::pair<std::string, size_t>> requests;
   for (const auto& m : world.model_names) requests.emplace_back(m, 8);
-  auto chunks = (*generation)->NextChunks(requests);
-  ASSERT_TRUE(chunks.ok());
-  EXPECT_EQ(chunks->size(), 3u);
-  for (const auto& [model, chunk] : *chunks) {
+  auto batch = (*generation)->NextChunks(requests);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->errors.empty());
+  EXPECT_EQ(batch->chunks.size(), 3u);
+  for (const auto& [model, chunk] : batch->chunks) {
     EXPECT_LE(chunk.num_tokens, 8u);
     EXPECT_GT(chunk.num_tokens, 0u) << model;
   }
   EXPECT_EQ((*generation)->TotalTokens(),
-            chunks->at("llama3:8b").num_tokens +
-                chunks->at("mistral:7b").num_tokens +
-                chunks->at("qwen2:7b").num_tokens);
+            batch->chunks.at("llama3:8b").num_tokens +
+                batch->chunks.at("mistral:7b").num_tokens +
+                batch->chunks.at("qwen2:7b").num_tokens);
 }
 
 TEST(ParallelGenerationTest, UnknownModelRejected) {
