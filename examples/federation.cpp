@@ -1,0 +1,128 @@
+// Federation demo (§9.5 + DESIGN.md §9): two in-process LLM-MS nodes, one
+// hosting the models behind the HTTP API, the other registering a
+// RemoteModel adapter and orchestrating the federated model next to its
+// local ones — over a real loopback socket.
+//
+//   ./build/examples/federation
+//
+// The demo drives both generation paths of the wire protocol:
+//   1. streaming — the peer advertises "streaming": true, so chunks cross
+//      the wire as SSE frames the moment they are produced. The printed
+//      TTFT and per-chunk wire latencies are real wall-clock measurements
+//      recorded into Chunk::extra_seconds.
+//   2. one-shot fallback — the same peer with streaming_generate disabled
+//      behaves like a pre-streaming build: the whole completion arrives in
+//      one POST and the adapter serves it locally, identical tokens and
+//      stop reason, but nothing is readable before everything is.
+
+#include <cstdio>
+#include <iostream>
+
+#include "example_common.h"
+#include "llmms/app/http_server.h"
+#include "llmms/app/remote_model.h"
+#include "llmms/app/service.h"
+#include "llmms/core/oua.h"
+
+int main() {
+  using namespace llmms;
+
+  // --- Node B: the remote host. Its three models serve over HTTP. ---
+  auto node_b = examples::MakePlatform(12);
+  app::ApiService service_b(node_b.engine.get());
+  app::HttpServer server_b(&service_b);
+  if (auto status = server_b.Start(0); !status.ok()) {
+    std::cerr << "cannot start node B: " << status << "\n";
+    return 1;
+  }
+  std::cout << "node B serving " << node_b.model_names.size()
+            << " models on http://127.0.0.1:" << server_b.port() << "\n\n";
+
+  // --- Node A: a local platform that federates one of node B's models. ---
+  auto node_a = examples::MakePlatform(12);
+  auto remote = app::RemoteModel::Connect("127.0.0.1", server_b.port(),
+                                          "mistral:7b", "fed-mistral");
+  if (!remote.ok()) {
+    std::cerr << "connect failed: " << remote.status() << "\n";
+    return 1;
+  }
+  std::cout << "connected: " << (*remote)->name() << " ("
+            << ((*remote)->peer_streaming() ? "streaming" : "one-shot")
+            << " wire protocol negotiated)\n\n";
+
+  // --- 1. Stream a generation chunk-for-chunk across the wire. ---
+  const std::string prompt = node_b.dataset[0].question;
+  std::cout << "prompt: " << prompt << "\n\nstreaming generation:\n";
+  llm::GenerationRequest request;
+  request.prompt = prompt;
+  auto stream = (*remote)->StartGeneration(request);
+  if (!stream.ok()) {
+    std::cerr << "start failed: " << stream.status() << "\n";
+    return 1;
+  }
+  size_t chunk_index = 0;
+  while (!(*stream)->finished()) {
+    auto chunk = (*stream)->NextChunk(8);
+    if (!chunk.ok()) {
+      std::cerr << "stream failed: " << chunk.status() << "\n";
+      return 1;
+    }
+    if (chunk->num_tokens == 0) continue;
+    // extra_seconds carries the real wire wait for this chunk; for the
+    // first chunk that is the time-to-first-token, connection included.
+    std::printf("  chunk %zu  %5zu tokens  wire %.3f ms%s\n", chunk_index,
+                chunk->num_tokens, chunk->extra_seconds * 1e3,
+                chunk_index == 0 ? "  <- time-to-first-token" : "");
+    ++chunk_index;
+  }
+  std::cout << "  text: " << (*stream)->text() << "\n\n";
+
+  // --- 2. The same request against a pre-streaming peer. ---
+  service_b.set_streaming_generate(false);
+  auto old_peer = app::RemoteModel::Connect("127.0.0.1", server_b.port(),
+                                            "mistral:7b", "fed-old");
+  if (!old_peer.ok()) {
+    std::cerr << "connect failed: " << old_peer.status() << "\n";
+    return 1;
+  }
+  std::cout << "peer downgraded; renegotiated protocol: "
+            << ((*old_peer)->peer_streaming() ? "streaming" : "one-shot")
+            << "\n";
+  auto fallback = (*old_peer)->Generate(request);
+  if (!fallback.ok()) {
+    std::cerr << "fallback failed: " << fallback.status() << "\n";
+    return 1;
+  }
+  std::cout << "one-shot fallback: " << fallback->num_tokens
+            << " tokens, same text: "
+            << (fallback->text == (*stream)->text() ? "yes" : "NO") << "\n\n";
+  service_b.set_streaming_generate(true);
+
+  // --- 3. The federated model joins node A's orchestration. ---
+  if (auto status = node_a.registry->Register(*remote); !status.ok()) {
+    std::cerr << "register failed: " << status << "\n";
+    return 1;
+  }
+  if (auto status = node_a.runtime->LoadModel("fed-mistral"); !status.ok()) {
+    std::cerr << "load failed: " << status << "\n";
+    return 1;
+  }
+  core::OuaOrchestrator orchestrator(
+      node_a.runtime.get(), {"llama3:8b", "qwen2:7b", "fed-mistral"},
+      node_a.embedder, {});
+  auto result = orchestrator.Run(prompt);
+  if (!result.ok()) {
+    std::cerr << "orchestration failed: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "orchestrated across 2 local + 1 federated model:\n";
+  for (const auto& [name, outcome] : result->per_model) {
+    std::printf("  %-12s %4zu tokens  score %.3f%s\n", name.c_str(),
+                outcome.tokens, outcome.final_score,
+                name == result->best_model ? "  <- selected" : "");
+  }
+  std::cout << "answer: " << result->answer << "\n";
+
+  server_b.Stop();
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "llmms/app/http.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 
@@ -41,26 +42,75 @@ Status ParseHeaderLines(std::string_view head,
 }
 
 StatusOr<std::string> DecodeChunked(std::string_view data) {
+  ChunkedDecoder decoder;
   std::string out;
-  size_t pos = 0;
-  for (;;) {
-    const size_t line_end = data.find("\r\n", pos);
-    if (line_end == std::string_view::npos) {
-      return Status::InvalidArgument("truncated chunk size line");
-    }
-    const std::string size_line(data.substr(pos, line_end - pos));
-    const unsigned long chunk_size = std::strtoul(size_line.c_str(), nullptr, 16);
-    pos = line_end + 2;
-    if (chunk_size == 0) return out;
-    if (pos + chunk_size + 2 > data.size()) {
-      return Status::InvalidArgument("truncated chunk body");
-    }
-    out.append(data.substr(pos, chunk_size));
-    pos += chunk_size + 2;  // skip trailing CRLF
+  LLMMS_RETURN_NOT_OK(decoder.Feed(data, &out));
+  if (!decoder.done()) {
+    return Status::InvalidArgument("truncated chunked body");
   }
+  return out;
 }
 
 }  // namespace
+
+Status ChunkedDecoder::Feed(std::string_view bytes, std::string* out) {
+  auto fail = [this](const char* message) {
+    state_ = State::kError;
+    return Status::InvalidArgument(message);
+  };
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    switch (state_) {
+      case State::kSizeLine: {
+        const size_t nl = bytes.find('\n', pos);
+        size_line_.append(bytes.substr(pos, nl == std::string_view::npos
+                                                ? bytes.size() - pos
+                                                : nl - pos));
+        if (size_line_.size() > 64) return fail("oversized chunk size line");
+        if (nl == std::string_view::npos) return Status::OK();
+        pos = nl + 1;
+        while (!size_line_.empty() && size_line_.back() == '\r') {
+          size_line_.pop_back();
+        }
+        if (size_line_.empty() ||
+            !std::isxdigit(static_cast<unsigned char>(size_line_[0]))) {
+          return fail("malformed chunk size line");
+        }
+        // Chunk extensions after ';' are ignored (strtoul stops there).
+        remaining_ = std::strtoul(size_line_.c_str(), nullptr, 16);
+        size_line_.clear();
+        state_ = remaining_ == 0 ? State::kDone : State::kData;
+        break;
+      }
+      case State::kData: {
+        const size_t take = std::min(remaining_, bytes.size() - pos);
+        out->append(bytes.substr(pos, take));
+        pos += take;
+        remaining_ -= take;
+        if (remaining_ == 0) state_ = State::kDataEnd;
+        break;
+      }
+      case State::kDataEnd: {
+        // Consume the CRLF (or bare LF) that closes the chunk payload.
+        // `remaining_` is 0 on entry and marks "CR seen, LF required".
+        const char c = bytes[pos++];
+        if (c == '\r' && remaining_ == 0) {
+          remaining_ = 1;
+          break;
+        }
+        if (c != '\n') return fail("missing CRLF after chunk payload");
+        remaining_ = 0;
+        state_ = State::kSizeLine;
+        break;
+      }
+      case State::kDone:
+        return Status::OK();  // trailers are ignored
+      case State::kError:
+        return Status::InvalidArgument("chunked decoder previously failed");
+    }
+  }
+  return Status::OK();
+}
 
 const char* HttpReasonPhrase(int status) {
   switch (status) {
@@ -137,12 +187,7 @@ std::string SerializeHttpResponse(const HttpResponse& response) {
   return out;
 }
 
-StatusOr<HttpResponse> ParseHttpResponse(std::string_view raw) {
-  std::string_view head;
-  std::string_view body;
-  if (!SplitHead(raw, &head, &body)) {
-    return Status::InvalidArgument("incomplete HTTP response head");
-  }
+StatusOr<HttpResponse> ParseHttpResponseHead(std::string_view head) {
   const size_t line_end = head.find("\r\n");
   const std::string_view status_line =
       line_end == std::string_view::npos ? head : head.substr(0, line_end);
@@ -156,6 +201,16 @@ StatusOr<HttpResponse> ParseHttpResponse(std::string_view raw) {
     LLMMS_RETURN_NOT_OK(
         ParseHeaderLines(head.substr(line_end + 2), &response.headers));
   }
+  return response;
+}
+
+StatusOr<HttpResponse> ParseHttpResponse(std::string_view raw) {
+  std::string_view head;
+  std::string_view body;
+  if (!SplitHead(raw, &head, &body)) {
+    return Status::InvalidArgument("incomplete HTTP response head");
+  }
+  LLMMS_ASSIGN_OR_RETURN(HttpResponse response, ParseHttpResponseHead(head));
 
   auto te = response.headers.find("transfer-encoding");
   if (te != response.headers.end() && ToLower(te->second) == "chunked") {

@@ -40,6 +40,32 @@ std::string SerializeHttpResponse(const HttpResponse& response);
 // present (the client side of SSE streams).
 StatusOr<HttpResponse> ParseHttpResponse(std::string_view raw);
 
+// Parses only the status line and headers of a response — everything before
+// the blank line, excluded. Used by the streaming client, which reads the
+// body incrementally as it arrives. The returned response's `body` is empty.
+StatusOr<HttpResponse> ParseHttpResponseHead(std::string_view head);
+
+// Incremental decoder for HTTP/1.1 chunked transfer encoding: accepts the
+// wire in arbitrary slices and appends decoded payload bytes as they become
+// available. Once the terminal zero-length chunk is seen `done()` turns true
+// and any further bytes (trailers) are ignored.
+class ChunkedDecoder {
+ public:
+  // Consumes `bytes`, appending decoded payload to `out`. Fails with
+  // InvalidArgument on malformed framing; the decoder is then poisoned and
+  // every further Feed returns the same error.
+  Status Feed(std::string_view bytes, std::string* out);
+
+  bool done() const { return state_ == State::kDone; }
+
+ private:
+  enum class State { kSizeLine, kData, kDataEnd, kDone, kError };
+
+  State state_ = State::kSizeLine;
+  std::string size_line_;   // partial chunk-size line across Feed boundaries
+  size_t remaining_ = 0;    // payload bytes left in the current chunk
+};
+
 // Standard reason phrase for a status code ("OK", "Not Found", ...).
 const char* HttpReasonPhrase(int status);
 

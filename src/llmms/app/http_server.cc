@@ -6,13 +6,16 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <string_view>
 
 #include "llmms/app/sse.h"
 #include "llmms/common/logging.h"
+#include "llmms/common/string_util.h"
 
 namespace llmms::app {
 namespace {
@@ -85,6 +88,58 @@ bool WantsStream(const HttpRequest& request) {
   auto it = request.headers.find("accept");
   return it != request.headers.end() &&
          it->second.find("text/event-stream") != std::string::npos;
+}
+
+// The response head every SSE stream starts with.
+constexpr const char kSseHead[] =
+    "HTTP/1.1 200 OK\r\n"
+    "content-type: text/event-stream\r\n"
+    "cache-control: no-cache\r\n"
+    "transfer-encoding: chunked\r\n"
+    "connection: close\r\n\r\n";
+
+// Opens a TCP connection to host:port with optional send/recv deadlines.
+StatusOr<int> ConnectSocket(const std::string& host, int port,
+                            double timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket() failed");
+  if (timeout_seconds > 0.0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError("connect() failed to " + host + ":" +
+                           std::to_string(port));
+  }
+  return fd;
+}
+
+std::string SerializeHttpRequest(const std::string& host,
+                                 const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body,
+                                 const std::string& content_type,
+                                 bool accept_event_stream) {
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "host: " + host + "\r\n";
+  request += "content-type: " + content_type + "\r\n";
+  request += "content-length: " + std::to_string(body.size()) + "\r\n";
+  if (accept_event_stream) request += "accept: text/event-stream\r\n";
+  request += "connection: close\r\n\r\n";
+  request += body;
+  return request;
 }
 
 }  // namespace
@@ -189,13 +244,7 @@ void HttpServer::HandleConnection(int fd) {
 
   if (request->path == "/api/query" && WantsStream(*request)) {
     // SSE: send the head, then one chunk per event, then the result frame.
-    std::string head =
-        "HTTP/1.1 200 OK\r\n"
-        "content-type: text/event-stream\r\n"
-        "cache-control: no-cache\r\n"
-        "transfer-encoding: chunked\r\n"
-        "connection: close\r\n\r\n";
-    if (!SendAll(fd, head)) {
+    if (!SendAll(fd, kSseHead)) {
       ::close(fd);
       return;
     }
@@ -210,6 +259,36 @@ void HttpServer::HandleConnection(int fd) {
         });
     SseEvent final_frame;
     final_frame.event = "result";
+    final_frame.data = result.Dump();
+    SendAll(fd, ChunkEncode(EncodeSse(final_frame)));
+    SendAll(fd, "0\r\n\r\n");
+    ::close(fd);
+    return;
+  }
+
+  if (request->path == "/api/generate" && WantsStream(*request) &&
+      service_->streaming_generate()) {
+    // Federation streaming wire protocol (DESIGN.md §9): one `chunk` frame
+    // per generated chunk, then a typed terminal frame — `done` carrying
+    // stop reason + token accounting, or `error` carrying the failure. A
+    // node with streaming_generate disabled never reaches this branch; the
+    // request falls through to the one-shot JSON path below, exactly like a
+    // pre-streaming peer ignoring the stream parameter.
+    if (!SendAll(fd, kSseHead)) {
+      ::close(fd);
+      return;
+    }
+    size_t frame_id = 0;
+    Json result = service_->HandleGenerateStream(
+        payload, [fd, &frame_id](const Json& event) {
+          SseEvent sse;
+          sse.event = "chunk";
+          sse.id = std::to_string(frame_id++);
+          sse.data = event.Dump();
+          SendAll(fd, ChunkEncode(EncodeSse(sse)));
+        });
+    SseEvent final_frame;
+    final_frame.event = result["ok"].AsBool() ? "done" : "error";
     final_frame.data = result.Dump();
     SendAll(fd, ChunkEncode(EncodeSse(final_frame)));
     SendAll(fd, "0\r\n\r\n");
@@ -236,34 +315,10 @@ StatusOr<HttpResponse> HttpFetch(const std::string& host, int port,
                                  const std::string& body,
                                  const std::string& content_type,
                                  double timeout_seconds) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Status::IOError("socket() failed");
-  if (timeout_seconds > 0.0) {
-    timeval tv{};
-    tv.tv_sec = static_cast<time_t>(timeout_seconds);
-    tv.tv_usec = static_cast<suseconds_t>(
-        (timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad host address: " + host);
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return Status::IOError("connect() failed to " + host + ":" +
-                           std::to_string(port));
-  }
-  std::string request = method + " " + target + " HTTP/1.1\r\n";
-  request += "host: " + host + "\r\n";
-  request += "content-type: " + content_type + "\r\n";
-  request += "content-length: " + std::to_string(body.size()) + "\r\n";
-  request += "connection: close\r\n\r\n";
-  request += body;
+  LLMMS_ASSIGN_OR_RETURN(const int fd,
+                         ConnectSocket(host, port, timeout_seconds));
+  const std::string request = SerializeHttpRequest(
+      host, method, target, body, content_type, /*accept_event_stream=*/false);
   if (!SendAll(fd, request)) {
     ::close(fd);
     return Status::IOError("send failed");
@@ -286,6 +341,128 @@ StatusOr<HttpResponse> HttpFetch(const std::string& host, int port,
   }
   ::close(fd);
   return ParseHttpResponse(raw);
+}
+
+StatusOr<std::unique_ptr<HttpClientStream>> HttpClientStream::Open(
+    const std::string& host, int port, const std::string& method,
+    const std::string& target, const std::string& body,
+    const std::string& content_type, double timeout_seconds,
+    bool accept_event_stream) {
+  LLMMS_ASSIGN_OR_RETURN(const int fd,
+                         ConnectSocket(host, port, timeout_seconds));
+  auto stream = std::unique_ptr<HttpClientStream>(new HttpClientStream());
+  stream->fd_ = fd;
+  stream->timeout_seconds_ = timeout_seconds;
+  const std::string request = SerializeHttpRequest(
+      host, method, target, body, content_type, accept_event_stream);
+  if (!SendAll(fd, request)) {
+    return Status::IOError("send failed");  // destructor closes the socket
+  }
+
+  // Read until the head is complete; whatever body bytes arrive with it are
+  // decoded into pending_ for the first Read.
+  std::string raw;
+  char buffer[4096];
+  size_t head_end = std::string::npos;
+  while (head_end == std::string::npos) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded(
+            "response head not received within " +
+            std::to_string(timeout_seconds) + "s");
+      }
+      return Status::IOError("recv failed reading response head");
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed before response head");
+    }
+    raw.append(buffer, static_cast<size_t>(n));
+    head_end = raw.find("\r\n\r\n");
+    if (raw.size() > (1u << 20)) {
+      return Status::ResourceExhausted("response head too large");
+    }
+  }
+  LLMMS_ASSIGN_OR_RETURN(stream->head_,
+                         ParseHttpResponseHead(raw.substr(0, head_end)));
+  auto te = stream->head_.headers.find("transfer-encoding");
+  stream->chunked_ =
+      te != stream->head_.headers.end() && ToLower(te->second) == "chunked";
+  auto cl = stream->head_.headers.find("content-length");
+  if (cl != stream->head_.headers.end()) {
+    stream->has_content_length_ = true;
+    stream->content_remaining_ =
+        static_cast<size_t>(std::strtoull(cl->second.c_str(), nullptr, 10));
+  }
+
+  const std::string_view rest = std::string_view(raw).substr(head_end + 4);
+  if (stream->chunked_) {
+    LLMMS_RETURN_NOT_OK(stream->decoder_.Feed(rest, &stream->pending_));
+    if (stream->decoder_.done()) stream->exhausted_ = true;
+  } else if (stream->has_content_length_) {
+    const size_t take = std::min(rest.size(), stream->content_remaining_);
+    stream->pending_.append(rest.substr(0, take));
+    stream->content_remaining_ -= take;
+    if (stream->content_remaining_ == 0) stream->exhausted_ = true;
+  } else {
+    stream->pending_.append(rest);  // close-delimited
+  }
+  return stream;
+}
+
+HttpClientStream::~HttpClientStream() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::string> HttpClientStream::Read() {
+  if (!pending_.empty()) {
+    std::string out;
+    out.swap(pending_);
+    return out;
+  }
+  if (exhausted_) return std::string();
+
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("no stream data within " +
+                                        std::to_string(timeout_seconds_) +
+                                        "s");
+      }
+      return Status::IOError("recv failed mid-stream");
+    }
+    if (n == 0) {
+      // Peer closed. Clean only if the framing says the body is complete.
+      if (chunked_ && !decoder_.done()) {
+        return Status::IOError("connection closed mid-stream");
+      }
+      if (has_content_length_ && content_remaining_ > 0) {
+        return Status::IOError("connection closed before content-length");
+      }
+      exhausted_ = true;
+      return std::string();
+    }
+    const std::string_view bytes(buffer, static_cast<size_t>(n));
+    std::string out;
+    if (chunked_) {
+      LLMMS_RETURN_NOT_OK(decoder_.Feed(bytes, &out));
+      if (decoder_.done()) exhausted_ = true;
+      // Framing-only bytes decode to nothing; keep reading until payload,
+      // end of stream, or deadline.
+      if (out.empty() && !exhausted_) continue;
+      return out;
+    }
+    if (has_content_length_) {
+      const size_t take = std::min(bytes.size(), content_remaining_);
+      out.append(bytes.substr(0, take));
+      content_remaining_ -= take;
+      if (content_remaining_ == 0) exhausted_ = true;
+      return out;
+    }
+    return std::string(bytes);  // close-delimited
+  }
 }
 
 }  // namespace llmms::app

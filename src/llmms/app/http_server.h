@@ -22,6 +22,13 @@ namespace llmms::app {
 //     encoding, emitting one SSE frame per orchestration event followed by a
 //     final `event: result` frame with the response body — the §7.2 step-7
 //     streaming path, for real, over a socket.
+//   * POST /api/generate with `?stream=1` streams the completion as one
+//     `event: chunk` frame per generated chunk plus a typed terminal frame
+//     (`event: done` with stop reason and token accounting, or
+//     `event: error` after a mid-generation failure) — the federation
+//     streaming wire protocol (DESIGN.md §9). Disabled when the service's
+//     streaming_generate flag is off, in which case the request falls
+//     through to the one-shot JSON handler like on a pre-streaming node.
 //
 // One request per connection (`Connection: close`); connections are served
 // on a worker pool. Binds 127.0.0.1 only.
@@ -67,6 +74,57 @@ StatusOr<HttpResponse> HttpFetch(const std::string& host, int port,
                                  const std::string& content_type =
                                      "application/json",
                                  double timeout_seconds = 0.0);
+
+// Incremental client for streaming endpoints: sends one request, parses the
+// response head eagerly, then surfaces decoded body bytes as they arrive on
+// the wire (dechunked when the server uses chunked transfer encoding). This
+// is what gives the federation adapter true time-to-first-token — bytes are
+// readable the moment the peer flushes them, not when the response ends.
+//
+// `timeout_seconds` > 0 bounds every individual network wait (connect, send,
+// and each Read) — a per-chunk deadline rather than a whole-response one;
+// an expired wait surfaces as DeadlineExceeded. A connection that closes
+// before the chunked body's terminal frame surfaces as IOError, so a peer
+// dying mid-stream is a typed failure, never a hang.
+class HttpClientStream {
+ public:
+  static StatusOr<std::unique_ptr<HttpClientStream>> Open(
+      const std::string& host, int port, const std::string& method,
+      const std::string& target, const std::string& body,
+      const std::string& content_type = "application/json",
+      double timeout_seconds = 0.0, bool accept_event_stream = false);
+
+  ~HttpClientStream();
+  HttpClientStream(const HttpClientStream&) = delete;
+  HttpClientStream& operator=(const HttpClientStream&) = delete;
+
+  // Status line + headers; `head().body` is always empty — body bytes come
+  // from Read.
+  const HttpResponse& head() const { return head_; }
+
+  // Returns the next decoded body bytes, blocking up to the deadline for
+  // the wire. At a clean end of stream it returns an empty string (at most
+  // once) and `exhausted()` is true from then on.
+  StatusOr<std::string> Read();
+
+  // True once every decoded body byte has been handed out — not merely
+  // once the wire framing is complete, which can happen while bytes that
+  // arrived alongside the head still wait in the buffer.
+  bool exhausted() const { return exhausted_ && pending_.empty(); }
+
+ private:
+  HttpClientStream() = default;
+
+  int fd_ = -1;
+  HttpResponse head_;
+  bool chunked_ = false;
+  bool has_content_length_ = false;
+  size_t content_remaining_ = 0;
+  ChunkedDecoder decoder_;
+  std::string pending_;  // decoded bytes that arrived alongside the head
+  bool exhausted_ = false;
+  double timeout_seconds_ = 0.0;
+};
 
 }  // namespace llmms::app
 

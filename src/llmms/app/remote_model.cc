@@ -1,9 +1,12 @@
 #include "llmms/app/remote_model.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "llmms/app/http_server.h"
+#include "llmms/app/sse.h"
 #include "llmms/common/json.h"
+#include "llmms/common/stopwatch.h"
 #include "llmms/common/string_util.h"
 
 namespace llmms::app {
@@ -32,32 +35,32 @@ auto WithTransportRetries(const RemoteModel::TransportOptions& transport,
   return result;
 }
 
-// Serves chunks from a completion fetched lazily on the first NextChunk.
-class RemoteStream final : public llm::GenerationStream {
- public:
-  RemoteStream(std::string host, int port, std::string remote_name,
-               llm::GenerationRequest request,
-               RemoteModel::TransportOptions transport)
-      : host_(std::move(host)),
-        port_(port),
-        remote_name_(std::move(remote_name)),
-        request_(std::move(request)),
-        transport_(transport) {}
+Json GenerateRequestBody(const std::string& remote_name,
+                         const llm::GenerationRequest& request) {
+  Json body = Json::MakeObject();
+  body.Set("model", remote_name);
+  body.Set("prompt", request.prompt);
+  if (request.max_tokens > 0) body.Set("max_tokens", request.max_tokens);
+  body.Set("seed", request.seed);
+  return body;
+}
 
-  StatusOr<llm::Chunk> NextChunk(size_t max_tokens) override {
-    if (max_tokens == 0) {
-      return Status::InvalidArgument("NextChunk requires max_tokens > 0");
-    }
-    if (!fetched_) {
-      LLMMS_RETURN_NOT_OK(Fetch());
-      fetched_ = true;
-    }
+// Shared word-buffer plumbing of both remote stream flavours: completions
+// cross the wire as text, are split into whitespace tokens (the unit every
+// local accounting path uses), and are served in max_tokens-sized bites.
+class RemoteStreamBase : public llm::GenerationStream {
+ public:
+  const std::string& text() const override { return text_; }
+  size_t tokens_generated() const override { return emitted_; }
+  bool finished() const override { return finished_; }
+  llm::StopReason stop_reason() const override { return stop_reason_; }
+
+ protected:
+  // Serves up to max_tokens buffered words as one chunk; `source_done` says
+  // whether more words can still arrive (false = the wire has delivered
+  // everything).
+  llm::Chunk ServeFromBuffer(size_t max_tokens, bool source_done) {
     llm::Chunk chunk;
-    if (finished_) {
-      chunk.done = true;
-      chunk.stop_reason = stop_reason_;
-      return chunk;
-    }
     const size_t n = std::min(max_tokens, words_.size() - position_);
     for (size_t i = 0; i < n; ++i) {
       if (i > 0) chunk.text += ' ';
@@ -70,7 +73,7 @@ class RemoteStream final : public llm::GenerationStream {
       if (!text_.empty()) text_ += ' ';
       text_ += chunk.text;
     }
-    if (position_ >= words_.size()) {
+    if (source_done && position_ >= words_.size()) {
       finished_ = true;
       stop_reason_ = remote_stop_reason_;
     }
@@ -79,18 +82,60 @@ class RemoteStream final : public llm::GenerationStream {
     return chunk;
   }
 
-  const std::string& text() const override { return text_; }
-  size_t tokens_generated() const override { return emitted_; }
-  bool finished() const override { return finished_; }
-  llm::StopReason stop_reason() const override { return stop_reason_; }
+  size_t buffered() const { return words_.size() - position_; }
+
+  std::vector<std::string> words_;
+  llm::StopReason remote_stop_reason_ = llm::StopReason::kStop;
+  size_t position_ = 0;
+  size_t emitted_ = 0;
+  bool finished_ = false;
+  llm::StopReason stop_reason_ = llm::StopReason::kLength;
+  std::string text_;
+};
+
+// Pre-streaming peers: the completion is fetched in one POST /api/generate
+// when the first chunk is requested, then served locally (the negotiated
+// fallback path).
+class OneShotRemoteStream final : public RemoteStreamBase {
+ public:
+  OneShotRemoteStream(std::string host, int port, std::string remote_name,
+                      llm::GenerationRequest request,
+                      RemoteModel::TransportOptions transport)
+      : host_(std::move(host)),
+        port_(port),
+        remote_name_(std::move(remote_name)),
+        request_(std::move(request)),
+        transport_(transport) {}
+
+  StatusOr<llm::Chunk> NextChunk(size_t max_tokens) override {
+    if (max_tokens == 0) {
+      return Status::InvalidArgument("NextChunk requires max_tokens > 0");
+    }
+    if (finished_) {
+      llm::Chunk chunk;
+      chunk.done = true;
+      chunk.stop_reason = stop_reason_;
+      return chunk;
+    }
+    double wire_seconds = 0.0;
+    if (!fetched_) {
+      Stopwatch wire_watch;
+      LLMMS_RETURN_NOT_OK(Fetch());
+      fetched_ = true;
+      wire_seconds = wire_watch.ElapsedSeconds();
+      if (words_.empty()) {
+        finished_ = true;
+        stop_reason_ = remote_stop_reason_;
+      }
+    }
+    llm::Chunk chunk = ServeFromBuffer(max_tokens, /*source_done=*/true);
+    chunk.extra_seconds += wire_seconds;
+    return chunk;
+  }
 
  private:
   Status Fetch() {
-    Json body = Json::MakeObject();
-    body.Set("model", remote_name_);
-    body.Set("prompt", request_.prompt);
-    if (request_.max_tokens > 0) body.Set("max_tokens", request_.max_tokens);
-    body.Set("seed", request_.seed);
+    const Json body = GenerateRequestBody(remote_name_, request_);
     LLMMS_ASSIGN_OR_RETURN(
         auto response,
         WithTransportRetries(transport_, [&]() {
@@ -120,10 +165,6 @@ class RemoteStream final : public llm::GenerationStream {
     remote_stop_reason_ = result["done_reason"].AsString() == "stop"
                               ? llm::StopReason::kStop
                               : llm::StopReason::kLength;
-    if (words_.empty()) {
-      finished_ = true;
-      stop_reason_ = remote_stop_reason_;
-    }
     return Status::OK();
   }
 
@@ -132,28 +173,181 @@ class RemoteStream final : public llm::GenerationStream {
   std::string remote_name_;
   llm::GenerationRequest request_;
   RemoteModel::TransportOptions transport_;
-
   bool fetched_ = false;
-  std::vector<std::string> words_;
-  llm::StopReason remote_stop_reason_ = llm::StopReason::kStop;
-  size_t position_ = 0;
-  size_t emitted_ = 0;
-  bool finished_ = false;
-  llm::StopReason stop_reason_ = llm::StopReason::kLength;
-  std::string text_;
+};
+
+// Streaming peers: chunks cross the wire as SSE events and surface here the
+// moment they arrive. Every NextChunk charges the real seconds it spent
+// waiting on the wire (connection setup + time-to-first-token for the first
+// chunk, inter-chunk latency afterwards) to Chunk::extra_seconds, so the
+// simulated-time accounting sees the true federation cost. Mid-stream
+// failures — peer death, an error event, an expired per-chunk deadline —
+// are sticky stream errors for the resilience layer to quarantine.
+class StreamingRemoteStream final : public RemoteStreamBase {
+ public:
+  StreamingRemoteStream(std::string host, int port, std::string remote_name,
+                        llm::GenerationRequest request,
+                        RemoteModel::TransportOptions transport)
+      : host_(std::move(host)),
+        port_(port),
+        remote_name_(std::move(remote_name)),
+        request_(std::move(request)),
+        transport_(transport) {}
+
+  StatusOr<llm::Chunk> NextChunk(size_t max_tokens) override {
+    if (max_tokens == 0) {
+      return Status::InvalidArgument("NextChunk requires max_tokens > 0");
+    }
+    if (!error_.ok()) return error_;  // sticky, like every stream failure
+    if (finished_) {
+      llm::Chunk chunk;
+      chunk.done = true;
+      chunk.stop_reason = stop_reason_;
+      return chunk;
+    }
+    Stopwatch wire_watch;
+    if (auto status = FillBuffer(); !status.ok()) {
+      error_ = status;
+      return status;
+    }
+    const double wire_seconds = wire_watch.ElapsedSeconds();
+    llm::Chunk chunk = ServeFromBuffer(max_tokens, wire_done_);
+    chunk.extra_seconds += wire_seconds;
+    return chunk;
+  }
+
+ private:
+  // Pumps the wire until at least one word is buffered or the stream's
+  // terminal event has been seen.
+  Status FillBuffer() {
+    while (buffered() == 0 && !wire_done_) {
+      if (wire_ == nullptr) {
+        LLMMS_RETURN_NOT_OK(OpenWire());
+        continue;  // the head may have carried decoded bytes already
+      }
+      LLMMS_ASSIGN_OR_RETURN(std::string bytes, wire_->Read());
+      if (bytes.empty() && wire_->exhausted()) {
+        // The peer closed without the typed terminal event: a death
+        // mid-stream, distinct from a clean end of generation.
+        return Status::IOError(
+            "remote stream from '" + remote_name_ +
+            "' closed before its terminal event");
+      }
+      for (auto& event : decoder_.Feed(bytes)) {
+        LLMMS_RETURN_NOT_OK(ConsumeEvent(event));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Opens the SSE response, retrying transport failures. A peer that
+  // answers with plain JSON despite advertising streaming (e.g. downgraded
+  // between Connect and now) is handled by parsing the one-shot payload.
+  Status OpenWire() {
+    Json body = GenerateRequestBody(remote_name_, request_);
+    auto opened = WithTransportRetries(transport_, [&]() {
+      auto stream = HttpClientStream::Open(
+          host_, port_, "POST", "/api/generate?stream=1", body.Dump(),
+          "application/json", transport_.timeout_seconds,
+          /*accept_event_stream=*/true);
+      if (stream.ok() && (*stream)->head().status >= 500) {
+        return StatusOr<std::unique_ptr<HttpClientStream>>(Status::IOError(
+            "remote generate failed with HTTP " +
+            std::to_string((*stream)->head().status)));
+      }
+      return stream;
+    });
+    LLMMS_RETURN_NOT_OK(opened.status());
+    wire_ = std::move(opened).value();
+
+    if (wire_->head().status != 200) {
+      LLMMS_ASSIGN_OR_RETURN(const std::string payload, ReadAll());
+      return Status::Internal("remote generate failed with HTTP " +
+                              std::to_string(wire_->head().status) + ": " +
+                              payload);
+    }
+    auto content_type = wire_->head().headers.find("content-type");
+    if (content_type == wire_->head().headers.end() ||
+        content_type->second.find("text/event-stream") == std::string::npos) {
+      // One-shot fallback: the peer ignored the stream negotiation.
+      LLMMS_ASSIGN_OR_RETURN(const std::string payload, ReadAll());
+      LLMMS_ASSIGN_OR_RETURN(Json result, Json::Parse(payload));
+      if (!result["ok"].AsBool()) {
+        return Status::Internal("remote generate error: " +
+                                result["error"]["message"].AsString());
+      }
+      words_ = SplitWhitespace(result["text"].AsString());
+      remote_stop_reason_ = result["done_reason"].AsString() == "stop"
+                                ? llm::StopReason::kStop
+                                : llm::StopReason::kLength;
+      wire_done_ = true;
+    }
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ReadAll() {
+    std::string payload;
+    while (!wire_->exhausted()) {
+      LLMMS_ASSIGN_OR_RETURN(std::string bytes, wire_->Read());
+      payload += bytes;
+      if (bytes.empty()) break;
+    }
+    return payload;
+  }
+
+  Status ConsumeEvent(const SseEvent& event) {
+    if (wire_done_) return Status::OK();  // ignore frames after terminal
+    if (event.event == "chunk") {
+      LLMMS_ASSIGN_OR_RETURN(Json data, Json::Parse(event.data));
+      for (auto& word : SplitWhitespace(data["text"].AsString())) {
+        words_.push_back(std::move(word));
+      }
+      return Status::OK();
+    }
+    if (event.event == "done") {
+      LLMMS_ASSIGN_OR_RETURN(Json data, Json::Parse(event.data));
+      remote_stop_reason_ = data["done_reason"].AsString() == "stop"
+                                ? llm::StopReason::kStop
+                                : llm::StopReason::kLength;
+      wire_done_ = true;
+      return Status::OK();
+    }
+    if (event.event == "error") {
+      auto data = Json::Parse(event.data);
+      std::string message = "remote generate error";
+      if (data.ok()) {
+        message += ": " + (*data)["error"]["message"].AsString();
+      }
+      return Status::Internal(message);
+    }
+    return Status::OK();  // unknown frame types are ignored
+  }
+
+  std::string host_;
+  int port_;
+  std::string remote_name_;
+  llm::GenerationRequest request_;
+  RemoteModel::TransportOptions transport_;
+
+  std::unique_ptr<HttpClientStream> wire_;
+  SseDecoder decoder_;
+  bool wire_done_ = false;
+  Status error_ = Status::OK();
 };
 
 }  // namespace
 
 RemoteModel::RemoteModel(std::string host, int port, std::string remote_name,
                          std::string local_name, double tokens_per_second,
-                         size_t context_window, TransportOptions transport)
+                         size_t context_window, bool peer_streaming,
+                         TransportOptions transport)
     : host_(std::move(host)),
       port_(port),
       remote_name_(std::move(remote_name)),
       local_name_(std::move(local_name)),
       tokens_per_second_(tokens_per_second),
       context_window_(context_window),
+      peer_streaming_(peer_streaming),
       transport_(transport) {}
 
 StatusOr<std::shared_ptr<RemoteModel>> RemoteModel::Connect(
@@ -182,10 +376,13 @@ StatusOr<std::shared_ptr<RemoteModel>> RemoteModel::Connect(
   if (name.empty()) {
     name = remote_name + "@" + host + ":" + std::to_string(port);
   }
+  // Negotiation: pre-streaming peers omit the "streaming" capability field,
+  // which reads as false — they are driven through the one-shot path.
   return std::shared_ptr<RemoteModel>(new RemoteModel(
       host, port, remote_name, std::move(name),
       info["tokens_per_second"].AsDouble(),
-      static_cast<size_t>(info["context_window"].AsInt()), transport));
+      static_cast<size_t>(info["context_window"].AsInt()),
+      info["streaming"].AsBool(), transport));
 }
 
 StatusOr<std::unique_ptr<llm::GenerationStream>> RemoteModel::StartGeneration(
@@ -193,8 +390,14 @@ StatusOr<std::unique_ptr<llm::GenerationStream>> RemoteModel::StartGeneration(
   if (request.prompt.empty()) {
     return Status::InvalidArgument("prompt must not be empty");
   }
-  return std::unique_ptr<llm::GenerationStream>(std::make_unique<RemoteStream>(
-      host_, port_, remote_name_, request, transport_));
+  if (peer_streaming_) {
+    return std::unique_ptr<llm::GenerationStream>(
+        std::make_unique<StreamingRemoteStream>(host_, port_, remote_name_,
+                                                request, transport_));
+  }
+  return std::unique_ptr<llm::GenerationStream>(
+      std::make_unique<OneShotRemoteStream>(host_, port_, remote_name_,
+                                            request, transport_));
 }
 
 }  // namespace llmms::app

@@ -174,18 +174,32 @@ Json ApiService::HandleUpload(const Json& request) {
   return response;
 }
 
-Json ApiService::HandleGenerate(const Json& request) {
-  const std::string model = request["model"].AsString();
+namespace {
+
+// Shared request parsing of the one-shot and streaming generate endpoints.
+Status ParseGenerateRequest(const Json& request, std::string* model,
+                            llm::GenerationRequest* generation) {
+  *model = request["model"].AsString();
   const std::string prompt = request["prompt"].AsString();
-  if (model.empty() || prompt.empty()) {
-    return ErrorResponse(
-        Status::InvalidArgument("'model' and 'prompt' are required"));
+  if (model->empty() || prompt.empty()) {
+    return Status::InvalidArgument("'model' and 'prompt' are required");
   }
-  llm::GenerationRequest generation;
-  generation.prompt = prompt;
-  generation.max_tokens =
+  generation->prompt = prompt;
+  generation->max_tokens =
       static_cast<size_t>(std::max<int64_t>(0, request["max_tokens"].AsInt()));
-  generation.seed = static_cast<uint64_t>(request["seed"].AsInt());
+  generation->seed = static_cast<uint64_t>(request["seed"].AsInt());
+  return Status::OK();
+}
+
+}  // namespace
+
+Json ApiService::HandleGenerate(const Json& request) {
+  std::string model;
+  llm::GenerationRequest generation;
+  if (auto status = ParseGenerateRequest(request, &model, &generation);
+      !status.ok()) {
+    return ErrorResponse(status);
+  }
   auto result = engine_->runtime()->Generate(model, generation);
   if (!result.ok()) return ErrorResponse(result.status());
   Json response = Json::MakeObject();
@@ -194,6 +208,66 @@ Json ApiService::HandleGenerate(const Json& request) {
   response.Set("tokens", result->num_tokens);
   response.Set("done_reason", llm::StopReasonToString(result->stop_reason));
   response.Set("simulated_seconds", result->simulated_seconds);
+  return response;
+}
+
+Json ApiService::HandleGenerateStream(const Json& request,
+                                      const StreamCallback& stream) {
+  std::string model;
+  llm::GenerationRequest generation;
+  if (auto status = ParseGenerateRequest(request, &model, &generation);
+      !status.ok()) {
+    return ErrorResponse(status);
+  }
+  // Wire granularity: how many tokens each SSE chunk carries. Clients pick
+  // the tradeoff between time-to-first-token and framing overhead.
+  size_t chunk_tokens = 8;
+  if (request.Contains("chunk_tokens")) {
+    const int64_t requested = request["chunk_tokens"].AsInt();
+    if (requested < 1 || requested > 256) {
+      return ErrorResponse(
+          Status::InvalidArgument("'chunk_tokens' must be in [1, 256]"));
+    }
+    chunk_tokens = static_cast<size_t>(requested);
+  }
+
+  auto generation_or =
+      engine_->runtime()->StartGeneration({model}, generation);
+  if (!generation_or.ok()) return ErrorResponse(generation_or.status());
+  auto& parallel = *generation_or;
+  for (;;) {
+    auto stats = parallel->StatsOf(model);
+    if (!stats.ok()) return ErrorResponse(stats.status());
+    if (stats->finished) break;
+    size_t ask = chunk_tokens;
+    if (generation.max_tokens > 0) {
+      const size_t remaining = generation.max_tokens - stats->tokens;
+      if (remaining == 0) break;
+      ask = std::min(ask, remaining);
+    }
+    auto chunk = parallel->NextChunk(model, ask);
+    // A mid-generation stream failure terminates the SSE stream with an
+    // error event — after any chunks already emitted, exactly like a peer
+    // dying mid-response.
+    if (!chunk.ok()) return ErrorResponse(chunk.status());
+    if (stream && chunk->num_tokens > 0) {
+      Json event = Json::MakeObject();
+      event.Set("text", chunk->text);
+      event.Set("tokens", chunk->num_tokens);
+      stream(event);
+    }
+    if (chunk->done) break;
+  }
+  auto stats = parallel->StatsOf(model);
+  if (!stats.ok()) return ErrorResponse(stats.status());
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("tokens", stats->tokens);
+  response.Set("done_reason",
+               llm::StopReasonToString(stats->finished
+                                           ? stats->stop_reason
+                                           : llm::StopReason::kLength));
+  response.Set("simulated_seconds", stats->simulated_seconds);
   return response;
 }
 
@@ -211,6 +285,11 @@ Json ApiService::HandleModelInfo(const Json& request) {
   response.Set("tokens_per_second", (*model)->tokens_per_second());
   response.Set("context_window", (*model)->context_window());
   response.Set("loaded", engine_->runtime()->IsLoaded(name));
+  // Capability advertisement for federation peers: true when this node
+  // serves the streaming /api/generate variant. Pre-streaming peers omit
+  // the field entirely; RemoteModel treats missing and false identically
+  // (fallback negotiation, DESIGN.md §9).
+  response.Set("streaming", streaming_generate_);
   return response;
 }
 

@@ -21,8 +21,10 @@ using StreamCallback = std::function<void(const Json& event)>;
 //   POST /api/query    {session, query, algorithm?, budget?, alpha?, beta?,
 //                       models?[], single_model?, use_rag?, use_history?}
 //   POST /api/upload   {session, document_id, text}
-//   POST /api/generate {model, prompt, max_tokens?, seed?}  (federation:
-//                       raw single-model completion, §9.5)
+//   POST /api/generate {model, prompt, max_tokens?, seed?, chunk_tokens?}
+//                       (federation: raw single-model completion, §9.5; with
+//                       ?stream=1 the HTTP layer streams it as SSE chunks —
+//                       DESIGN.md §9)
 //   GET  /api/models   {}
 //   POST /api/model_info {model}
 //   GET  /api/sessions {}
@@ -44,6 +46,13 @@ class ApiService {
   Json HandleQuery(const Json& request, const StreamCallback& stream);
   Json HandleUpload(const Json& request);
   Json HandleGenerate(const Json& request);
+  // Streaming twin of HandleGenerate: emits one {"text", "tokens"} event per
+  // generated chunk through `stream` and returns the terminal accounting
+  // ({"ok", "done_reason", "tokens", "simulated_seconds"}) — or an error
+  // payload, possibly after chunks have already been emitted (a backend
+  // dying mid-generation). The HTTP layer maps the return value to the
+  // stream's terminal `done` / `error` SSE event.
+  Json HandleGenerateStream(const Json& request, const StreamCallback& stream);
   Json HandleModelInfo(const Json& request);
   Json HandleModels();
   Json HandleSessions();
@@ -51,8 +60,16 @@ class ApiService {
   Json HandleHealth();
   Json HandleHardware();
 
+  // Whether this node offers the streaming /api/generate wire protocol.
+  // Advertised to federation peers via /api/model_info ("streaming": true);
+  // disabling it makes the node behave like a pre-streaming peer, which is
+  // how the fallback negotiation is exercised in tests and demos.
+  void set_streaming_generate(bool enabled) { streaming_generate_ = enabled; }
+  bool streaming_generate() const { return streaming_generate_; }
+
  private:
   core::SearchEngine* engine_;
+  bool streaming_generate_ = true;
 };
 
 // Builds the error payload used by every endpoint.

@@ -19,45 +19,75 @@ std::string EncodeSse(const SseEvent& event) {
   return out;
 }
 
-std::vector<SseEvent> DecodeSse(const std::string& wire) {
-  std::vector<SseEvent> events;
-  SseEvent current;
-  bool has_fields = false;
-  bool first_data = true;
-  for (const auto& raw_line : Split(wire, '\n')) {
-    if (raw_line.empty()) {
-      if (has_fields) {
-        events.push_back(std::move(current));
-        current = SseEvent{};
-        has_fields = false;
-        first_data = true;
-      }
-      continue;
+void SseDecoder::ConsumeLine(std::vector<SseEvent>* out) {
+  std::string_view line = line_;
+  if (at_stream_start_) {
+    at_stream_start_ = false;
+    if (StartsWith(line, "\xEF\xBB\xBF")) line.remove_prefix(3);
+  }
+  if (line.empty()) {
+    if (has_fields_) {
+      out->push_back(std::move(current_));
+      current_ = SseEvent{};
+      has_fields_ = false;
+      first_data_ = true;
     }
-    if (StartsWith(raw_line, ":")) continue;  // comment
-    const size_t colon = raw_line.find(':');
-    std::string field = colon == std::string::npos
-                            ? raw_line
-                            : raw_line.substr(0, colon);
-    std::string value;
-    if (colon != std::string::npos) {
-      value = raw_line.substr(colon + 1);
-      if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    line_.clear();
+    return;
+  }
+  if (line.front() != ':') {  // lines starting ':' are comments
+    const size_t colon = line.find(':');
+    const std::string_view field =
+        colon == std::string_view::npos ? line : line.substr(0, colon);
+    std::string_view value;
+    if (colon != std::string_view::npos) {
+      value = line.substr(colon + 1);
+      if (!value.empty() && value.front() == ' ') value.remove_prefix(1);
     }
     if (field == "event") {
-      current.event = value;
-      has_fields = true;
+      current_.event = std::string(value);
+      has_fields_ = true;
     } else if (field == "data") {
-      if (!first_data) current.data += '\n';
-      current.data += value;
-      first_data = false;
-      has_fields = true;
+      if (!first_data_) current_.data += '\n';
+      current_.data += value;
+      first_data_ = false;
+      has_fields_ = true;
     } else if (field == "id") {
-      current.id = value;
-      has_fields = true;
+      current_.id = std::string(value);
+      has_fields_ = true;
+    }
+    // Unknown fields are ignored per the spec.
+  }
+  line_.clear();
+}
+
+std::vector<SseEvent> SseDecoder::Feed(std::string_view bytes) {
+  std::vector<SseEvent> out;
+  for (const char c : bytes) {
+    if (skip_lf_) {
+      skip_lf_ = false;
+      if (c == '\n') continue;  // second half of a CRLF pair
+    }
+    if (c == '\r') {
+      ConsumeLine(&out);
+      skip_lf_ = true;
+    } else if (c == '\n') {
+      ConsumeLine(&out);
+    } else {
+      line_.push_back(c);
     }
   }
-  return events;
+  return out;
+}
+
+std::vector<SseEvent> DecodeSseIncremental(std::string_view bytes,
+                                           SseDecoder* decoder) {
+  return decoder->Feed(bytes);
+}
+
+std::vector<SseEvent> DecodeSse(const std::string& wire) {
+  SseDecoder decoder;
+  return decoder.Feed(wire);
 }
 
 }  // namespace llmms::app

@@ -2,6 +2,7 @@
 #define LLMMS_APP_SSE_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "llmms/common/json.h"
@@ -9,7 +10,8 @@
 namespace llmms::app {
 
 // One server-sent event (the streaming wire format the platform's Flask
-// layer forwards from Ollama to the browser, §7.1/§7.2 step 7).
+// layer forwards from Ollama to the browser, §7.1/§7.2 step 7; also the
+// frame format of the federation streaming protocol, DESIGN.md §9).
 struct SseEvent {
   std::string event;  // event name; empty = default "message"
   std::string data;   // payload (typically JSON)
@@ -20,6 +22,40 @@ struct SseEvent {
 //   event: <name>\n id: <id>\n data: <line>\n ... \n\n
 // Multi-line data is split across data: fields per the SSE spec.
 std::string EncodeSse(const SseEvent& event);
+
+// Incremental SSE decoder: a state machine that accepts the stream in
+// arbitrary slices — an event split across read boundaries (even inside a
+// field name, a CRLF pair, or the UTF-8 BOM) decodes identically to the
+// whole stream fed at once. Per the SSE spec it accepts CRLF, LF, and CR
+// line terminators, strips a leading BOM, ignores comment lines, and
+// dispatches an event only at its terminating blank line (a trailing event
+// with no blank line is never emitted).
+class SseDecoder {
+ public:
+  // Consumes the next slice of the stream and returns the events completed
+  // by it, in order.
+  std::vector<SseEvent> Feed(std::string_view bytes);
+
+  // True while field lines (or a partial line) have accumulated without the
+  // terminating blank line — data a peer dropped mid-event.
+  bool has_partial_event() const { return has_fields_ || !line_.empty(); }
+
+ private:
+  void ConsumeLine(std::vector<SseEvent>* out);
+
+  std::string line_;        // partial line carried across Feed boundaries
+  SseEvent current_;
+  bool has_fields_ = false;
+  bool first_data_ = true;
+  bool at_stream_start_ = true;  // BOM may only precede the first line
+  bool skip_lf_ = false;         // swallow the LF of a split CRLF pair
+};
+
+// Feeds one slice through `decoder` (state carries over between calls).
+// Convenience spelling of decoder->Feed for call sites that read the wire
+// in a loop.
+std::vector<SseEvent> DecodeSseIncremental(std::string_view bytes,
+                                           SseDecoder* decoder);
 
 // Parses a complete SSE stream back into events (used by tests and by the
 // CLI client example). Incomplete trailing events are ignored.

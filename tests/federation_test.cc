@@ -1,16 +1,113 @@
 // Federated model integration (§9.5): node B hosts models behind the HTTP
 // API; node A registers a RemoteModel adapter for one of them and
 // orchestrates it together with its local models — across a real socket.
+// The streaming conformance tests pin down the wire protocol of DESIGN.md
+// §9: chunk-for-chunk delivery with identical token accounting, the
+// one-shot fallback for pre-streaming peers, and mid-stream peer death as
+// a quarantinable stream error rather than a hang.
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
 #include "llmms/app/http_server.h"
 #include "llmms/app/remote_model.h"
+#include "llmms/app/sse.h"
 #include "llmms/core/oua.h"
+#include "llmms/llm/fault_injection.h"
 #include "testutil.h"
 
 namespace llmms::app {
 namespace {
+
+// A model whose stream emits one immediate chunk and then blocks until the
+// test opens the gate. Registering it on the remote node proves the first
+// chunk crosses the federation wire while the remote generation is still
+// in flight — deterministically, with no timing heuristics.
+class GatedModel final : public llm::LanguageModel {
+ public:
+  explicit GatedModel(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+  uint64_t memory_mb() const override { return 1; }
+  double tokens_per_second() const override { return 100.0; }
+  size_t context_window() const override { return 4096; }
+
+  void OpenGate() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      gate_open_ = true;
+    }
+    gate_cv_.notify_all();
+  }
+
+  StatusOr<std::unique_ptr<llm::GenerationStream>> StartGeneration(
+      const llm::GenerationRequest&) const override {
+    return {std::make_unique<Stream>(this)};
+  }
+
+ private:
+  class Stream final : public llm::GenerationStream {
+   public:
+    explicit Stream(const GatedModel* model) : model_(model) {}
+
+    StatusOr<llm::Chunk> NextChunk(size_t max_tokens) override {
+      if (max_tokens == 0) {
+        return Status::InvalidArgument("max_tokens must be positive");
+      }
+      llm::Chunk chunk;
+      if (step_ == 0) {
+        step_ = 1;
+        chunk.text = "alpha beta gamma";
+        chunk.num_tokens = 3;
+      } else if (step_ == 1) {
+        std::unique_lock<std::mutex> lock(model_->mutex_);
+        if (!model_->gate_cv_.wait_for(
+                lock, std::chrono::seconds(20),
+                [this] { return model_->gate_open_; })) {
+          return Status::Internal("gate never opened — test bug");
+        }
+        step_ = 2;
+        chunk.text = " delta epsilon";
+        chunk.num_tokens = 2;
+        chunk.done = true;
+        chunk.stop_reason = llm::StopReason::kStop;
+      } else {
+        chunk.done = true;
+        chunk.stop_reason = llm::StopReason::kStop;
+      }
+      text_ += chunk.text;
+      tokens_ += chunk.num_tokens;
+      if (chunk.done) finished_ = true;
+      return {std::move(chunk)};
+    }
+
+    const std::string& text() const override { return text_; }
+    size_t tokens_generated() const override { return tokens_; }
+    bool finished() const override { return finished_; }
+    llm::StopReason stop_reason() const override {
+      return llm::StopReason::kStop;
+    }
+
+   private:
+    const GatedModel* model_;
+    int step_ = 0;
+    std::string text_;
+    size_t tokens_ = 0;
+    bool finished_ = false;
+  };
+
+  std::string name_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable gate_cv_;
+  bool gate_open_ = false;
+};
 
 class FederationTest : public ::testing::Test {
  protected:
@@ -108,6 +205,301 @@ TEST_F(FederationTest, RemoteStreamMatchesRemoteExecution) {
   EXPECT_EQ(via_adapter->text, direct->text);
   EXPECT_EQ(via_adapter->num_tokens, direct->num_tokens);
   EXPECT_EQ(via_adapter->stop_reason, llm::StopReason::kStop);
+}
+
+// ----------------------------------------- streaming wire conformance
+TEST_F(FederationTest, StreamingEndpointSpeaksTheWireProtocol) {
+  Json body = Json::MakeObject();
+  body.Set("model", "mistral:7b");
+  body.Set("prompt", remote_world_.dataset[0].question);
+  body.Set("chunk_tokens", 4);  // small frames force several chunk events
+
+  auto stream = HttpClientStream::Open(
+      "127.0.0.1", remote_server_->port(), "POST", "/api/generate?stream=1",
+      body.Dump(), "application/json", /*timeout_seconds=*/5.0,
+      /*accept_event_stream=*/true);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ((*stream)->head().status, 200);
+  EXPECT_EQ((*stream)->head().headers.at("content-type"),
+            "text/event-stream");
+
+  SseDecoder decoder;
+  std::vector<SseEvent> events;
+  for (;;) {
+    auto bytes = (*stream)->Read();
+    ASSERT_TRUE(bytes.ok());
+    if (bytes->empty()) break;
+    for (auto& event : decoder.Feed(*bytes)) {
+      events.push_back(std::move(event));
+    }
+  }
+  EXPECT_FALSE(decoder.has_partial_event());
+
+  // Several chunk frames, sequentially numbered, then exactly one typed
+  // terminal frame.
+  ASSERT_GE(events.size(), 3u);
+  const SseEvent& terminal = events.back();
+  EXPECT_EQ(terminal.event, "done");
+  auto done = Json::Parse(terminal.data);
+  ASSERT_TRUE(done.ok());
+  EXPECT_TRUE((*done)["ok"].AsBool());
+  EXPECT_EQ((*done)["done_reason"].AsString(), "stop");
+  EXPECT_GT((*done)["simulated_seconds"].AsDouble(), 0.0);
+
+  int64_t chunk_token_sum = 0;
+  std::string chunk_text;
+  for (size_t i = 0; i + 1 < events.size(); ++i) {
+    EXPECT_EQ(events[i].event, "chunk");
+    EXPECT_EQ(events[i].id, std::to_string(i));
+    auto data = Json::Parse(events[i].data);
+    ASSERT_TRUE(data.ok());
+    const int64_t tokens = (*data)["tokens"].AsInt();
+    EXPECT_GE(tokens, 1);
+    EXPECT_LE(tokens, 4);
+    chunk_token_sum += tokens;
+    // Chunk texts are word runs; consumers join them with single spaces —
+    // the same convention local GenerationStream chunks follow.
+    if (!chunk_text.empty()) chunk_text += ' ';
+    chunk_text += (*data)["text"].AsString();
+  }
+  EXPECT_EQ(chunk_token_sum, (*done)["tokens"].AsInt());
+
+  // Chunk-for-chunk reassembly must equal the one-shot endpoint's answer,
+  // token for token.
+  auto oneshot = HttpFetch("127.0.0.1", remote_server_->port(), "POST",
+                           "/api/generate", body.Dump());
+  ASSERT_TRUE(oneshot.ok());
+  auto oneshot_result = Json::Parse(oneshot->body);
+  ASSERT_TRUE(oneshot_result.ok());
+  EXPECT_EQ(chunk_text, (*oneshot_result)["text"].AsString());
+  EXPECT_EQ(chunk_token_sum, (*oneshot_result)["tokens"].AsInt());
+}
+
+TEST_F(FederationTest, StreamingAdapterMatchesOneShotAccounting) {
+  // The peer advertises streaming, so Connect negotiates the SSE path.
+  auto remote = RemoteModel::Connect("127.0.0.1", remote_server_->port(),
+                                     "mistral:7b", "fed-mistral");
+  ASSERT_TRUE(remote.ok());
+  EXPECT_TRUE((*remote)->peer_streaming());
+
+  llm::GenerationRequest request;
+  request.prompt = remote_world_.dataset[1].question;
+  auto streamed = (*remote)->Generate(request);
+  ASSERT_TRUE(streamed.ok());
+  auto direct = remote_world_.runtime->Generate("mistral:7b", request);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(streamed->text, direct->text);
+  EXPECT_EQ(streamed->num_tokens, direct->num_tokens);
+  EXPECT_EQ(streamed->stop_reason, direct->stop_reason);
+}
+
+TEST_F(FederationTest, StreamingChunksCarryWireLatency) {
+  auto remote = RemoteModel::Connect("127.0.0.1", remote_server_->port(),
+                                     "mistral:7b", "fed-mistral");
+  ASSERT_TRUE(remote.ok());
+  llm::GenerationRequest request;
+  request.prompt = remote_world_.dataset[0].question;
+  auto stream = (*remote)->StartGeneration(request);
+  ASSERT_TRUE(stream.ok());
+  auto first = (*stream)->NextChunk(4);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->num_tokens, 0u);
+  // TTFT: the first chunk is charged the real wire time it took to arrive
+  // (connection setup included), so a slow federation link shows up in the
+  // simulated accounting the orchestrators budget with.
+  EXPECT_GT(first->extra_seconds, 0.0);
+}
+
+TEST_F(FederationTest, OldPeerWithoutStreamingFallsBackToOneShot) {
+  // A pre-streaming peer: /api/model_info does not advertise the
+  // capability and ?stream=1 is ignored.
+  remote_service_->set_streaming_generate(false);
+  auto remote = RemoteModel::Connect("127.0.0.1", remote_server_->port(),
+                                     "mistral:7b", "fed-old");
+  ASSERT_TRUE(remote.ok());
+  EXPECT_FALSE((*remote)->peer_streaming());
+
+  llm::GenerationRequest request;
+  request.prompt = remote_world_.dataset[1].question;
+  auto via_adapter = (*remote)->Generate(request);
+  ASSERT_TRUE(via_adapter.ok());
+  auto direct = remote_world_.runtime->Generate("mistral:7b", request);
+  ASSERT_TRUE(direct.ok());
+  // Identical token accounting on the fallback path.
+  EXPECT_EQ(via_adapter->text, direct->text);
+  EXPECT_EQ(via_adapter->num_tokens, direct->num_tokens);
+  EXPECT_EQ(via_adapter->stop_reason, direct->stop_reason);
+}
+
+TEST_F(FederationTest, StreamingClientSurvivesPeerDowngradeViaContentType) {
+  // Negotiated streaming at Connect time, but the peer answers the
+  // streaming request with a plain JSON response (downgraded between
+  // Connect and Generate). The content-type check catches it and the
+  // adapter serves the one-shot payload instead of misparsing it.
+  auto remote = RemoteModel::Connect("127.0.0.1", remote_server_->port(),
+                                     "mistral:7b", "fed-downgraded");
+  ASSERT_TRUE(remote.ok());
+  EXPECT_TRUE((*remote)->peer_streaming());
+  remote_service_->set_streaming_generate(false);
+
+  llm::GenerationRequest request;
+  request.prompt = remote_world_.dataset[2].question;
+  auto via_adapter = (*remote)->Generate(request);
+  ASSERT_TRUE(via_adapter.ok()) << via_adapter.status().ToString();
+  auto direct = remote_world_.runtime->Generate("mistral:7b", request);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(via_adapter->text, direct->text);
+  EXPECT_EQ(via_adapter->num_tokens, direct->num_tokens);
+}
+
+TEST_F(FederationTest, FirstChunkArrivesBeforeRemoteGenerationFinishes) {
+  auto gated = std::make_shared<GatedModel>("gated:1b");
+  ASSERT_TRUE(remote_world_.registry->Register(gated).ok());
+  ASSERT_TRUE(remote_world_.runtime->LoadModel("gated:1b").ok());
+
+  auto remote = RemoteModel::Connect("127.0.0.1", remote_server_->port(),
+                                     "gated:1b", "fed-gated");
+  ASSERT_TRUE(remote.ok());
+  ASSERT_TRUE((*remote)->peer_streaming());
+
+  llm::GenerationRequest request;
+  request.prompt = "unused";
+  auto stream = (*remote)->StartGeneration(request);
+  ASSERT_TRUE(stream.ok());
+
+  // The remote generation cannot complete — its second chunk is blocked on
+  // the gate — yet the first chunk is already readable here. This is the
+  // time-to-first-token property: delivery is chunk-for-chunk, not
+  // whole-response.
+  auto first = (*stream)->NextChunk(8);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->text, "alpha beta gamma");
+  EXPECT_EQ(first->num_tokens, 3u);
+  EXPECT_FALSE(first->done);
+  EXPECT_FALSE((*stream)->finished());
+
+  gated->OpenGate();
+  std::string text = first->text;
+  while (!(*stream)->finished()) {
+    auto chunk = (*stream)->NextChunk(8);
+    ASSERT_TRUE(chunk.ok());
+    if (!chunk->text.empty() && !text.empty()) text += ' ';
+    text += chunk->text;
+  }
+  EXPECT_EQ(text, "alpha beta gamma delta epsilon");
+  EXPECT_EQ((*stream)->tokens_generated(), 5u);
+  EXPECT_EQ((*stream)->stop_reason(), llm::StopReason::kStop);
+}
+
+TEST_F(FederationTest, MidStreamPeerDeathIsQuarantinedByOrchestrator) {
+  // A remote model that dies mid-generation: the wire carries its chunks
+  // until the fault, then a typed `error` frame. On this side that must
+  // surface as a stream failure the orchestrator quarantines — the query
+  // still completes on the surviving local models.
+  llm::FaultConfig faults;
+  faults.fail_after_tokens = 5;
+  auto profile = llm::DefaultProfiles()[0];
+  profile.name = "dying:7b";
+  auto dying = std::make_shared<llm::FaultyModel>(
+      std::make_shared<llm::SyntheticModel>(profile, remote_world_.knowledge),
+      faults);
+  ASSERT_TRUE(remote_world_.registry->Register(dying).ok());
+  ASSERT_TRUE(remote_world_.runtime->LoadModel("dying:7b").ok());
+
+  auto local_world = testutil::MakeWorld(4);
+  auto remote = RemoteModel::Connect("127.0.0.1", remote_server_->port(),
+                                     "dying:7b", "fed-dying");
+  ASSERT_TRUE(remote.ok());
+  ASSERT_TRUE((*remote)->peer_streaming());
+  ASSERT_TRUE(local_world.registry->Register(*remote).ok());
+  ASSERT_TRUE(local_world.runtime->LoadModel("fed-dying").ok());
+
+  std::vector<core::OrchestratorEvent> events;
+  core::OuaOrchestrator orchestrator(
+      local_world.runtime.get(), {"llama3:8b", "qwen2:7b", "fed-dying"},
+      local_world.embedder, {});
+  auto result = orchestrator.Run(
+      local_world.dataset[0].question,
+      [&events](const core::OrchestratorEvent& event) {
+        events.push_back(event);
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->answer.empty());
+  ASSERT_EQ(result->per_model.size(), 3u);
+  EXPECT_TRUE(result->per_model["fed-dying"].failed);
+  EXPECT_FALSE(result->per_model["llama3:8b"].failed);
+  EXPECT_FALSE(result->per_model["qwen2:7b"].failed);
+  bool saw_failure_event = false;
+  for (const auto& event : events) {
+    saw_failure_event = saw_failure_event ||
+                        (event.type == core::EventType::kFailure &&
+                         event.model == "fed-dying");
+  }
+  EXPECT_TRUE(saw_failure_event);
+}
+
+TEST_F(FederationTest, AbruptPeerCloseIsATypedErrorNotAHang) {
+  // A fake peer that speaks just enough of the protocol to be believed,
+  // sends one chunk frame, then drops the connection without the terminal
+  // SSE event or the terminal HTTP chunk.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  const int fake_port = ntohs(addr.sin_port);
+
+  std::thread fake_peer([listen_fd] {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    char buf[4096];
+    (void)::recv(fd, buf, sizeof(buf), 0);  // swallow the request
+    SseEvent chunk;
+    chunk.event = "chunk";
+    chunk.data = "{\"text\":\"half an\",\"tokens\":2}";
+    const std::string frame = EncodeSse(chunk);
+    char size_line[32];
+    std::snprintf(size_line, sizeof(size_line), "%zx\r\n", frame.size());
+    const std::string wire =
+        "HTTP/1.1 200 OK\r\ncontent-type: text/event-stream\r\n"
+        "transfer-encoding: chunked\r\nconnection: close\r\n\r\n" +
+        std::string(size_line) + frame + "\r\n";
+    (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+    ::close(fd);  // mid-stream death
+  });
+
+  auto stream = HttpClientStream::Open(
+      "127.0.0.1", fake_port, "POST", "/api/generate?stream=1",
+      "{\"model\":\"x\",\"prompt\":\"y\"}", "application/json",
+      /*timeout_seconds=*/5.0, /*accept_event_stream=*/true);
+  ASSERT_TRUE(stream.ok());
+
+  // Drain: the chunk frame arrives, then the close must surface as a typed
+  // IOError within the deadline — never a hang, never a clean end.
+  Status error = Status::OK();
+  std::string received;
+  for (;;) {
+    auto bytes = (*stream)->Read();
+    if (!bytes.ok()) {
+      error = bytes.status();
+      break;
+    }
+    if (bytes->empty()) break;  // would be a (wrong) clean end of stream
+    received += *bytes;
+  }
+  fake_peer.join();
+  ::close(listen_fd);
+  EXPECT_TRUE(error.IsIOError()) << error.ToString();
+  EXPECT_NE(received.find("half an"), std::string::npos);
 }
 
 TEST_F(FederationTest, RemoteModelJoinsLocalOrchestration) {

@@ -120,6 +120,80 @@ TEST(FuzzTest, SseEncodeDecodeRoundTripsRandomPayloads) {
   }
 }
 
+TEST(FuzzTest, IncrementalSseDecoderMatchesOneShotAtRandomSplits) {
+  Rng rng(0xF02B);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string wire = rng.Bernoulli(0.5) ? RandomBytes(&rng, 300)
+                                                : RandomAsciiSoup(&rng, 300);
+    const auto whole = app::DecodeSse(wire);
+    app::SseDecoder decoder;
+    std::vector<app::SseEvent> incremental;
+    size_t pos = 0;
+    while (pos < wire.size()) {
+      const size_t take = static_cast<size_t>(
+          rng.UniformInt(1, static_cast<int64_t>(wire.size() - pos)));
+      for (auto& event : app::DecodeSseIncremental(
+               std::string_view(wire).substr(pos, take), &decoder)) {
+        incremental.push_back(std::move(event));
+      }
+      pos += take;
+    }
+    // Slicing must never change what is decoded.
+    ASSERT_EQ(incremental.size(), whole.size());
+    for (size_t e = 0; e < whole.size(); ++e) {
+      EXPECT_EQ(incremental[e].event, whole[e].event);
+      EXPECT_EQ(incremental[e].data, whole[e].data);
+      EXPECT_EQ(incremental[e].id, whole[e].id);
+    }
+  }
+}
+
+TEST(FuzzTest, ChunkedDecoderSurvivesRandomBytes) {
+  Rng rng(0xF02C);
+  for (int i = 0; i < 2000; ++i) {
+    app::ChunkedDecoder decoder;
+    std::string out;
+    // Feeds after a decode error must keep failing, never crash.
+    (void)decoder.Feed(RandomBytes(&rng, 200), &out);
+    (void)decoder.Feed(RandomAsciiSoup(&rng, 200), &out);
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTest, ChunkedDecoderRoundTripsRandomPayloadsAtRandomSplits) {
+  Rng rng(0xF02D);
+  for (int i = 0; i < 500; ++i) {
+    // Build a valid chunked encoding of a random payload.
+    const std::string payload = RandomBytes(&rng, 200);
+    std::string wire;
+    size_t pos = 0;
+    while (pos < payload.size()) {
+      const size_t take = static_cast<size_t>(
+          rng.UniformInt(1, static_cast<int64_t>(payload.size() - pos)));
+      char size_line[32];
+      std::snprintf(size_line, sizeof(size_line), "%zx\r\n", take);
+      wire += size_line;
+      wire.append(payload, pos, take);
+      wire += "\r\n";
+      pos += take;
+    }
+    wire += "0\r\n\r\n";
+
+    app::ChunkedDecoder decoder;
+    std::string out;
+    size_t fed = 0;
+    while (fed < wire.size()) {
+      const size_t take = static_cast<size_t>(
+          rng.UniformInt(1, static_cast<int64_t>(wire.size() - fed)));
+      ASSERT_TRUE(
+          decoder.Feed(std::string_view(wire).substr(fed, take), &out).ok());
+      fed += take;
+    }
+    EXPECT_EQ(out, payload);
+    EXPECT_TRUE(decoder.done());
+  }
+}
+
 TEST(FuzzTest, NlConfigNeverCrashesAndPoolStaysValid) {
   Rng rng(0xF028);
   const std::vector<app::NlModelInfo> models = {

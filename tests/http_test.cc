@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "llmms/app/http.h"
 #include "llmms/app/http_server.h"
 #include "llmms/app/sse.h"
+#include "llmms/common/rng.h"
 #include "testutil.h"
 
 namespace llmms::app {
@@ -84,6 +89,222 @@ TEST(HttpParseTest, ReasonPhrases) {
   EXPECT_STREQ(HttpReasonPhrase(200), "OK");
   EXPECT_STREQ(HttpReasonPhrase(404), "Not Found");
   EXPECT_STREQ(HttpReasonPhrase(418), "Unknown");
+}
+
+TEST(HttpParseTest, ResponseHeadOnly) {
+  auto head = ParseHttpResponseHead(
+      "HTTP/1.1 200 OK\r\ncontent-type: text/event-stream\r\n"
+      "transfer-encoding: chunked");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->status, 200);
+  EXPECT_EQ(head->headers.at("content-type"), "text/event-stream");
+  EXPECT_TRUE(head->body.empty());
+  EXPECT_FALSE(ParseHttpResponseHead("NOT-HTTP junk").ok());
+}
+
+// ------------------------------------------- incremental chunked decoder
+TEST(ChunkedDecoderTest, DecodesWholeBodyAtOnce) {
+  ChunkedDecoder decoder;
+  std::string out;
+  ASSERT_TRUE(
+      decoder.Feed("5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n", &out).ok());
+  EXPECT_EQ(out, "hello world");
+  EXPECT_TRUE(decoder.done());
+}
+
+TEST(ChunkedDecoderTest, EveryByteBoundaryDecodesIdentically) {
+  const std::string wire = "5\r\nhello\r\n6\r\n world\r\nb\r\n, streaming\r\n"
+                           "0\r\n\r\n";
+  for (size_t split = 0; split <= wire.size(); ++split) {
+    ChunkedDecoder decoder;
+    std::string out;
+    ASSERT_TRUE(decoder.Feed(wire.substr(0, split), &out).ok()) << split;
+    ASSERT_TRUE(decoder.Feed(wire.substr(split), &out).ok()) << split;
+    EXPECT_EQ(out, "hello world, streaming") << split;
+    EXPECT_TRUE(decoder.done()) << split;
+  }
+}
+
+TEST(ChunkedDecoderTest, ByteAtATime) {
+  const std::string wire = "3\r\nabc\r\n1f\r\n0123456789012345678901234567890"
+                           "\r\n0\r\n\r\n";
+  ChunkedDecoder decoder;
+  std::string out;
+  for (const char c : wire) {
+    ASSERT_TRUE(decoder.Feed(std::string_view(&c, 1), &out).ok());
+  }
+  EXPECT_EQ(out, "abc0123456789012345678901234567890");
+  EXPECT_TRUE(decoder.done());
+}
+
+TEST(ChunkedDecoderTest, PartialInputIsNotDoneYet) {
+  ChunkedDecoder decoder;
+  std::string out;
+  ASSERT_TRUE(decoder.Feed("5\r\nhel", &out).ok());
+  EXPECT_EQ(out, "hel");
+  EXPECT_FALSE(decoder.done());
+}
+
+TEST(ChunkedDecoderTest, RejectsMalformedFraming) {
+  {
+    ChunkedDecoder decoder;
+    std::string out;
+    EXPECT_FALSE(decoder.Feed("zz\r\ndata\r\n", &out).ok());
+    // Poisoned: further feeds keep failing.
+    EXPECT_FALSE(decoder.Feed("5\r\nhello\r\n", &out).ok());
+  }
+  {
+    ChunkedDecoder decoder;
+    std::string out;
+    // Chunk payload not followed by CRLF.
+    EXPECT_FALSE(decoder.Feed("3\r\nabcXX", &out).ok());
+  }
+}
+
+TEST(ChunkedDecoderTest, IgnoresTrailersAfterTerminalChunk) {
+  ChunkedDecoder decoder;
+  std::string out;
+  ASSERT_TRUE(
+      decoder.Feed("2\r\nok\r\n0\r\nx-trailer: 1\r\n\r\n", &out).ok());
+  EXPECT_EQ(out, "ok");
+  EXPECT_TRUE(decoder.done());
+}
+
+// --------------------------------------------- incremental SSE decoding
+// The decoder must produce identical events no matter how the stream is
+// sliced — the property the federation client depends on, since TCP can
+// split an event anywhere, including inside a CRLF pair or the BOM.
+TEST(SseDecoderTest, EveryByteBoundaryDecodesIdentically) {
+  SseEvent a;
+  a.event = "chunk";
+  a.id = "0";
+  a.data = "{\"text\":\"hello world\",\"tokens\":2}";
+  SseEvent b;
+  b.event = "done";
+  b.data = "line one\nline two";
+  const std::string wire = EncodeSse(a) + EncodeSse(b);
+
+  const auto whole = DecodeSse(wire);
+  ASSERT_EQ(whole.size(), 2u);
+  for (size_t split = 0; split <= wire.size(); ++split) {
+    SseDecoder decoder;
+    auto events = decoder.Feed(wire.substr(0, split));
+    for (auto& event : decoder.Feed(wire.substr(split))) {
+      events.push_back(std::move(event));
+    }
+    ASSERT_EQ(events.size(), 2u) << "split at " << split;
+    EXPECT_EQ(events[0].event, a.event) << split;
+    EXPECT_EQ(events[0].id, a.id) << split;
+    EXPECT_EQ(events[0].data, a.data) << split;
+    EXPECT_EQ(events[1].event, b.event) << split;
+    EXPECT_EQ(events[1].data, b.data) << split;
+  }
+}
+
+TEST(SseDecoderTest, CrlfAndCrLineEndings) {
+  for (const char* newline : {"\r\n", "\n", "\r"}) {
+    SseDecoder decoder;
+    const std::string wire = std::string("event: e") + newline +
+                             "data: payload" + newline + newline;
+    const auto events = decoder.Feed(wire);
+    ASSERT_EQ(events.size(), 1u) << "newline: " << static_cast<int>(newline[0]);
+    EXPECT_EQ(events[0].event, "e");
+    EXPECT_EQ(events[0].data, "payload");
+  }
+}
+
+TEST(SseDecoderTest, CrlfSplitAcrossFeedBoundary) {
+  SseDecoder decoder;
+  auto events = decoder.Feed("data: x\r");
+  EXPECT_TRUE(events.empty());
+  // The LF finishes the split CRLF; the CR then terminates the blank line
+  // on its own (CR alone is a valid terminator), dispatching the event.
+  events = decoder.Feed("\n\r");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].data, "x");
+  // The trailing LF of that final CRLF must be swallowed, not re-dispatch.
+  EXPECT_TRUE(decoder.Feed("\n").empty());
+  EXPECT_FALSE(decoder.has_partial_event());
+}
+
+TEST(SseDecoderTest, StripsBomOnlyAtStreamStart) {
+  SseDecoder decoder;
+  // The BOM itself split across feeds.
+  EXPECT_TRUE(decoder.Feed("\xEF").empty());
+  EXPECT_TRUE(decoder.Feed("\xBB").empty());
+  auto events = decoder.Feed("\xBF" "data: first\n\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].data, "first");
+  // A BOM mid-stream is content, not a marker.
+  events = decoder.Feed("data: \xEF\xBB\xBFsecond\n\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].data, "\xEF\xBB\xBFsecond");
+}
+
+TEST(SseDecoderTest, CommentsAndUnknownFieldsIgnored) {
+  SseDecoder decoder;
+  const auto events = decoder.Feed(
+      ": keep-alive comment\nretry: 1000\nevent: e\ndata: d\n\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].event, "e");
+  EXPECT_EQ(events[0].data, "d");
+}
+
+TEST(SseDecoderTest, MissingTerminalBlankLineDropsTrailingEvent) {
+  SseDecoder decoder;
+  const auto events = decoder.Feed("data: complete\n\ndata: dangling\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].data, "complete");
+  EXPECT_TRUE(decoder.has_partial_event());
+}
+
+TEST(SseDecoderTest, DataWithoutColonAndMultiDataJoin) {
+  SseDecoder decoder;
+  const auto events = decoder.Feed("data\ndata: two\n\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].data, "\ntwo");  // empty first data line joins with \n
+}
+
+TEST(SseDecoderTest, RoundTripPropertyAtRandomBoundaries) {
+  Rng rng(0x55E1);
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz 0123456789{}[]\":,.\\/?-";
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::string wire;
+    std::vector<SseEvent> expected;
+    const int num_events = static_cast<int>(rng.UniformInt(1, 4));
+    for (int e = 0; e < num_events; ++e) {
+      SseEvent event;
+      event.event = "chunk";
+      event.id = std::to_string(e);
+      const int len = static_cast<int>(rng.UniformInt(0, 60));
+      for (int i = 0; i < len; ++i) {
+        event.data +=
+            kAlphabet[rng.UniformInt(0, sizeof(kAlphabet) - 2)];
+      }
+      wire += EncodeSse(event);
+      expected.push_back(std::move(event));
+    }
+    SseDecoder decoder;
+    std::vector<SseEvent> decoded;
+    size_t pos = 0;
+    while (pos < wire.size()) {
+      const size_t take = static_cast<size_t>(rng.UniformInt(
+          1, static_cast<int64_t>(wire.size() - pos)));
+      for (auto& event :
+           DecodeSseIncremental(std::string_view(wire).substr(pos, take),
+                                &decoder)) {
+        decoded.push_back(std::move(event));
+      }
+      pos += take;
+    }
+    ASSERT_EQ(decoded.size(), expected.size());
+    for (size_t i = 0; i < decoded.size(); ++i) {
+      EXPECT_EQ(decoded[i].event, expected[i].event);
+      EXPECT_EQ(decoded[i].id, expected[i].id);
+      EXPECT_EQ(decoded[i].data, expected[i].data);
+    }
+  }
 }
 
 // --------------------------------------------------- server integration
