@@ -14,6 +14,12 @@
 //      behaves like a pre-streaming build: the whole completion arrives in
 //      one POST and the adapter serves it locally, identical tokens and
 //      stop reason, but nothing is readable before everything is.
+//
+// It closes with a chaos scenario (DESIGN.md §10): a latency-spiky local
+// model hedged by a clean replica of itself rented from node B. Spikes on
+// the local stream fire hedge races; the federated replica catches up over
+// HTTP and is adopted, and the wasted loser work is printed as the
+// documented hedge overhead.
 
 #include <cstdio>
 #include <iostream>
@@ -23,6 +29,7 @@
 #include "llmms/app/remote_model.h"
 #include "llmms/app/service.h"
 #include "llmms/core/oua.h"
+#include "llmms/llm/hedged_model.h"
 
 int main() {
   using namespace llmms;
@@ -121,7 +128,73 @@ int main() {
                 outcome.tokens, outcome.final_score,
                 name == result->best_model ? "  <- selected" : "");
   }
-  std::cout << "answer: " << result->answer << "\n";
+  std::cout << "answer: " << result->answer << "\n\n";
+
+  // --- 4. Hedged generation: spiky local primary, federated backup. ---
+  // The local mistral clone suffers injected 5-second latency spikes; a
+  // clean replica of the same model is rented from node B. Once the local
+  // history is warm, a spike crossing its own median fires the race and
+  // the peer's stream is adopted mid-generation — byte-identical text,
+  // because both nodes share the synthetic world.
+  llm::ModelProfile mistral_profile;
+  for (const auto& profile : llm::DefaultProfiles()) {
+    if (profile.name == "mistral:7b") mistral_profile = profile;
+  }
+  llm::FaultConfig spikes;
+  spikes.seed = 0xCAFE;
+  spikes.latency_spike_prob = 0.3;
+  spikes.latency_spike_seconds = 5.0;
+  auto spiky = std::make_shared<llm::ResilientModel>(
+      std::make_shared<llm::FaultyModel>(
+          std::make_shared<llm::SyntheticModel>(mistral_profile,
+                                                node_a.knowledge),
+          spikes),
+      llm::ResilienceConfig{});
+  auto rented = app::RemoteModel::Connect("127.0.0.1", server_b.port(),
+                                          "mistral:7b");
+  if (!rented.ok()) {
+    std::cerr << "backup connect failed: " << rented.status() << "\n";
+    return 1;
+  }
+  llm::HedgeConfig hedge;
+  hedge.percentile = 0.5;
+  hedge.min_samples = 4;
+  llm::HedgedModel hedged(
+      spiky, std::vector<std::shared_ptr<llm::LanguageModel>>{*rented}, hedge);
+
+  std::cout << "hedged generation (spiky local primary, federated backup):\n";
+  auto hedged_stream = hedged.StartGeneration(request);
+  if (!hedged_stream.ok()) {
+    std::cerr << "hedged start failed: " << hedged_stream.status() << "\n";
+    return 1;
+  }
+  chunk_index = 0;
+  while (!(*hedged_stream)->finished()) {
+    auto chunk = (*hedged_stream)->NextChunk(8);
+    if (!chunk.ok()) {
+      std::cerr << "hedged stream failed: " << chunk.status() << "\n";
+      return 1;
+    }
+    if (chunk->num_tokens == 0) continue;
+    std::printf("  chunk %zu  %5zu tokens  wait %7.3f s  %s\n", chunk_index,
+                chunk->num_tokens, chunk->extra_seconds,
+                llm::HedgeOutcomeToString(chunk->hedge));
+    ++chunk_index;
+  }
+  std::cout << "  text matches the peer's canonical answer: "
+            << ((*hedged_stream)->text() == (*stream)->text() ? "yes" : "NO")
+            << "\n";
+  const auto hedge_stats = hedged.stats();
+  std::printf(
+      "  hedges: %zu launched, %zu won, %zu lost, %zu failovers\n"
+      "  wasted by cancelled losers (never charged): %zu tokens, %.3f s\n",
+      hedge_stats.hedges_launched, hedge_stats.hedges_won,
+      hedge_stats.hedges_lost, hedge_stats.failovers,
+      hedge_stats.wasted_tokens, hedge_stats.wasted_seconds);
+  for (const auto& row : hedged.LatencySnapshot()) {
+    std::printf("  %-28s %4zu samples  p50 %6.3f s  p95 %6.3f s\n",
+                row.model.c_str(), row.samples, row.p50, row.p95);
+  }
 
   server_b.Stop();
   return 0;

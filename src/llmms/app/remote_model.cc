@@ -212,7 +212,11 @@ class StreamingRemoteStream final : public RemoteStreamBase {
     }
     const double wire_seconds = wire_watch.ElapsedSeconds();
     llm::Chunk chunk = ServeFromBuffer(max_tokens, wire_done_);
-    chunk.extra_seconds += wire_seconds;
+    // Real wire wait plus the *simulated* latency the peer reported for the
+    // frames consumed so far — remote congestion (injected spikes, backoff)
+    // lands in this chunk's cost, where the local hedging layer can see it.
+    chunk.extra_seconds += wire_seconds + pending_remote_seconds_;
+    pending_remote_seconds_ = 0.0;
     return chunk;
   }
 
@@ -302,6 +306,8 @@ class StreamingRemoteStream final : public RemoteStreamBase {
       for (auto& word : SplitWhitespace(data["text"].AsString())) {
         words_.push_back(std::move(word));
       }
+      // Optional field; pre-latency-reporting peers simply omit it.
+      pending_remote_seconds_ += data["extra_seconds"].AsDouble();
       return Status::OK();
     }
     if (event.event == "done") {
@@ -332,6 +338,8 @@ class StreamingRemoteStream final : public RemoteStreamBase {
   std::unique_ptr<HttpClientStream> wire_;
   SseDecoder decoder_;
   bool wire_done_ = false;
+  // Simulated seconds reported by the peer for not-yet-served frames.
+  double pending_remote_seconds_ = 0.0;
   Status error_ = Status::OK();
 };
 
@@ -383,6 +391,38 @@ StatusOr<std::shared_ptr<RemoteModel>> RemoteModel::Connect(
       info["tokens_per_second"].AsDouble(),
       static_cast<size_t>(info["context_window"].AsInt()),
       info["streaming"].AsBool(), transport));
+}
+
+StatusOr<std::shared_ptr<llm::HedgedModel>> RemoteModel::ConnectHedged(
+    const PeerAddress& primary, const std::vector<PeerAddress>& backups,
+    const std::string& remote_name, const std::string& local_name,
+    const llm::HedgeConfig& hedge) {
+  return ConnectHedged(primary, backups, remote_name, local_name, hedge,
+                       TransportOptions());
+}
+
+StatusOr<std::shared_ptr<llm::HedgedModel>> RemoteModel::ConnectHedged(
+    const PeerAddress& primary, const std::vector<PeerAddress>& backups,
+    const std::string& remote_name, const std::string& local_name,
+    const llm::HedgeConfig& hedge, const TransportOptions& transport) {
+  if (backups.empty()) {
+    return Status::InvalidArgument(
+        "hedged federation needs at least one backup peer");
+  }
+  LLMMS_ASSIGN_OR_RETURN(auto primary_model,
+                         Connect(primary.host, primary.port, remote_name,
+                                 local_name, transport));
+  std::vector<std::shared_ptr<llm::LanguageModel>> backup_models;
+  backup_models.reserve(backups.size());
+  for (const PeerAddress& peer : backups) {
+    // Backups keep the derived "<model>@<host>:<port>" name so /api/health
+    // latency rows identify which peer each percentile belongs to.
+    LLMMS_ASSIGN_OR_RETURN(auto backup, Connect(peer.host, peer.port,
+                                                remote_name, "", transport));
+    backup_models.push_back(std::move(backup));
+  }
+  return std::make_shared<llm::HedgedModel>(std::move(primary_model),
+                                            std::move(backup_models), hedge);
 }
 
 StatusOr<std::unique_ptr<llm::GenerationStream>> RemoteModel::StartGeneration(

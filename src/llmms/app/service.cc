@@ -1,6 +1,8 @@
 #include "llmms/app/service.h"
 
 #include "llmms/app/nl_config.h"
+#include "llmms/llm/breaker_store.h"
+#include "llmms/llm/hedged_model.h"
 #include "llmms/llm/resilient_model.h"
 
 namespace llmms::app {
@@ -37,6 +39,43 @@ Json ErrorResponse(const Status& status) {
 }
 
 ApiService::ApiService(core::SearchEngine* engine) : engine_(engine) {}
+
+ApiService::~ApiService() {
+  // Breaker listeners hold a raw pointer to the store; detach them before
+  // the store dies.
+  if (breaker_store_ == nullptr) return;
+  for (const auto& name : engine_->runtime()->LoadedModels()) {
+    auto model = engine_->runtime()->registry()->Get(name);
+    if (!model.ok()) continue;
+    if (llm::CircuitBreaker* breaker = BreakerOf(*model)) {
+      breaker->SetTransitionListener(nullptr);
+    }
+  }
+}
+
+llm::CircuitBreaker* ApiService::BreakerOf(
+    const std::shared_ptr<llm::LanguageModel>& model) {
+  std::shared_ptr<llm::LanguageModel> target = model;
+  if (auto hedged = std::dynamic_pointer_cast<llm::HedgedModel>(target)) {
+    target = hedged->primary();
+  }
+  auto resilient = std::dynamic_pointer_cast<llm::ResilientModel>(target);
+  return resilient == nullptr ? nullptr : resilient->mutable_breaker();
+}
+
+Status ApiService::EnableBreakerPersistence(const std::string& path) {
+  auto store = std::make_unique<llm::BreakerStore>(path);
+  LLMMS_RETURN_NOT_OK(store->Load());
+  for (const auto& name : engine_->runtime()->LoadedModels()) {
+    auto model = engine_->runtime()->registry()->Get(name);
+    if (!model.ok()) continue;
+    if (llm::CircuitBreaker* breaker = BreakerOf(*model)) {
+      store->Attach(name, breaker);
+    }
+  }
+  breaker_store_ = std::move(store);
+  return Status::OK();
+}
 
 Json ApiService::Handle(const std::string& endpoint, const Json& request,
                         const StreamCallback& stream) {
@@ -235,6 +274,7 @@ Json ApiService::HandleGenerateStream(const Json& request,
       engine_->runtime()->StartGeneration({model}, generation);
   if (!generation_or.ok()) return ErrorResponse(generation_or.status());
   auto& parallel = *generation_or;
+  double extra_carry = 0.0;
   for (;;) {
     auto stats = parallel->StatsOf(model);
     if (!stats.ok()) return ErrorResponse(stats.status());
@@ -250,11 +290,18 @@ Json ApiService::HandleGenerateStream(const Json& request,
     // error event — after any chunks already emitted, exactly like a peer
     // dying mid-response.
     if (!chunk.ok()) return ErrorResponse(chunk.status());
+    // The chunk's *simulated* latency rides along so the peer's congestion
+    // (injected spikes, backoff, hedge re-pricing) is visible to the
+    // consuming node's accounting — and to its hedging layer. Token-free
+    // chunks are not framed; their latency is carried by the next one.
+    extra_carry += chunk->extra_seconds;
     if (stream && chunk->num_tokens > 0) {
       Json event = Json::MakeObject();
       event.Set("text", chunk->text);
       event.Set("tokens", chunk->num_tokens);
+      if (extra_carry > 0.0) event.Set("extra_seconds", extra_carry);
       stream(event);
+      extra_carry = 0.0;
     }
     if (chunk->done) break;
   }
@@ -334,7 +381,9 @@ Json ApiService::HandleHealth() {
   response.Set("loaded_models", loaded.size());
 
   // Per-model resilience state. Models wrapped in llm::ResilientModel report
-  // their circuit-breaker state and failure counters; plain models are
+  // their circuit-breaker state and failure counters; a llm::HedgedModel
+  // additionally reports hedge counters and per-replica latency percentiles
+  // (the breaker inspected is the primary replica's). Plain models are
   // reported as "unmanaged" (no breaker in front of them).
   bool degraded = false;
   Json models = Json::MakeArray();
@@ -343,7 +392,32 @@ Json ApiService::HandleHealth() {
     if (!model.ok()) continue;
     Json entry = Json::MakeObject();
     entry.Set("model", name);
-    auto resilient = std::dynamic_pointer_cast<llm::ResilientModel>(*model);
+    std::shared_ptr<llm::LanguageModel> target = *model;
+    auto hedged = std::dynamic_pointer_cast<llm::HedgedModel>(target);
+    if (hedged != nullptr) {
+      const auto stats = hedged->stats();
+      Json hedging = Json::MakeObject();
+      hedging.Set("replicas", hedged->replica_count());
+      hedging.Set("hedges_launched", stats.hedges_launched);
+      hedging.Set("hedges_won", stats.hedges_won);
+      hedging.Set("hedges_lost", stats.hedges_lost);
+      hedging.Set("failovers", stats.failovers);
+      hedging.Set("wasted_tokens", stats.wasted_tokens);
+      hedging.Set("wasted_seconds", stats.wasted_seconds);
+      Json latency = Json::MakeArray();
+      for (const auto& replica : hedged->LatencySnapshot()) {
+        Json sample = Json::MakeObject();
+        sample.Set("model", replica.model);
+        sample.Set("samples", replica.samples);
+        sample.Set("p50_seconds", replica.p50);
+        sample.Set("p95_seconds", replica.p95);
+        latency.Append(std::move(sample));
+      }
+      hedging.Set("latency", std::move(latency));
+      entry.Set("hedging", std::move(hedging));
+      target = hedged->primary();  // the breaker sits inside the hedge layer
+    }
+    auto resilient = std::dynamic_pointer_cast<llm::ResilientModel>(target);
     if (resilient == nullptr) {
       entry.Set("circuit", "unmanaged");
     } else {
@@ -360,6 +434,17 @@ Json ApiService::HandleHealth() {
       entry.Set("deadlines_exceeded", health.deadlines_exceeded);
       entry.Set("stalls_detected", health.stalls_detected);
       entry.Set("backoff_seconds", health.backoff_seconds);
+      entry.Set("breaker_call_clock",
+                static_cast<size_t>(resilient->breaker().call_clock()));
+      Json history = Json::MakeArray();
+      for (const auto& transition : resilient->breaker().history()) {
+        Json change = Json::MakeObject();
+        change.Set("from", llm::CircuitStateToString(transition.from));
+        change.Set("to", llm::CircuitStateToString(transition.to));
+        change.Set("at_call", static_cast<size_t>(transition.at_call));
+        history.Append(std::move(change));
+      }
+      entry.Set("circuit_history", std::move(history));
     }
     models.Append(std::move(entry));
   }

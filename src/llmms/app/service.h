@@ -2,10 +2,16 @@
 #define LLMMS_APP_SERVICE_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "llmms/common/json.h"
 #include "llmms/core/search_engine.h"
+
+namespace llmms::llm {
+class BreakerStore;
+class CircuitBreaker;
+}  // namespace llmms::llm
 
 namespace llmms::app {
 
@@ -36,6 +42,7 @@ class ApiService {
  public:
   // `engine` must outlive the service.
   explicit ApiService(core::SearchEngine* engine);
+  ~ApiService();
 
   // Dispatches by endpoint. Unknown endpoints return a NotFound error
   // payload. `stream` (optional) receives token/score/decision events during
@@ -67,9 +74,22 @@ class ApiService {
   void set_streaming_generate(bool enabled) { streaming_generate_ = enabled; }
   bool streaming_generate() const { return streaming_generate_; }
 
+  // Durable circuit-breaker state: loads saved breaker snapshots from `path`
+  // (a missing file is fine — first run), restores them into every currently
+  // loaded model that has a breaker (unwrapping a HedgedModel to its primary
+  // replica), and re-saves the file on every future state transition. Call
+  // AFTER the models are loaded; models loaded later are not attached.
+  Status EnableBreakerPersistence(const std::string& path);
+  llm::BreakerStore* breaker_store() const { return breaker_store_.get(); }
+
  private:
+  // The breaker of `model`, unwrapping the hedging decorator, or nullptr.
+  static llm::CircuitBreaker* BreakerOf(
+      const std::shared_ptr<llm::LanguageModel>& model);
+
   core::SearchEngine* engine_;
   bool streaming_generate_ = true;
+  std::unique_ptr<llm::BreakerStore> breaker_store_;
 };
 
 // Builds the error payload used by every endpoint.

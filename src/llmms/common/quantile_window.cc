@@ -1,0 +1,46 @@
+#include "llmms/common/quantile_window.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace llmms {
+
+QuantileWindow::QuantileWindow(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  window_.reserve(capacity_);
+}
+
+void QuantileWindow::Add(double value) {
+  if (window_.size() < capacity_) {
+    newest_ = window_.size();
+    window_.push_back(value);
+  } else {
+    window_[next_] = value;
+    newest_ = next_;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++count_;
+}
+
+double QuantileWindow::Quantile(double q) const {
+  if (window_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  scratch_ = window_;
+  const size_t n = scratch_.size();
+  // Nearest-rank: the smallest index k with (k+1)/n >= q.
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank > 0) --rank;
+  if (rank >= n) rank = n - 1;
+  std::nth_element(scratch_.begin(), scratch_.begin() + rank, scratch_.end());
+  return scratch_[rank];
+}
+
+void QuantileWindow::Clear() {
+  window_.clear();
+  next_ = 0;
+  newest_ = 0;
+  count_ = 0;
+}
+
+}  // namespace llmms

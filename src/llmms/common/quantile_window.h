@@ -1,0 +1,51 @@
+#ifndef LLMMS_COMMON_QUANTILE_WINDOW_H_
+#define LLMMS_COMMON_QUANTILE_WINDOW_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace llmms {
+
+// A fixed-size sliding window of recent observations with quantile queries —
+// the online latency-percentile estimator behind hedged generation (a model
+// hedges against its *own* recent history, so the window must be cheap to
+// update and bounded in memory). The window keeps the last `capacity`
+// samples in arrival order; Quantile() sorts a scratch copy on demand
+// (nearest-rank), which for the small windows used here (<= a few hundred
+// samples) beats maintaining an order statistic tree and is perfectly
+// deterministic. Not thread-safe; callers guard it.
+class QuantileWindow {
+ public:
+  explicit QuantileWindow(size_t capacity = 128);
+
+  // Records one observation, evicting the oldest once full.
+  void Add(double value);
+
+  // Nearest-rank quantile of the current window: the ceil(q*n)-th smallest
+  // sample (clamped to the window bounds). q is clamped to [0, 1].
+  // Preconditions: size() > 0.
+  double Quantile(double q) const;
+
+  // Samples currently in the window / ever observed.
+  size_t size() const { return window_.size(); }
+  size_t count() const { return count_; }
+  bool empty() const { return window_.empty(); }
+  size_t capacity() const { return capacity_; }
+
+  double last() const { return window_.empty() ? 0.0 : window_[newest_]; }
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::vector<double> window_;  // ring buffer
+  size_t next_ = 0;             // insertion cursor once full
+  size_t newest_ = 0;           // index of the most recent sample
+  size_t count_ = 0;
+  // Scratch buffer reused across Quantile() calls to avoid reallocating.
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace llmms
+
+#endif  // LLMMS_COMMON_QUANTILE_WINDOW_H_

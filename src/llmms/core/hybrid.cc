@@ -112,6 +112,8 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
       for (const auto& [model, chunk] : batch.chunks) {
         used_tokens += chunk.num_tokens;
         round_tokens += chunk.num_tokens;
+        internal::EmitHedge(model, chunk, round, used_tokens, callback,
+                            &result.trace);
         if (chunk.num_tokens > 0 && callback) {
           emit(EventType::kChunk, model, 0.0, chunk.text);
         }
@@ -211,6 +213,8 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
     }
     const llm::Chunk chunk = std::move(chunk_or).value();
     used_tokens += chunk.num_tokens;
+    internal::EmitHedge(chosen, chunk, round, used_tokens, callback,
+                        &result.trace);
     if (chunk.num_tokens == 0 && !chunk.done) {
       if (++stalled_rounds >= kMaxStalledRounds) break;
     } else {

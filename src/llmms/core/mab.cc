@@ -133,6 +133,8 @@ StatusOr<OrchestrationResult> MabOrchestrator::Run(
     }
     const llm::Chunk chunk = std::move(chunk_or).value();
     used_tokens += chunk.num_tokens;
+    internal::EmitHedge(chosen, chunk, round, used_tokens, callback,
+                        &result.trace);
     if (chunk.num_tokens == 0 && !chunk.done) {
       // Anti-hang guard against a pool of stalled backends.
       if (++stalled_pulls >= kMaxStalledRounds) break;

@@ -14,6 +14,8 @@ const char* EventTypeToString(EventType type) {
       return "early-stop";
     case EventType::kFailure:
       return "failure";
+    case EventType::kHedge:
+      return "hedge";
     case EventType::kFinal:
       return "final";
   }
@@ -43,6 +45,20 @@ void EmitFailure(const std::string& model, const Status& error, size_t round,
   event.type = EventType::kFailure;
   event.model = model;
   event.text = error.message();
+  event.round = round;
+  event.total_tokens = total_tokens;
+  Emit(event, callback, trace);
+}
+
+void EmitHedge(const std::string& model, const llm::Chunk& chunk,
+               size_t round, size_t total_tokens,
+               const EventCallback& callback,
+               std::vector<TraceEntry>* trace) {
+  if (chunk.hedge == llm::HedgeOutcome::kNone) return;
+  OrchestratorEvent event;
+  event.type = EventType::kHedge;
+  event.model = model;
+  event.text = llm::HedgeOutcomeToString(chunk.hedge);
   event.round = round;
   event.total_tokens = total_tokens;
   Emit(event, callback, trace);

@@ -24,6 +24,7 @@ enum class EventType {
   kPrune,      // a model was removed from the active set
   kEarlyStop,  // a model won before the budget was spent
   kFailure,    // a model's stream failed and it was quarantined
+  kHedge,      // a hedge race fired on a model's stream (llm::HedgedModel)
   kFinal,      // the final answer was selected
 };
 
@@ -116,6 +117,15 @@ void Emit(const OrchestratorEvent& event, const EventCallback& callback,
 void EmitFailure(const std::string& model, const Status& error, size_t round,
                  size_t total_tokens, const EventCallback& callback,
                  std::vector<TraceEntry>* trace);
+
+// Emits the kHedge event for a chunk whose Chunk::hedge says a hedge race
+// or failover fired while it was in flight; the trace detail carries the
+// outcome ("primary-won", "backup-won", "failover"). No-op for plain
+// chunks.
+void EmitHedge(const std::string& model, const llm::Chunk& chunk,
+               size_t round, size_t total_tokens,
+               const EventCallback& callback,
+               std::vector<TraceEntry>* trace);
 
 // The typed terminal error for a query where every pool model failed. Keeps
 // the last stream error for diagnosis; orchestrators return it instead of

@@ -93,6 +93,8 @@ StatusOr<OrchestrationResult> OuaOrchestrator::Run(
     for (const auto& [model, chunk] : batch.chunks) {
       spent[model] += chunk.num_tokens;
       round_tokens += chunk.num_tokens;
+      internal::EmitHedge(model, chunk, round, generation->TotalTokens(),
+                          callback, &result.trace);
       if (chunk.num_tokens > 0 && callback) {
         OrchestratorEvent event;
         event.type = EventType::kChunk;

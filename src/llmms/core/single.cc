@@ -58,6 +58,7 @@ StatusOr<OrchestrationResult> SingleModelOrchestrator::Run(
     if (!chunk_or.ok()) return typed_failure(chunk_or.status(), round);
     const llm::Chunk chunk = std::move(chunk_or).value();
     used += chunk.num_tokens;
+    internal::EmitHedge(model_, chunk, round, used, callback, &result.trace);
     if (chunk.num_tokens == 0 && !chunk.done) {
       if (++stalled >= kMaxStalledRounds) break;
     } else {

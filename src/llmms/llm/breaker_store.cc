@@ -1,0 +1,150 @@
+#include "llmms/llm/breaker_store.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace llmms::llm {
+namespace {
+
+Json TransitionToJson(const CircuitBreaker::Transition& transition) {
+  Json out = Json::MakeObject();
+  out.Set("from", CircuitStateToString(transition.from));
+  out.Set("to", CircuitStateToString(transition.to));
+  out.Set("at_call", static_cast<size_t>(transition.at_call));
+  return out;
+}
+
+CircuitBreaker::State StateFromString(const std::string& name) {
+  if (name == "open") return CircuitBreaker::State::kOpen;
+  if (name == "half-open") return CircuitBreaker::State::kHalfOpen;
+  return CircuitBreaker::State::kClosed;
+}
+
+}  // namespace
+
+Json BreakerStore::SnapshotToJson(const CircuitBreaker::Snapshot& snapshot) {
+  Json out = Json::MakeObject();
+  out.Set("state", CircuitStateToString(snapshot.state));
+  out.Set("consecutive_failures", snapshot.consecutive_failures);
+  out.Set("total_failures", snapshot.total_failures);
+  out.Set("fast_rejections", snapshot.fast_rejections);
+  out.Set("rejections_since_open", snapshot.rejections_since_open);
+  out.Set("probe_successes", snapshot.probe_successes);
+  out.Set("call_clock", static_cast<size_t>(snapshot.call_clock));
+  Json history = Json::MakeArray();
+  for (const auto& transition : snapshot.history) {
+    history.Append(TransitionToJson(transition));
+  }
+  out.Set("history", std::move(history));
+  return out;
+}
+
+CircuitBreaker::Snapshot BreakerStore::SnapshotFromJson(const Json& json) {
+  CircuitBreaker::Snapshot out;
+  out.state = StateFromString(json["state"].AsString());
+  out.consecutive_failures =
+      static_cast<size_t>(json["consecutive_failures"].AsInt());
+  out.total_failures = static_cast<size_t>(json["total_failures"].AsInt());
+  out.fast_rejections = static_cast<size_t>(json["fast_rejections"].AsInt());
+  out.rejections_since_open =
+      static_cast<size_t>(json["rejections_since_open"].AsInt());
+  out.probe_successes = static_cast<size_t>(json["probe_successes"].AsInt());
+  out.call_clock = static_cast<uint64_t>(json["call_clock"].AsInt());
+  if (json["history"].is_array()) {
+    for (const Json& entry : json["history"].AsArray()) {
+      CircuitBreaker::Transition transition;
+      transition.from = StateFromString(entry["from"].AsString());
+      transition.to = StateFromString(entry["to"].AsString());
+      transition.at_call = static_cast<uint64_t>(entry["at_call"].AsInt());
+      out.history.push_back(transition);
+    }
+  }
+  return out;
+}
+
+BreakerStore::BreakerStore(std::string path) : path_(std::move(path)) {}
+
+Status BreakerStore::Load() {
+  std::ifstream in(path_);
+  if (!in.is_open()) return Status::OK();  // first run: nothing saved yet
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) return Status::OK();
+  auto parsed = Json::Parse(text);
+  if (!parsed.ok()) {
+    return Status::IOError("breaker store '" + path_ +
+                           "' is not valid JSON: " +
+                           parsed.status().message());
+  }
+  if (!parsed.value().is_object()) {
+    return Status::IOError("breaker store '" + path_ +
+                           "' must be a JSON object keyed by model name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshots_.clear();
+  for (const auto& [model, snapshot] : parsed.value().AsObject()) {
+    snapshots_[model] = SnapshotFromJson(snapshot);
+  }
+  return Status::OK();
+}
+
+void BreakerStore::Attach(const std::string& model, CircuitBreaker* breaker) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = snapshots_.find(model);
+    if (it != snapshots_.end()) breaker->Restore(it->second);
+  }
+  breaker->SetTransitionListener(
+      [this, model](const CircuitBreaker::Snapshot& snapshot) {
+        Update(model, snapshot);
+      });
+}
+
+void BreakerStore::Update(const std::string& model,
+                          const CircuitBreaker::Snapshot& snapshot) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshots_[model] = snapshot;
+  }
+  // Persistence is best-effort on the transition path: a full disk must not
+  // fail a generation. SaveNow() reports errors for explicit callers.
+  (void)SaveNow();
+}
+
+Status BreakerStore::SaveNow() {
+  Json doc = Json::MakeObject();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [model, snapshot] : snapshots_) {
+      doc.Set(model, SnapshotToJson(snapshot));
+    }
+  }
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::IOError("cannot write breaker store temp file '" + tmp +
+                             "'");
+    }
+    out << doc.Dump(2) << '\n';
+    if (!out.good()) {
+      return Status::IOError("short write to breaker store temp file '" +
+                             tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::IOError("cannot rename '" + tmp + "' over '" + path_ +
+                           "'");
+  }
+  return Status::OK();
+}
+
+bool BreakerStore::Has(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_.find(model) != snapshots_.end();
+}
+
+}  // namespace llmms::llm

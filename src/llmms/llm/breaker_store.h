@@ -1,0 +1,70 @@
+#ifndef LLMMS_LLM_BREAKER_STORE_H_
+#define LLMMS_LLM_BREAKER_STORE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "llmms/common/json.h"
+#include "llmms/common/status.h"
+#include "llmms/llm/resilient_model.h"
+
+namespace llmms::llm {
+
+// Durable circuit-breaker state: a JSON file mapping model name ->
+// CircuitBreaker::Snapshot, so a model quarantined by a tripped breaker
+// stays quarantined across server restarts instead of being hammered again
+// the moment the process comes back.
+//
+// Usage:
+//   BreakerStore store("/var/lib/llmms/breakers.json");
+//   store.Load();                       // ok if the file does not exist yet
+//   store.Attach("m1", breaker);        // restores saved state, then
+//                                       // registers a transition listener
+//                                       // that saves on every state change
+//
+// Attach() restores the saved snapshot for `model` (if any) into `breaker`
+// and installs a transition listener that rewrites the file on every state
+// transition. The listener runs outside the breaker lock (see
+// CircuitBreaker::SetTransitionListener), so saving — which snapshots the
+// transitioning breaker's latest state — cannot deadlock.
+//
+// The store must outlive every attached breaker (or the breakers' listeners
+// must be cleared first); ApiService owns both, in that order.
+class BreakerStore {
+ public:
+  explicit BreakerStore(std::string path);
+
+  // Reads the file into the in-memory map. A missing file is OK (empty
+  // store); a malformed one is an error.
+  Status Load();
+
+  // Restores `model`'s saved snapshot into `breaker` (no-op if the store has
+  // none) and subscribes to its transitions so future changes are persisted.
+  void Attach(const std::string& model, CircuitBreaker* breaker);
+
+  // Serializes the current in-memory map to the file (atomically via a temp
+  // file + rename).
+  Status SaveNow();
+
+  const std::string& path() const { return path_; }
+
+  // True if the store holds a snapshot for `model` (loaded or recorded).
+  bool Has(const std::string& model) const;
+
+  // JSON (de)serialization of one snapshot, exposed for tests.
+  static Json SnapshotToJson(const CircuitBreaker::Snapshot& snapshot);
+  static CircuitBreaker::Snapshot SnapshotFromJson(const Json& json);
+
+ private:
+  void Update(const std::string& model,
+              const CircuitBreaker::Snapshot& snapshot);
+
+  const std::string path_;
+  mutable std::mutex mu_;
+  std::map<std::string, CircuitBreaker::Snapshot> snapshots_;
+};
+
+}  // namespace llmms::llm
+
+#endif  // LLMMS_LLM_BREAKER_STORE_H_

@@ -1,0 +1,353 @@
+#include "llmms/llm/hedged_model.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace llmms::llm {
+namespace {
+
+// The simulated cost the runtime will charge for a chunk produced by a
+// replica running at `tps` tokens/second.
+double ChunkCost(const Chunk& chunk, double tps) {
+  double cost = chunk.extra_seconds;
+  if (tps > 0.0) cost += static_cast<double>(chunk.num_tokens) / tps;
+  return cost;
+}
+
+// Joins replica texts across an adoption boundary: replicas disagree on
+// whether chunk text carries its own leading space, so insert one only when
+// neither side provides it.
+void AppendJoined(std::string* text, const std::string& piece) {
+  if (piece.empty()) return;
+  if (!text->empty() && text->back() != ' ' && piece.front() != ' ') {
+    text->push_back(' ');
+  }
+  *text += piece;
+}
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Consecutive zero-token, not-done catch-up chunks tolerated before a
+// backup launch is abandoned — a backstop for a stalling backup that is not
+// wrapped in its own ResilientModel.
+constexpr size_t kMaxCatchupStalls = 64;
+
+class HedgedStream final : public GenerationStream {
+ public:
+  HedgedStream(const HedgedModel* owner,
+               std::unique_ptr<GenerationStream> stream, size_t replica,
+               GenerationRequest request)
+      : owner_(owner),
+        request_(std::move(request)),
+        active_(std::move(stream)),
+        active_replica_(replica),
+        next_backup_(replica + 1) {}
+
+  StatusOr<Chunk> NextChunk(size_t max_tokens) override {
+    if (max_tokens == 0) {
+      return Status::InvalidArgument("NextChunk requires max_tokens > 0");
+    }
+    if (finished_) {
+      Chunk chunk;
+      chunk.done = true;
+      chunk.stop_reason = stop_reason_;
+      return chunk;
+    }
+    auto chunk_or = active_->NextChunk(max_tokens);
+    if (!chunk_or.ok()) return FailOver(chunk_or.status(), max_tokens);
+
+    Chunk chunk = std::move(chunk_or).value();
+    const double active_tps =
+        owner_->replica(active_replica_)->tokens_per_second();
+    const double cost = ChunkCost(chunk, active_tps);
+    // Threshold from the history *before* this chunk: the hedge decision is
+    // made while the chunk is in flight, and a tail spike must not inflate
+    // the percentile it is being compared against.
+    const double threshold = owner_->ThresholdFor(active_replica_);
+    owner_->RecordLatency(active_replica_, cost);
+    if (cost > threshold && next_backup_ < owner_->replica_count()) {
+      // The in-flight wait crossed the replica's own tail percentile: at
+      // simulated time `threshold` the backup launches on the same prompt,
+      // catches up to the emitted tokens, and the two streams race.
+      Launch launch = LaunchBackup(next_backup_++, max_tokens);
+      const double backup_delivery = threshold + launch.cost();
+      if (launch.ok && backup_delivery < cost) {
+        // Backup delivered first: adopt it and cancel the serving stream.
+        // The cancelled in-flight chunk plus the backup's catch-up work is
+        // the documented hedge overhead — tracked, never charged.
+        owner_->CountHedge(1, 1, 0, 0,
+                           chunk.num_tokens + launch.catchup_tokens,
+                           cost + launch.catchup_cost);
+        Chunk adopted =
+            Adopt(std::move(launch), threshold, /*discarded=*/&chunk);
+        adopted.hedge = HedgeOutcome::kBackupWon;
+        return Emit(std::move(adopted));
+      }
+      // The serving stream won the race (or the backup never reached a race
+      // chunk): cancel the backup and emit the chunk unchanged.
+      owner_->CountHedge(1, 0, 1, 0,
+                         launch.catchup_tokens + launch.chunk.num_tokens,
+                         launch.cost());
+      chunk.hedge = HedgeOutcome::kPrimaryWon;
+    }
+    return Emit(std::move(chunk));
+  }
+
+  const std::string& text() const override {
+    return swapped_ ? text_ : active_->text();
+  }
+  size_t tokens_generated() const override { return emitted_tokens_; }
+  bool finished() const override { return finished_; }
+  StopReason stop_reason() const override { return stop_reason_; }
+
+ private:
+  struct Launch {
+    bool ok = false;
+    Status error = Status::OK();
+    std::unique_ptr<GenerationStream> stream;
+    size_t replica = 0;
+    double tps = 0.0;
+    size_t catchup_tokens = 0;   // regenerated tokens, discarded on adoption
+    double catchup_cost = 0.0;   // simulated seconds of the catch-up phase
+    Chunk chunk;                 // the backup's race chunk
+    double chunk_cost = 0.0;
+    double cost() const { return catchup_cost + chunk_cost; }
+  };
+
+  // Starts `replica` on the stream's prompt and regenerates the tokens this
+  // generation already emitted (their text is discarded — replicas may word
+  // their answers differently, and the emitted prefix has already been
+  // served). Fails if the backup errors, stalls, or finishes before it can
+  // produce a single new token.
+  Launch LaunchBackup(size_t replica, size_t max_tokens) {
+    Launch launch;
+    launch.replica = replica;
+    const auto& model = owner_->replica(replica);
+    launch.tps = model->tokens_per_second();
+    auto stream_or = model->StartGeneration(request_);
+    if (!stream_or.ok()) {
+      launch.error = stream_or.status();
+      return launch;
+    }
+    launch.stream = std::move(stream_or).value();
+    const size_t step =
+        std::max<size_t>(1, owner_->config().catchup_chunk_tokens);
+    size_t stalls = 0;
+    while (launch.stream->tokens_generated() < emitted_tokens_ &&
+           !launch.stream->finished()) {
+      const size_t need = emitted_tokens_ - launch.stream->tokens_generated();
+      auto caught = launch.stream->NextChunk(std::min(step, need));
+      if (!caught.ok()) {
+        launch.error = caught.status();
+        launch.stream.reset();
+        return launch;
+      }
+      const double cost = ChunkCost(*caught, launch.tps);
+      owner_->RecordLatency(replica, cost);
+      launch.catchup_cost += cost;
+      launch.catchup_tokens += caught->num_tokens;
+      if (caught->num_tokens == 0 && !caught->done) {
+        if (++stalls >= kMaxCatchupStalls) {
+          launch.error = Status::DeadlineExceeded(
+              "hedge backup '" + model->name() + "' stalled during catch-up");
+          launch.stream.reset();
+          return launch;
+        }
+      } else {
+        stalls = 0;
+      }
+    }
+    if (launch.stream->finished()) {
+      // The backup's whole answer fits inside the already-emitted prefix:
+      // it has nothing new to race with.
+      launch.error = Status::ResourceExhausted(
+          "hedge backup '" + model->name() +
+          "' finished before producing a new chunk");
+      launch.stream.reset();
+      return launch;
+    }
+    auto race = launch.stream->NextChunk(max_tokens);
+    if (!race.ok()) {
+      launch.error = race.status();
+      launch.stream.reset();
+      return launch;
+    }
+    launch.chunk_cost = ChunkCost(*race, launch.tps);
+    owner_->RecordLatency(replica, launch.chunk_cost);
+    launch.chunk = std::move(race).value();
+    if (launch.chunk.num_tokens == 0 && launch.chunk.done) {
+      launch.error = Status::ResourceExhausted(
+          "hedge backup '" + model->name() +
+          "' finished before producing a new chunk");
+      launch.stream.reset();
+      return launch;
+    }
+    launch.ok = true;
+    return launch;
+  }
+
+  // Swaps the adopted backup in as the serving stream and returns its race
+  // chunk, re-priced so the runtime charges the race winner's delivery time
+  // (`launch_delay` + the backup's catch-up and chunk costs) against the
+  // hedged model's nominal speed.
+  Chunk Adopt(Launch launch, double launch_delay, const Chunk* discarded) {
+    if (!swapped_) {
+      text_ = active_->text();
+      if (discarded != nullptr && !discarded->text.empty() &&
+          EndsWith(text_, discarded->text)) {
+        // The serving stream had already folded its cancelled in-flight
+        // chunk into its accumulated text; emitted text excludes it.
+        text_.resize(text_.size() - discarded->text.size());
+        while (!text_.empty() && text_.back() == ' ') text_.pop_back();
+      }
+      swapped_ = true;
+    }
+    active_ = std::move(launch.stream);
+    active_replica_ = launch.replica;
+    Chunk chunk = std::move(launch.chunk);
+    const double total = launch_delay + launch.catchup_cost + launch.chunk_cost;
+    const double outer_tps = owner_->tokens_per_second();
+    const double token_cost =
+        outer_tps > 0.0 ? static_cast<double>(chunk.num_tokens) / outer_tps
+                        : 0.0;
+    chunk.extra_seconds = std::max(0.0, total - token_cost);
+    return chunk;
+  }
+
+  // Serving-stream death: walk the remaining backups; the first that starts,
+  // catches up, and produces a chunk takes over. Only when every replica is
+  // exhausted does the original stream error surface (for the orchestrator
+  // to quarantine).
+  StatusOr<Chunk> FailOver(const Status& original, size_t max_tokens) {
+    if (!owner_->config().failover_on_error) return original;
+    Status last = original;
+    while (next_backup_ < owner_->replica_count()) {
+      Launch launch = LaunchBackup(next_backup_++, max_tokens);
+      if (!launch.ok) {
+        owner_->CountHedge(0, 0, 0, 0, launch.catchup_tokens,
+                           launch.catchup_cost);
+        last = launch.error;
+        continue;
+      }
+      owner_->CountHedge(0, 0, 0, 1, launch.catchup_tokens,
+                         launch.catchup_cost);
+      Chunk adopted = Adopt(std::move(launch), 0.0, /*discarded=*/nullptr);
+      adopted.hedge = HedgeOutcome::kFailover;
+      return Emit(std::move(adopted));
+    }
+    return last;
+  }
+
+  StatusOr<Chunk> Emit(Chunk chunk) {
+    emitted_tokens_ += chunk.num_tokens;
+    if (swapped_) AppendJoined(&text_, chunk.text);
+    if (chunk.done) {
+      finished_ = true;
+      stop_reason_ = chunk.stop_reason;
+    }
+    return chunk;
+  }
+
+  const HedgedModel* owner_;
+  GenerationRequest request_;
+  std::unique_ptr<GenerationStream> active_;
+  size_t active_replica_;
+  size_t next_backup_;
+  bool swapped_ = false;        // once true, text_ is authoritative
+  std::string text_;
+  size_t emitted_tokens_ = 0;
+  bool finished_ = false;
+  StopReason stop_reason_ = StopReason::kLength;
+};
+
+}  // namespace
+
+HedgedModel::HedgedModel(std::shared_ptr<LanguageModel> primary,
+                         std::vector<std::shared_ptr<LanguageModel>> backups,
+                         const HedgeConfig& config)
+    : primary_(std::move(primary)),
+      backups_(std::move(backups)),
+      config_(config) {
+  const size_t window = std::max<size_t>(1, config_.latency_window);
+  windows_.reserve(replica_count());
+  for (size_t i = 0; i < replica_count(); ++i) {
+    windows_.emplace_back(window);
+  }
+}
+
+StatusOr<std::unique_ptr<GenerationStream>> HedgedModel::StartGeneration(
+    const GenerationRequest& request) const {
+  auto stream_or = primary_->StartGeneration(request);
+  if (stream_or.ok()) {
+    return std::unique_ptr<GenerationStream>(std::make_unique<HedgedStream>(
+        this, std::move(stream_or).value(), 0, request));
+  }
+  if (!config_.failover_on_error) return stream_or.status();
+  // Start-time failover: a refused primary (e.g. its circuit is open) hands
+  // the whole generation to the first backup that accepts it.
+  Status last = stream_or.status();
+  for (size_t i = 1; i < replica_count(); ++i) {
+    auto backup_or = replica(i)->StartGeneration(request);
+    if (backup_or.ok()) {
+      CountHedge(0, 0, 0, 1, 0, 0.0);
+      return std::unique_ptr<GenerationStream>(std::make_unique<HedgedStream>(
+          this, std::move(backup_or).value(), i, request));
+    }
+    last = backup_or.status();
+  }
+  return last;
+}
+
+HedgedModel::Stats HedgedModel::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<HedgedModel::ReplicaLatency> HedgedModel::LatencySnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ReplicaLatency> out;
+  out.reserve(replica_count());
+  for (size_t i = 0; i < replica_count(); ++i) {
+    ReplicaLatency entry;
+    entry.model = replica(i)->name();
+    entry.samples = windows_[i].count();
+    if (!windows_[i].empty()) {
+      entry.p50 = windows_[i].Quantile(0.50);
+      entry.p95 = windows_[i].Quantile(0.95);
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+void HedgedModel::RecordLatency(size_t replica, double seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_[replica].Add(seconds);
+}
+
+double HedgedModel::ThresholdFor(size_t replica) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const QuantileWindow& window = windows_[replica];
+  if (window.size() < std::max<size_t>(1, config_.min_samples)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::max(window.Quantile(config_.percentile),
+                  config_.min_threshold_seconds);
+}
+
+void HedgedModel::CountHedge(size_t launched, size_t won, size_t lost,
+                             size_t failovers, size_t wasted_tokens,
+                             double wasted_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.hedges_launched += launched;
+  stats_.hedges_won += won;
+  stats_.hedges_lost += lost;
+  stats_.failovers += failovers;
+  stats_.wasted_tokens += wasted_tokens;
+  stats_.wasted_seconds += wasted_seconds;
+}
+
+}  // namespace llmms::llm

@@ -1,0 +1,150 @@
+#ifndef LLMMS_LLM_HEDGED_MODEL_H_
+#define LLMMS_LLM_HEDGED_MODEL_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "llmms/common/quantile_window.h"
+#include "llmms/llm/model.h"
+
+namespace llmms::llm {
+
+// Knobs of the hedging layer. All latencies are *simulated* seconds — the
+// per-chunk cost the runtime charges (Chunk::extra_seconds plus tokens at
+// the replica's nominal speed) — so hedge races are deterministic and free
+// of wall-clock flakiness, consistent with the resilience layer.
+struct HedgeConfig {
+  // A chunk whose simulated wait exceeds this quantile of the serving
+  // replica's own recent chunk history launches the backup.
+  double percentile = 0.95;
+
+  // Ring-buffer size of the per-replica latency history.
+  size_t latency_window = 128;
+
+  // No hedge fires until the serving replica has this many recorded chunk
+  // latencies — an empty history has no meaningful percentile.
+  size_t min_samples = 8;
+
+  // Floor under the percentile threshold, so ultra-fast models do not hedge
+  // on microscopic jitter. 0 disables.
+  double min_threshold_seconds = 0.0;
+
+  // Chunk size used while a freshly launched backup regenerates the tokens
+  // the loser had already delivered (the catch-up phase of a mid-stream
+  // hedge).
+  size_t catchup_chunk_tokens = 64;
+
+  // When the serving stream dies (start refused or a mid-stream error), try
+  // the remaining backups instead of surfacing the error.
+  bool failover_on_error = true;
+};
+
+// Hedging decorator: wraps a primary LanguageModel plus one or more backup
+// replicas and races them against tail latency. Each replica's per-chunk
+// simulated latency feeds a QuantileWindow; once an in-flight chunk's wait
+// crosses the configured percentile of the *serving* replica's own history,
+// the next unused backup is launched on the same prompt, caught up to the
+// tokens already emitted, and raced: whichever stream delivers the next
+// chunk first (in simulated time) is adopted, the loser is cancelled.
+//
+// Accounting rules (DESIGN.md §10):
+//   - No hedge fired: chunks pass through byte-identical, zero overhead.
+//   - Backup adopted: the delivered chunk's simulated cost is the race
+//     winner's delivery time (threshold + backup catch-up + its chunk),
+//     encoded into Chunk::extra_seconds against the hedged model's nominal
+//     speed. The loser's cancelled work (tokens it generated that were never
+//     emitted, and the simulated seconds it ran before cancellation) is
+//     never charged to the generation — it is tracked in Stats as the
+//     documented hedge overhead.
+//   - Chunks that took part in a race carry Chunk::hedge, which the runtime
+//     counts per model and orchestrators surface as EventType::kHedge.
+//
+// Decorator nesting order (see also resilient_model.h): HedgedModel must be
+// the OUTERMOST decorator —
+//
+//   HedgedModel(ResilientModel(FaultyModel(model)),
+//               {ResilientModel(backup), ...})
+//
+// so that each replica keeps its own retry budget, breaker, and health
+// counters, and a hedge adoption can never be retried or breaker-counted by
+// a resilience layer that does not know two streams were in flight.
+//
+// Thread-safe at the model level; streams are single-consumer like every
+// GenerationStream. Streams must not outlive the model.
+class HedgedModel final : public LanguageModel {
+ public:
+  HedgedModel(std::shared_ptr<LanguageModel> primary,
+              std::vector<std::shared_ptr<LanguageModel>> backups,
+              const HedgeConfig& config = HedgeConfig());
+
+  const std::string& name() const override { return primary_->name(); }
+  uint64_t memory_mb() const override { return primary_->memory_mb(); }
+  double tokens_per_second() const override {
+    return primary_->tokens_per_second();
+  }
+  size_t context_window() const override { return primary_->context_window(); }
+
+  // Starts on the primary; if it refuses and failover is enabled, walks the
+  // backups in order (a start-time failover, counted in Stats::failovers).
+  StatusOr<std::unique_ptr<GenerationStream>> StartGeneration(
+      const GenerationRequest& request) const override;
+
+  const HedgeConfig& config() const { return config_; }
+  const std::shared_ptr<LanguageModel>& primary() const { return primary_; }
+  const std::vector<std::shared_ptr<LanguageModel>>& backups() const {
+    return backups_;
+  }
+
+  // Hedge activity across all streams, surfaced per model by /api/health.
+  struct Stats {
+    size_t hedges_launched = 0;  // races started
+    size_t hedges_won = 0;       // backup delivered first, adopted
+    size_t hedges_lost = 0;      // serving stream delivered first
+    size_t failovers = 0;        // error-path adoptions (start or mid-stream)
+    // The documented hedge overhead: work the cancelled loser performed.
+    size_t wasted_tokens = 0;
+    double wasted_seconds = 0.0;
+  };
+  Stats stats() const;
+
+  // Latency-percentile snapshot per replica (index 0 = primary), for
+  // /api/health.
+  struct ReplicaLatency {
+    std::string model;
+    size_t samples = 0;  // lifetime observations
+    double p50 = 0.0;
+    double p95 = 0.0;
+  };
+  std::vector<ReplicaLatency> LatencySnapshot() const;
+
+  // Internal, used by the stream: records one chunk latency of a replica.
+  void RecordLatency(size_t replica, double seconds) const;
+  // Internal: the current hedge threshold of a replica, or +infinity while
+  // its history is shorter than min_samples.
+  double ThresholdFor(size_t replica) const;
+  // Internal: stream outcomes fold into the shared stats.
+  void CountHedge(size_t launched, size_t won, size_t lost, size_t failovers,
+                  size_t wasted_tokens, double wasted_seconds) const;
+
+  // Replica `index`: 0 = primary, 1.. = backups.
+  const std::shared_ptr<LanguageModel>& replica(size_t index) const {
+    return index == 0 ? primary_ : backups_[index - 1];
+  }
+  size_t replica_count() const { return backups_.size() + 1; }
+
+ private:
+  std::shared_ptr<LanguageModel> primary_;
+  std::vector<std::shared_ptr<LanguageModel>> backups_;
+  HedgeConfig config_;
+
+  mutable std::mutex mu_;
+  mutable std::vector<QuantileWindow> windows_;  // one per replica
+  mutable Stats stats_;
+};
+
+}  // namespace llmms::llm
+
+#endif  // LLMMS_LLM_HEDGED_MODEL_H_

@@ -16,6 +16,20 @@ const char* StopReasonToString(StopReason reason) {
   return "unknown";
 }
 
+const char* HedgeOutcomeToString(HedgeOutcome outcome) {
+  switch (outcome) {
+    case HedgeOutcome::kNone:
+      return "none";
+    case HedgeOutcome::kPrimaryWon:
+      return "primary-won";
+    case HedgeOutcome::kBackupWon:
+      return "backup-won";
+    case HedgeOutcome::kFailover:
+      return "failover";
+  }
+  return "unknown";
+}
+
 StatusOr<GenerationResult> LanguageModel::Generate(
     const GenerationRequest& request) const {
   LLMMS_ASSIGN_OR_RETURN(auto stream, StartGeneration(request));

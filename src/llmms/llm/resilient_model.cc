@@ -2,50 +2,120 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <utility>
 
 namespace llmms::llm {
 
-bool CircuitBreaker::AllowRequest() {
-  std::lock_guard<std::mutex> lock(mu_);
-  switch (state_) {
-    case State::kClosed:
-      return true;
-    case State::kOpen:
-      ++fast_rejections_;
-      if (++rejections_since_open_ >= open_calls_) {
-        state_ = State::kHalfOpen;
-        probe_in_flight_ = false;
-      }
-      return false;
-    case State::kHalfOpen:
-      if (probe_in_flight_) {
-        ++fast_rejections_;
-        return false;
-      }
-      probe_in_flight_ = true;
-      return true;
+void CircuitBreaker::TransitionLocked(State to) {
+  if (state_ == to) return;
+  if (history_capacity_ > 0) {
+    if (history_.size() >= history_capacity_) {
+      history_.erase(history_.begin());
+    }
+    history_.push_back(Transition{state_, to, call_clock_});
   }
-  return true;
+  state_ = to;
+}
+
+bool CircuitBreaker::AllowRequest() {
+  bool allowed = true;
+  Snapshot changed;
+  bool notify = false;
+  TransitionListener listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++call_clock_;
+    switch (state_) {
+      case State::kClosed:
+        allowed = true;
+        break;
+      case State::kOpen:
+        ++fast_rejections_;
+        if (++rejections_since_open_ >= open_calls_) {
+          TransitionLocked(State::kHalfOpen);
+          probe_in_flight_ = false;
+          probe_successes_ = 0;
+          notify = true;
+        }
+        allowed = false;
+        break;
+      case State::kHalfOpen:
+        if (probe_in_flight_) {
+          ++fast_rejections_;
+          allowed = false;
+        } else {
+          probe_in_flight_ = true;
+          allowed = true;
+        }
+        break;
+    }
+    if (notify && listener_) {
+      changed = SnapshotLocked();
+      listener = listener_;
+    }
+  }
+  if (listener) listener(changed);
+  return allowed;
 }
 
 void CircuitBreaker::RecordSuccess() {
-  std::lock_guard<std::mutex> lock(mu_);
-  consecutive_failures_ = 0;
-  probe_in_flight_ = false;
-  state_ = State::kClosed;
+  Snapshot changed;
+  bool notify = false;
+  TransitionListener listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++call_clock_;
+    consecutive_failures_ = 0;
+    switch (state_) {
+      case State::kClosed:
+        break;
+      case State::kOpen:
+        // A stream admitted before the circuit tripped is still delivering.
+        // That is good news but not probe evidence — the circuit stays open
+        // until a half-open probe spends the probe budget.
+        break;
+      case State::kHalfOpen:
+        if (++probe_successes_ >= probe_budget_) {
+          TransitionLocked(State::kClosed);
+          probe_in_flight_ = false;
+          probe_successes_ = 0;
+          notify = true;
+        }
+        break;
+    }
+    if (notify && listener_) {
+      changed = SnapshotLocked();
+      listener = listener_;
+    }
+  }
+  if (listener) listener(changed);
 }
 
 void CircuitBreaker::RecordFailure() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++total_failures_;
-  ++consecutive_failures_;
-  probe_in_flight_ = false;
-  if (state_ == State::kHalfOpen ||
-      consecutive_failures_ >= failure_threshold_) {
-    state_ = State::kOpen;
-    rejections_since_open_ = 0;
+  Snapshot changed;
+  bool notify = false;
+  TransitionListener listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++call_clock_;
+    ++total_failures_;
+    ++consecutive_failures_;
+    probe_in_flight_ = false;
+    probe_successes_ = 0;
+    if (state_ == State::kHalfOpen ||
+        (state_ == State::kClosed &&
+         consecutive_failures_ >= failure_threshold_)) {
+      TransitionLocked(State::kOpen);
+      rejections_since_open_ = 0;
+      notify = true;
+    }
+    if (notify && listener_) {
+      changed = SnapshotLocked();
+      listener = listener_;
+    }
   }
+  if (listener) listener(changed);
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
@@ -66,6 +136,57 @@ size_t CircuitBreaker::total_failures() const {
 size_t CircuitBreaker::fast_rejections() const {
   std::lock_guard<std::mutex> lock(mu_);
   return fast_rejections_;
+}
+
+uint64_t CircuitBreaker::call_clock() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return call_clock_;
+}
+
+std::vector<CircuitBreaker::Transition> CircuitBreaker::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+CircuitBreaker::Snapshot CircuitBreaker::SnapshotLocked() const {
+  Snapshot out;
+  out.state = state_;
+  out.consecutive_failures = consecutive_failures_;
+  out.total_failures = total_failures_;
+  out.fast_rejections = fast_rejections_;
+  out.rejections_since_open = rejections_since_open_;
+  out.probe_successes = probe_successes_;
+  out.call_clock = call_clock_;
+  out.history = history_;
+  return out;
+}
+
+CircuitBreaker::Snapshot CircuitBreaker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotLocked();
+}
+
+void CircuitBreaker::Restore(const Snapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = snapshot.state;
+  consecutive_failures_ = snapshot.consecutive_failures;
+  total_failures_ = snapshot.total_failures;
+  fast_rejections_ = snapshot.fast_rejections;
+  rejections_since_open_ = snapshot.rejections_since_open;
+  probe_successes_ = snapshot.probe_successes;
+  call_clock_ = snapshot.call_clock;
+  history_ = snapshot.history;
+  if (history_capacity_ > 0 && history_.size() > history_capacity_) {
+    history_.erase(history_.begin(),
+                   history_.end() - static_cast<std::ptrdiff_t>(
+                                        history_capacity_));
+  }
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::SetTransitionListener(TransitionListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listener_ = std::move(listener);
 }
 
 const char* CircuitStateToString(CircuitBreaker::State state) {
@@ -184,7 +305,8 @@ ResilientModel::ResilientModel(std::shared_ptr<LanguageModel> inner,
                                const ResilienceConfig& config)
     : inner_(std::move(inner)),
       config_(config),
-      breaker_(config.breaker_failure_threshold, config.breaker_open_calls),
+      breaker_(config.breaker_failure_threshold, config.breaker_open_calls,
+               config.breaker_probe_successes, config.breaker_history),
       rng_(config.seed) {}
 
 StatusOr<std::unique_ptr<GenerationStream>> ResilientModel::StartGeneration(

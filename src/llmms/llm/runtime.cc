@@ -27,6 +27,7 @@ StatusOr<Chunk> ParallelGeneration::NextChunkLocked(Entry* entry,
   }
   Chunk chunk = std::move(chunk_or).value();
   entry->stats.tokens += chunk.num_tokens;
+  if (chunk.hedge != HedgeOutcome::kNone) ++entry->stats.hedges;
   entry->stats.simulated_seconds += chunk.extra_seconds;
   if (entry->effective_tps > 0.0) {
     entry->stats.simulated_seconds +=

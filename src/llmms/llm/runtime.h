@@ -31,6 +31,9 @@ class ParallelGeneration {
   struct ModelStats {
     size_t tokens = 0;
     double simulated_seconds = 0.0;
+    // Chunks that took part in a hedge race or failover (Chunk::hedge set by
+    // a HedgedModel decorating this model).
+    size_t hedges = 0;
     bool finished = false;
     StopReason stop_reason = StopReason::kLength;
     // Set when the model's stream errored (at start or mid-generation). A

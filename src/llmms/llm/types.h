@@ -15,6 +15,18 @@ enum class StopReason {
 
 const char* StopReasonToString(StopReason reason);
 
+// How a chunk relates to a hedge race (see llm::HedgedModel). Orchestrators
+// stay oblivious to replica swaps except for this flag, which the runtime
+// counts and the orchestrators surface as an EventType::kHedge trace event.
+enum class HedgeOutcome : uint8_t {
+  kNone,        // no hedge fired while producing this chunk
+  kPrimaryWon,  // a hedge fired but the in-flight stream delivered first
+  kBackupWon,   // the backup replica delivered first and was adopted
+  kFailover,    // the serving stream died and a backup replica took over
+};
+
+const char* HedgeOutcomeToString(HedgeOutcome outcome);
+
 // One request to a model.
 struct GenerationRequest {
   std::string prompt;
@@ -33,9 +45,13 @@ struct Chunk {
   bool done = false;       // true when the stream is finished
   StopReason stop_reason = StopReason::kLength;  // meaningful when done
   // Additional simulated latency attached by decorators (fault injection
-  // spikes, resilience-layer retry backoff). The runtime folds this into
-  // per-model and wall-clock simulated time on top of the tokens/tps cost.
+  // spikes, resilience-layer retry backoff, hedge-race accounting). The
+  // runtime folds this into per-model and wall-clock simulated time on top
+  // of the tokens/tps cost.
   double extra_seconds = 0.0;
+  // Set by llm::HedgedModel when a hedge race fired while this chunk was in
+  // flight; kNone everywhere else.
+  HedgeOutcome hedge = HedgeOutcome::kNone;
 };
 
 // A completed generation.

@@ -502,6 +502,172 @@ TEST_F(FederationTest, AbruptPeerCloseIsATypedErrorNotAHang) {
   EXPECT_NE(received.find("half an"), std::string::npos);
 }
 
+// ----------------------------------------- hedged federation (DESIGN.md §10)
+
+// A second full node, for two-peer hedging tests. Same dataset seed as the
+// fixture's node B, so models with the same profile word their answers
+// identically on both nodes.
+struct TestNode {
+  testutil::World world;
+  std::shared_ptr<vectordb::VectorDatabase> db;
+  std::shared_ptr<session::SessionStore> sessions;
+  std::unique_ptr<core::SearchEngine> engine;
+  std::unique_ptr<ApiService> service;
+  std::unique_ptr<HttpServer> server;
+
+  ~TestNode() {
+    if (server != nullptr) server->Stop();
+  }
+};
+
+std::unique_ptr<TestNode> StartNode() {
+  auto node = std::make_unique<TestNode>();
+  node->world = testutil::MakeWorld(4);
+  node->db = std::make_shared<vectordb::VectorDatabase>();
+  node->sessions = std::make_shared<session::SessionStore>();
+  node->engine = std::make_unique<core::SearchEngine>(
+      node->world.runtime.get(), node->world.embedder, node->db,
+      node->sessions);
+  node->service = std::make_unique<ApiService>(node->engine.get());
+  node->server = std::make_unique<HttpServer>(node->service.get());
+  if (!node->server->Start(0).ok()) return nullptr;
+  return node;
+}
+
+TEST_F(FederationTest, HedgeRaceAdoptsFederatedReplica) {
+  // A latency-spiky local model is hedged by a clean replica served by
+  // node B across the wire — the "rent a healthy replica from a peer"
+  // topology. A spike on the local stream fires the hedge; the federated
+  // replica catches up over HTTP, is adopted, and the answer still matches
+  // the model's canonical wording byte for byte (same profile, same
+  // knowledge, identical token accounting on the wire path).
+  auto profile = llm::DefaultProfiles()[0];
+  profile.name = "spiky:7b";
+  auto clean = std::make_shared<llm::SyntheticModel>(
+      profile, remote_world_.knowledge);
+  ASSERT_TRUE(remote_world_.registry->Register(clean).ok());
+  ASSERT_TRUE(remote_world_.runtime->LoadModel("spiky:7b").ok());
+
+  llm::FaultConfig faults;
+  faults.seed = 0xCAFE;
+  faults.latency_spike_prob = 0.3;
+  faults.latency_spike_seconds = 5.0;
+  auto local_world = testutil::MakeWorld(4);
+  auto spiky = std::make_shared<llm::FaultyModel>(
+      std::make_shared<llm::SyntheticModel>(profile, local_world.knowledge),
+      faults);
+  auto backup = RemoteModel::Connect("127.0.0.1", remote_server_->port(),
+                                     "spiky:7b");
+  ASSERT_TRUE(backup.ok());
+
+  llm::HedgeConfig hedge;
+  hedge.percentile = 0.5;
+  hedge.min_samples = 4;
+  auto hedged = std::make_shared<llm::HedgedModel>(
+      spiky, std::vector<std::shared_ptr<llm::LanguageModel>>{*backup},
+      hedge);
+
+  llm::GenerationRequest request;
+  request.prompt = remote_world_.dataset[0].question;
+  auto stream = hedged->StartGeneration(request);
+  ASSERT_TRUE(stream.ok());
+  size_t tokens = 0;
+  bool adopted = false;
+  for (size_t i = 0; i < 300 && !(*stream)->finished(); ++i) {
+    auto chunk = (*stream)->NextChunk(8);
+    ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+    tokens += chunk->num_tokens;
+    adopted = adopted || chunk->hedge == llm::HedgeOutcome::kBackupWon;
+  }
+  ASSERT_TRUE((*stream)->finished());
+
+  const auto stats = hedged->stats();
+  EXPECT_GE(stats.hedges_launched, 1u);
+  EXPECT_GE(stats.hedges_won, 1u) << "spiky local model was never out-raced";
+  EXPECT_TRUE(adopted);
+  EXPECT_GT(stats.wasted_tokens, 0u);  // the documented hedge overhead
+
+  // The adopted peer words the answer identically, so the race leaves no
+  // seam in the emitted text.
+  auto direct = remote_world_.runtime->Generate("spiky:7b", request);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ((*stream)->text(), direct->text);
+  EXPECT_EQ(tokens, direct->num_tokens);
+
+  // The latency snapshot identifies the peer replica by its derived
+  // "<model>@host:port" name.
+  const auto latency = hedged->LatencySnapshot();
+  ASSERT_EQ(latency.size(), 2u);
+  EXPECT_EQ(latency[0].model, "spiky:7b");
+  EXPECT_NE(latency[1].model.find("spiky:7b@127.0.0.1"), std::string::npos);
+  EXPECT_GT(latency[1].samples, 0u);  // the backup actually raced
+}
+
+TEST_F(FederationTest, ConnectHedgedFailsOverMidStreamToOneShotPeer) {
+  // The primary peer dies mid-stream; the backup peer is a pre-streaming
+  // node (one-shot /api/generate only). The hedged adapter fails over
+  // across the protocol difference and still delivers the full answer —
+  // token accounting is identical on both wire paths, so adoption is
+  // seamless.
+  auto profile = llm::DefaultProfiles()[1];
+  profile.name = "fragile:7b";
+  llm::FaultConfig faults;
+  faults.fail_after_tokens = 10;
+  auto dying = std::make_shared<llm::FaultyModel>(
+      std::make_shared<llm::SyntheticModel>(profile, remote_world_.knowledge),
+      faults);
+  ASSERT_TRUE(remote_world_.registry->Register(dying).ok());
+  ASSERT_TRUE(remote_world_.runtime->LoadModel("fragile:7b").ok());
+
+  auto peer_c = StartNode();
+  ASSERT_NE(peer_c, nullptr);
+  peer_c->service->set_streaming_generate(false);  // a pre-streaming peer
+  auto clean = std::make_shared<llm::SyntheticModel>(
+      profile, peer_c->world.knowledge);
+  ASSERT_TRUE(peer_c->world.registry->Register(clean).ok());
+  ASSERT_TRUE(peer_c->world.runtime->LoadModel("fragile:7b").ok());
+
+  llm::HedgeConfig hedge;
+  hedge.min_samples = 1000;  // latency hedging off: pure failover
+  auto hedged = RemoteModel::ConnectHedged(
+      {"127.0.0.1", remote_server_->port()},
+      {{"127.0.0.1", peer_c->server->port()}}, "fragile:7b", "fed-fragile",
+      hedge);
+  ASSERT_TRUE(hedged.ok()) << hedged.status().ToString();
+  EXPECT_TRUE((*hedged)->backups().size() == 1u);
+
+  llm::GenerationRequest request;
+  request.prompt = remote_world_.dataset[2].question;
+  auto stream = (*hedged)->StartGeneration(request);
+  ASSERT_TRUE(stream.ok());
+  bool saw_failover = false;
+  for (size_t i = 0; i < 300 && !(*stream)->finished(); ++i) {
+    auto chunk = (*stream)->NextChunk(4);
+    ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+    saw_failover =
+        saw_failover || chunk->hedge == llm::HedgeOutcome::kFailover;
+  }
+  ASSERT_TRUE((*stream)->finished());
+  EXPECT_TRUE(saw_failover);
+  EXPECT_EQ((*hedged)->stats().failovers, 1u);
+  EXPECT_EQ((*hedged)->stats().hedges_launched, 0u);
+
+  // The full answer, not just the prefix the primary survived for.
+  auto direct = peer_c->world.runtime->Generate("fragile:7b", request);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ((*stream)->text(), direct->text);
+}
+
+TEST_F(FederationTest, ConnectHedgedRequiresABackupAndReachablePeers) {
+  auto no_backups = RemoteModel::ConnectHedged(
+      {"127.0.0.1", remote_server_->port()}, {}, "mistral:7b");
+  EXPECT_FALSE(no_backups.ok());
+  auto dead_backup = RemoteModel::ConnectHedged(
+      {"127.0.0.1", remote_server_->port()}, {{"127.0.0.1", 1}},
+      "mistral:7b");
+  EXPECT_FALSE(dead_backup.ok());
+}
+
 TEST_F(FederationTest, RemoteModelJoinsLocalOrchestration) {
   // --- Node A: a local node with two local models + the federated one. ---
   auto local_world = testutil::MakeWorld(4);

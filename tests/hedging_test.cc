@@ -1,0 +1,1024 @@
+// Tests for the hedging layer: QuantileWindow, HedgedModel race/failover
+// semantics and accounting, the probe-budget circuit breaker with transition
+// history, and durable breaker state (BreakerStore + /api/health).
+//
+// Hedge races run in *simulated* time (chunk cost = extra_seconds +
+// tokens/tps), so every race in this file is deterministic: same seeds, same
+// outcome, no wall-clock flakiness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llmms/app/service.h"
+#include "llmms/common/quantile_window.h"
+#include "llmms/core/single.h"
+#include "llmms/llm/breaker_store.h"
+#include "llmms/llm/fault_injection.h"
+#include "llmms/llm/hedged_model.h"
+#include "llmms/llm/resilient_model.h"
+#include "testutil.h"
+
+namespace llmms {
+namespace {
+
+// ---------------------------------------------------------------------------
+// QuantileWindow
+
+TEST(QuantileWindowTest, NearestRankQuantiles) {
+  QuantileWindow window(32);
+  for (int i = 1; i <= 10; ++i) window.Add(static_cast<double>(i));
+  EXPECT_EQ(window.size(), 10u);
+  EXPECT_EQ(window.count(), 10u);
+  EXPECT_DOUBLE_EQ(window.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(window.Quantile(0.5), 5.0);   // ceil(0.5*10) = 5th smallest
+  EXPECT_DOUBLE_EQ(window.Quantile(0.95), 10.0); // ceil(9.5) = 10th smallest
+  EXPECT_DOUBLE_EQ(window.Quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(window.Quantile(-3.0), 1.0);  // q clamped into [0, 1]
+  EXPECT_DOUBLE_EQ(window.Quantile(7.0), 10.0);
+}
+
+TEST(QuantileWindowTest, EmptyWindowReportsZero) {
+  QuantileWindow window(8);
+  EXPECT_TRUE(window.empty());
+  EXPECT_DOUBLE_EQ(window.Quantile(0.5), 0.0);
+}
+
+TEST(QuantileWindowTest, EvictsOldestWhenFull) {
+  QuantileWindow window(3);
+  window.Add(1.0);
+  window.Add(2.0);
+  window.Add(3.0);
+  window.Add(4.0);  // evicts 1.0
+  EXPECT_EQ(window.size(), 3u);
+  EXPECT_EQ(window.count(), 4u);  // lifetime observations keep counting
+  EXPECT_DOUBLE_EQ(window.last(), 4.0);
+  EXPECT_DOUBLE_EQ(window.Quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(window.Quantile(1.0), 4.0);
+}
+
+TEST(QuantileWindowTest, ClearResets) {
+  QuantileWindow window(4);
+  window.Add(7.0);
+  window.Clear();
+  EXPECT_TRUE(window.empty());
+  EXPECT_EQ(window.count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// A deterministic scripted model for exact-threshold arithmetic. Emits
+// "w0 w1 w2 ..." honouring the ask; tokens_per_second is 0, so each chunk's
+// simulated cost is EXACTLY the scheduled extra_seconds of that call.
+
+struct WordModelOptions {
+  size_t total_words = 40;
+  // extra_seconds by per-stream NextChunk call index; calls beyond the
+  // schedule cost 0.
+  std::vector<double> chunk_costs;
+  // NextChunk fails (Internal) once this many tokens were emitted. 0 = never.
+  size_t fail_at_token = 0;
+  bool refuse_start = false;
+};
+
+class WordModel final : public llm::LanguageModel {
+ public:
+  WordModel(std::string name, WordModelOptions options)
+      : name_(std::move(name)), options_(std::move(options)) {}
+
+  const std::string& name() const override { return name_; }
+  uint64_t memory_mb() const override { return 1; }
+  double tokens_per_second() const override { return 0.0; }
+  size_t context_window() const override { return 4096; }
+
+  StatusOr<std::unique_ptr<llm::GenerationStream>> StartGeneration(
+      const llm::GenerationRequest& request) const override {
+    (void)request;
+    if (options_.refuse_start) {
+      return Status::ResourceExhausted("model '" + name_ + "' refuses work");
+    }
+    return std::unique_ptr<llm::GenerationStream>(
+        std::make_unique<Stream>(&options_, name_));
+  }
+
+ private:
+  class Stream final : public llm::GenerationStream {
+   public:
+    Stream(const WordModelOptions* options, std::string name)
+        : options_(options), name_(std::move(name)) {}
+
+    StatusOr<llm::Chunk> NextChunk(size_t max_tokens) override {
+      if (options_->fail_at_token > 0 && pos_ >= options_->fail_at_token) {
+        return Status::Internal("model '" + name_ + "' died mid-stream");
+      }
+      llm::Chunk chunk;
+      if (call_ < options_->chunk_costs.size()) {
+        chunk.extra_seconds = options_->chunk_costs[call_];
+      }
+      ++call_;
+      const size_t n = std::min(max_tokens, options_->total_words - pos_);
+      for (size_t i = 0; i < n; ++i) {
+        if (pos_ + i > 0) chunk.text += ' ';
+        chunk.text += "w" + std::to_string(pos_ + i);
+      }
+      chunk.num_tokens = n;
+      pos_ += n;
+      if (pos_ == options_->total_words) {
+        chunk.done = true;
+        chunk.stop_reason = llm::StopReason::kStop;
+        finished_ = true;
+      }
+      text_ += chunk.text;
+      return chunk;
+    }
+
+    const std::string& text() const override { return text_; }
+    size_t tokens_generated() const override { return pos_; }
+    bool finished() const override { return finished_; }
+    llm::StopReason stop_reason() const override {
+      return llm::StopReason::kStop;
+    }
+
+   private:
+    const WordModelOptions* options_;
+    std::string name_;
+    size_t pos_ = 0;
+    size_t call_ = 0;
+    bool finished_ = false;
+    std::string text_;
+  };
+
+  std::string name_;
+  WordModelOptions options_;
+};
+
+// Drains a stream with fixed asks; returns {text, tokens, total cost charged
+// against `tps`}.
+struct DrainResult {
+  std::string text;
+  size_t tokens = 0;
+  double seconds = 0.0;
+  std::vector<llm::Chunk> chunks;
+};
+
+DrainResult Drain(llm::GenerationStream* stream, size_t ask, double tps,
+                  size_t max_calls = 200) {
+  DrainResult out;
+  for (size_t i = 0; i < max_calls && !stream->finished(); ++i) {
+    auto chunk = stream->NextChunk(ask);
+    if (!chunk.ok()) {
+      ADD_FAILURE() << "stream failed: " << chunk.status().ToString();
+      break;
+    }
+    out.tokens += chunk->num_tokens;
+    out.seconds += chunk->extra_seconds;
+    if (tps > 0.0) {
+      out.seconds += static_cast<double>(chunk->num_tokens) / tps;
+    }
+    out.chunks.push_back(*chunk);
+    if (chunk->done) break;
+  }
+  out.text = stream->text();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// HedgedModel: pass-through and threshold semantics
+
+TEST(HedgedModelTest, HealthyPrimaryIsByteIdenticalWithZeroHedges) {
+  WordModelOptions options;
+  options.total_words = 40;
+  auto bare = std::make_shared<WordModel>("solo", options);
+  auto primary = std::make_shared<WordModel>("solo", options);
+  WordModelOptions other;
+  other.total_words = 25;  // a differently-sized backup must leave no trace
+  auto backup = std::make_shared<WordModel>("backup", other);
+
+  llm::HedgeConfig config;
+  config.min_samples = 4;
+  config.percentile = 0.5;
+  llm::HedgedModel hedged(primary, {backup}, config);
+
+  llm::GenerationRequest request;
+  request.prompt = "q";
+  auto bare_stream = bare->StartGeneration(request);
+  auto hedged_stream = hedged.StartGeneration(request);
+  ASSERT_TRUE(bare_stream.ok());
+  ASSERT_TRUE(hedged_stream.ok());
+
+  auto expected = Drain(bare_stream->get(), 7, 0.0);
+  auto actual = Drain(hedged_stream->get(), 7, 0.0);
+  EXPECT_EQ(actual.text, expected.text);  // byte-identical
+  EXPECT_EQ(actual.tokens, expected.tokens);
+  EXPECT_DOUBLE_EQ(actual.seconds, expected.seconds);
+  ASSERT_EQ(actual.chunks.size(), expected.chunks.size());
+  for (size_t i = 0; i < actual.chunks.size(); ++i) {
+    EXPECT_EQ(actual.chunks[i].text, expected.chunks[i].text);
+    EXPECT_EQ(actual.chunks[i].hedge, llm::HedgeOutcome::kNone);
+  }
+  const auto stats = hedged.stats();
+  EXPECT_EQ(stats.hedges_launched, 0u);
+  EXPECT_EQ(stats.hedges_won, 0u);
+  EXPECT_EQ(stats.failovers, 0u);
+  EXPECT_EQ(stats.wasted_tokens, 0u);
+}
+
+TEST(HedgedModelTest, ExactThresholdDoesNotFire) {
+  // History {1, 1, 1}; percentile 1.0 => threshold exactly 1.0. The fourth
+  // chunk costs exactly 1.0 — NOT strictly greater, so no race fires.
+  WordModelOptions options;
+  options.chunk_costs = {1.0, 1.0, 1.0, 1.0, 1.0};
+  auto primary = std::make_shared<WordModel>("p", options);
+  auto backup = std::make_shared<WordModel>("b", WordModelOptions{});
+
+  llm::HedgeConfig config;
+  config.percentile = 1.0;
+  config.min_samples = 3;
+  llm::HedgedModel hedged(primary, {backup}, config);
+  llm::GenerationRequest request;
+  request.prompt = "q";
+  auto stream = hedged.StartGeneration(request);
+  ASSERT_TRUE(stream.ok());
+  Drain(stream->get(), 5, 0.0);
+  EXPECT_EQ(hedged.stats().hedges_launched, 0u);
+}
+
+TEST(HedgedModelTest, NoHedgeBeforeMinSamples) {
+  // A huge spike on the very first chunk: history is empty, threshold is
+  // +infinity, no hedge may fire.
+  WordModelOptions options;
+  options.chunk_costs = {100.0, 100.0};
+  auto primary = std::make_shared<WordModel>("p", options);
+  auto backup = std::make_shared<WordModel>("b", WordModelOptions{});
+  llm::HedgeConfig config;
+  config.min_samples = 8;
+  llm::HedgedModel hedged(primary, {backup}, config);
+  llm::GenerationRequest request;
+  request.prompt = "q";
+  auto stream = hedged.StartGeneration(request);
+  ASSERT_TRUE(stream.ok());
+  Drain(stream->get(), 20, 0.0);
+  EXPECT_EQ(hedged.stats().hedges_launched, 0u);
+}
+
+TEST(HedgedModelTest, BackupWinsRaceWithExactAccounting) {
+  // Primary: three 1.0s chunks, then a 10.0s spike. Threshold after three
+  // samples at percentile 1.0 is 1.0; the spike (10 > 1) fires the race at
+  // t=1.0. The free backup catches up 15 tokens and answers instantly:
+  // delivery at t=1.0 beats the in-flight chunk at t=10.0.
+  WordModelOptions slow;
+  slow.total_words = 40;
+  slow.chunk_costs = {1.0, 1.0, 1.0, 10.0};
+  auto primary = std::make_shared<WordModel>("p", slow);
+  WordModelOptions fast;
+  fast.total_words = 40;  // same wording => byte-identical final text
+  auto backup = std::make_shared<WordModel>("b", fast);
+
+  llm::HedgeConfig config;
+  config.percentile = 1.0;
+  config.min_samples = 3;
+  llm::HedgedModel hedged(primary, {backup}, config);
+  llm::GenerationRequest request;
+  request.prompt = "q";
+  auto stream = hedged.StartGeneration(request);
+  ASSERT_TRUE(stream.ok());
+  auto result = Drain(stream->get(), 5, 0.0);
+
+  // The race chunk carries the outcome and the re-priced delivery time.
+  ASSERT_GE(result.chunks.size(), 4u);
+  const llm::Chunk& adopted = result.chunks[3];
+  EXPECT_EQ(adopted.hedge, llm::HedgeOutcome::kBackupWon);
+  EXPECT_EQ(adopted.num_tokens, 5u);
+  // Delivery at threshold(1.0) + catch-up(0) + chunk(0); tps 0 => all of it
+  // lands in extra_seconds.
+  EXPECT_DOUBLE_EQ(adopted.extra_seconds, 1.0);
+
+  // The final text is the full 40-word answer, byte-identical to a bare run.
+  WordModelOptions clean;
+  clean.total_words = 40;
+  WordModel reference_model("r", clean);
+  auto reference = reference_model.StartGeneration(request);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(result.text, Drain(reference->get(), 5, 0.0).text);
+  EXPECT_EQ(result.tokens, 40u);  // emitted tokens: no leak, no double-charge
+
+  const auto stats = hedged.stats();
+  EXPECT_EQ(stats.hedges_launched, 1u);
+  EXPECT_EQ(stats.hedges_won, 1u);
+  EXPECT_EQ(stats.hedges_lost, 0u);
+  EXPECT_EQ(stats.failovers, 0u);
+  // Overhead: the cancelled 5-token primary chunk + 15 regenerated catch-up
+  // tokens; the loser's in-flight chunk ran 10 simulated seconds.
+  EXPECT_EQ(stats.wasted_tokens, 20u);
+  EXPECT_DOUBLE_EQ(stats.wasted_seconds, 10.0);
+
+  // Total time: 3*1.0 + 1.0 (race delivery); everything after the swap is
+  // free in this script.
+  EXPECT_DOUBLE_EQ(result.seconds, 4.0);
+}
+
+TEST(HedgedModelTest, PrimaryWinsRaceWhenBackupIsSlower) {
+  // Same spike, but the backup needs 20s of catch-up: delivery at
+  // 1.0 + 20 = 21 > 10, so the in-flight primary chunk wins.
+  WordModelOptions slow;
+  slow.total_words = 40;
+  slow.chunk_costs = {1.0, 1.0, 1.0, 10.0};
+  auto primary = std::make_shared<WordModel>("p", slow);
+  WordModelOptions sluggish;
+  sluggish.total_words = 40;
+  sluggish.chunk_costs = {20.0};
+  auto backup = std::make_shared<WordModel>("b", sluggish);
+
+  llm::HedgeConfig config;
+  config.percentile = 1.0;
+  config.min_samples = 3;
+  llm::HedgedModel hedged(primary, {backup}, config);
+  llm::GenerationRequest request;
+  request.prompt = "q";
+  auto stream = hedged.StartGeneration(request);
+  ASSERT_TRUE(stream.ok());
+  auto result = Drain(stream->get(), 5, 0.0);
+
+  ASSERT_GE(result.chunks.size(), 4u);
+  const llm::Chunk& spike = result.chunks[3];
+  EXPECT_EQ(spike.hedge, llm::HedgeOutcome::kPrimaryWon);
+  EXPECT_DOUBLE_EQ(spike.extra_seconds, 10.0);  // charged unchanged
+
+  EXPECT_EQ(result.tokens, 40u);
+  const auto stats = hedged.stats();
+  EXPECT_EQ(stats.hedges_launched, 1u);
+  EXPECT_EQ(stats.hedges_won, 0u);
+  EXPECT_EQ(stats.hedges_lost, 1u);
+  // The cancelled backup generated 15 catch-up + 5 race tokens over 20s.
+  EXPECT_EQ(stats.wasted_tokens, 20u);
+  EXPECT_DOUBLE_EQ(stats.wasted_seconds, 20.0);
+}
+
+TEST(HedgedModelTest, EachBackupRacesAtMostOncePerStream) {
+  // Two spikes; a single backup that always loses. Only the first spike may
+  // launch it.
+  WordModelOptions slow;
+  slow.total_words = 60;
+  slow.chunk_costs = {1.0, 1.0, 1.0, 10.0, 10.0, 10.0};
+  auto primary = std::make_shared<WordModel>("p", slow);
+  WordModelOptions sluggish;
+  sluggish.total_words = 60;
+  sluggish.chunk_costs = {500.0};
+  auto backup = std::make_shared<WordModel>("b", sluggish);
+
+  llm::HedgeConfig config;
+  config.percentile = 1.0;
+  config.min_samples = 3;
+  llm::HedgedModel hedged(primary, {backup}, config);
+  llm::GenerationRequest request;
+  request.prompt = "q";
+  auto stream = hedged.StartGeneration(request);
+  ASSERT_TRUE(stream.ok());
+  Drain(stream->get(), 5, 0.0);
+  EXPECT_EQ(hedged.stats().hedges_launched, 1u);
+  EXPECT_EQ(hedged.stats().hedges_lost, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// HedgedModel: failover
+
+TEST(HedgedModelTest, MidStreamDeathFailsOverToBackup) {
+  WordModelOptions dying;
+  dying.total_words = 40;
+  dying.fail_at_token = 10;
+  auto primary = std::make_shared<WordModel>("p", dying);
+  WordModelOptions clean;
+  clean.total_words = 40;
+  auto backup = std::make_shared<WordModel>("b", clean);
+
+  llm::HedgeConfig config;
+  config.min_samples = 100;  // latency hedging off; pure failover
+  llm::HedgedModel hedged(primary, {backup}, config);
+  llm::GenerationRequest request;
+  request.prompt = "q";
+  auto stream = hedged.StartGeneration(request);
+  ASSERT_TRUE(stream.ok());
+  auto result = Drain(stream->get(), 5, 0.0);
+
+  // Third call dies on the primary; the backup takes over seamlessly.
+  ASSERT_GE(result.chunks.size(), 3u);
+  EXPECT_EQ(result.chunks[2].hedge, llm::HedgeOutcome::kFailover);
+  EXPECT_EQ(result.tokens, 40u);
+  WordModel reference_model("r", clean);
+  auto reference = reference_model.StartGeneration(request);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(result.text, Drain(reference->get(), 5, 0.0).text);
+
+  const auto stats = hedged.stats();
+  EXPECT_EQ(stats.failovers, 1u);
+  EXPECT_EQ(stats.hedges_launched, 0u);  // failover is not a race
+  EXPECT_EQ(stats.wasted_tokens, 10u);   // the regenerated catch-up prefix
+}
+
+TEST(HedgedModelTest, FailoverDisabledSurfacesTheStreamError) {
+  WordModelOptions dying;
+  dying.fail_at_token = 10;
+  auto primary = std::make_shared<WordModel>("p", dying);
+  auto backup = std::make_shared<WordModel>("b", WordModelOptions{});
+
+  llm::HedgeConfig config;
+  config.failover_on_error = false;
+  llm::HedgedModel hedged(primary, {backup}, config);
+  llm::GenerationRequest request;
+  request.prompt = "q";
+  auto stream = hedged.StartGeneration(request);
+  ASSERT_TRUE(stream.ok());
+  (void)(*stream)->NextChunk(5);
+  (void)(*stream)->NextChunk(5);
+  auto dead = (*stream)->NextChunk(5);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_TRUE(dead.status().IsInternal());
+  EXPECT_EQ(hedged.stats().failovers, 0u);
+}
+
+TEST(HedgedModelTest, StartRefusalFailsOverToBackup) {
+  WordModelOptions refusing;
+  refusing.refuse_start = true;
+  auto primary = std::make_shared<WordModel>("p", refusing);
+  WordModelOptions clean;
+  clean.total_words = 20;
+  auto backup = std::make_shared<WordModel>("b", clean);
+
+  llm::HedgedModel hedged(primary, {backup}, llm::HedgeConfig());
+  llm::GenerationRequest request;
+  request.prompt = "q";
+  auto stream = hedged.StartGeneration(request);
+  ASSERT_TRUE(stream.ok());
+  auto result = Drain(stream->get(), 5, 0.0);
+  EXPECT_EQ(result.tokens, 20u);
+  EXPECT_EQ(hedged.stats().failovers, 1u);
+}
+
+TEST(HedgedModelTest, AllReplicasRefusingSurfacesLastError) {
+  WordModelOptions refusing;
+  refusing.refuse_start = true;
+  auto primary = std::make_shared<WordModel>("p", refusing);
+  auto backup = std::make_shared<WordModel>("b", refusing);
+  llm::HedgedModel hedged(primary, {backup}, llm::HedgeConfig());
+  llm::GenerationRequest request;
+  request.prompt = "q";
+  auto stream = hedged.StartGeneration(request);
+  ASSERT_FALSE(stream.ok());
+  EXPECT_TRUE(stream.status().IsResourceExhausted());
+}
+
+TEST(HedgedModelTest, LatencySnapshotTracksPerReplicaPercentiles) {
+  WordModelOptions options;
+  options.total_words = 40;
+  options.chunk_costs = {1.0, 2.0, 3.0, 4.0};
+  auto primary = std::make_shared<WordModel>("p", options);
+  auto backup = std::make_shared<WordModel>("b", WordModelOptions{});
+  llm::HedgedModel hedged(primary, {backup}, llm::HedgeConfig());
+  llm::GenerationRequest request;
+  request.prompt = "q";
+  auto stream = hedged.StartGeneration(request);
+  ASSERT_TRUE(stream.ok());
+  Drain(stream->get(), 10, 0.0);
+
+  const auto latency = hedged.LatencySnapshot();
+  ASSERT_EQ(latency.size(), 2u);
+  EXPECT_EQ(latency[0].model, "p");
+  EXPECT_EQ(latency[0].samples, 4u);
+  EXPECT_DOUBLE_EQ(latency[0].p50, 2.0);
+  EXPECT_DOUBLE_EQ(latency[0].p95, 4.0);
+  EXPECT_EQ(latency[1].model, "b");
+  EXPECT_EQ(latency[1].samples, 0u);  // never launched
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: spiky primary + healthy clone backup, full decorator stack. The
+// acceptance scenario: hedged time-to-last-chunk strictly lower, charged
+// tokens differing only by the documented overhead, byte-identical text.
+
+struct ChaosStack {
+  std::shared_ptr<llm::LanguageModel> stack;          // Resilient(Faulty(S))
+  std::shared_ptr<llm::ResilientModel> primary_res;   // the resilient layer
+};
+
+ChaosStack MakeSpikyStack(const testutil::World& world,
+                          const llm::ModelProfile& profile) {
+  llm::FaultConfig faults;
+  faults.seed = 0xCAFE;
+  faults.latency_spike_prob = 0.3;
+  faults.latency_spike_seconds = 5.0;
+  auto synthetic =
+      std::make_shared<llm::SyntheticModel>(profile, world.knowledge);
+  auto faulty = std::make_shared<llm::FaultyModel>(synthetic, faults);
+  auto resilient =
+      std::make_shared<llm::ResilientModel>(faulty, llm::ResilienceConfig());
+  return {resilient, resilient};
+}
+
+TEST(HedgedChaosTest, HedgedBeatsSpikyPrimaryWithHonestAccounting) {
+  auto world = testutil::MakeWorld(4);
+  const auto profile = llm::DefaultProfiles()[0];
+  const double tps = profile.tokens_per_second;
+
+  llm::GenerationRequest request;
+  request.prompt = world.dataset[0].question;
+
+  // Bare run: the spiky stack alone.
+  auto bare = MakeSpikyStack(world, profile);
+  auto bare_stream = bare.stack->StartGeneration(request);
+  ASSERT_TRUE(bare_stream.ok());
+  const auto bare_run = Drain(bare_stream->get(), 8, tps);
+
+  // Hedged run: an identically-seeded spiky stack plus a healthy clone
+  // backup (same profile seed => identical wording).
+  auto spiky = MakeSpikyStack(world, profile);
+  auto clone = std::make_shared<llm::ResilientModel>(
+      std::make_shared<llm::SyntheticModel>(profile, world.knowledge),
+      llm::ResilienceConfig());
+  llm::HedgeConfig config;
+  config.percentile = 0.5;  // spikes would saturate a p95 of a 30% spike mix
+  config.min_samples = 4;
+  auto hedged = std::make_shared<llm::HedgedModel>(
+      spiky.stack, std::vector<std::shared_ptr<llm::LanguageModel>>{clone},
+      config);
+  auto hedged_stream = hedged->StartGeneration(request);
+  ASSERT_TRUE(hedged_stream.ok());
+  const auto hedged_run = Drain(hedged_stream->get(), 8, tps);
+
+  const auto stats = hedged->stats();
+  ASSERT_GE(stats.hedges_won, 1u) << "seed produced no won hedge";
+
+  // Byte-identical answer, identical charged tokens.
+  EXPECT_EQ(hedged_run.text, bare_run.text);
+  EXPECT_EQ(hedged_run.tokens, bare_run.tokens);
+  // Strictly lower time-to-last-chunk: the adopted backup dodges the spike
+  // it raced plus every later spike the bare run keeps eating.
+  EXPECT_LT(hedged_run.seconds, bare_run.seconds);
+  // The only extra spend is the documented hedge overhead.
+  EXPECT_GT(stats.wasted_tokens, 0u);
+  EXPECT_GT(stats.wasted_seconds, 0.0);
+
+  // Satellite 3: hedging does not corrupt the resilience layer's health
+  // accounting — latency spikes are not failures, and racing must not
+  // fabricate any.
+  const auto health = spiky.primary_res->health();
+  EXPECT_EQ(health.total_failures, 0u);
+  EXPECT_EQ(health.fast_rejections, 0u);
+  EXPECT_EQ(health.circuit, llm::CircuitBreaker::State::kClosed);
+}
+
+TEST(HedgedChaosTest, MidStreamDeathUnderFullStackCountsOneBreakerFailure) {
+  auto world = testutil::MakeWorld(4);
+  const auto profile = llm::DefaultProfiles()[1];
+
+  llm::FaultConfig faults;
+  faults.fail_after_tokens = 12;  // permanent mid-stream death
+  auto dying = std::make_shared<llm::FaultyModel>(
+      std::make_shared<llm::SyntheticModel>(profile, world.knowledge), faults);
+  auto dying_res =
+      std::make_shared<llm::ResilientModel>(dying, llm::ResilienceConfig());
+  auto clone = std::make_shared<llm::ResilientModel>(
+      std::make_shared<llm::SyntheticModel>(profile, world.knowledge),
+      llm::ResilienceConfig());
+
+  llm::HedgeConfig config;
+  config.min_samples = 1000;  // pure failover
+  llm::HedgedModel hedged(dying_res, {clone}, config);
+  llm::GenerationRequest request;
+  request.prompt = world.dataset[1].question;
+  auto stream = hedged.StartGeneration(request);
+  ASSERT_TRUE(stream.ok());
+  const auto run = Drain(stream->get(), 8, profile.tokens_per_second);
+
+  // The backup finished the answer...
+  EXPECT_GT(run.tokens, 12u);
+  EXPECT_EQ(hedged.stats().failovers, 1u);
+  // ...and the dead replica's breaker recorded exactly one retry-exhausted
+  // failure (the resilience layer retried, gave up, and the hedge layer's
+  // adoption added nothing on top).
+  EXPECT_EQ(dying_res->health().total_failures, 1u);
+  EXPECT_EQ(clone->health().total_failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime + orchestrator plumbing
+
+TEST(HedgedRuntimeTest, RuntimeCountsHedgedChunksAndTraceCarriesHedge) {
+  auto world = testutil::MakeWorld(4);
+  auto profile = llm::DefaultProfiles()[0];
+  profile.name = "hedged:demo";
+
+  llm::FaultConfig faults;
+  faults.seed = 0xCAFE;
+  faults.latency_spike_prob = 0.3;
+  faults.latency_spike_seconds = 5.0;
+  auto spiky = std::make_shared<llm::FaultyModel>(
+      std::make_shared<llm::SyntheticModel>(profile, world.knowledge), faults);
+  auto clone =
+      std::make_shared<llm::SyntheticModel>(profile, world.knowledge);
+  llm::HedgeConfig config;
+  config.percentile = 0.5;
+  config.min_samples = 4;
+  auto hedged = std::make_shared<llm::HedgedModel>(
+      spiky, std::vector<std::shared_ptr<llm::LanguageModel>>{clone}, config);
+  ASSERT_TRUE(world.registry->Register(hedged).ok());
+  ASSERT_TRUE(world.runtime->LoadModel("hedged:demo").ok());
+
+  core::SingleModelOrchestrator::Config single;
+  single.token_budget = 2048;
+  single.chunk_tokens = 8;
+  core::SingleModelOrchestrator orchestrator(world.runtime.get(),
+                                             "hedged:demo", world.embedder,
+                                             single);
+  std::vector<core::OrchestratorEvent> events;
+  auto result = orchestrator.Run(
+      world.dataset[0].question,
+      [&events](const core::OrchestratorEvent& e) { events.push_back(e); });
+  ASSERT_TRUE(result.ok());
+
+  // The hedge surfaced as a stream event and as a trace entry.
+  size_t hedge_events = 0;
+  for (const auto& event : events) {
+    if (event.type == core::EventType::kHedge) {
+      ++hedge_events;
+      EXPECT_EQ(event.model, "hedged:demo");
+      EXPECT_FALSE(event.text.empty());
+    }
+  }
+  EXPECT_GE(hedge_events, 1u);
+  bool traced = false;
+  for (const auto& entry : result->trace) {
+    if (entry.action == "hedge") traced = true;
+  }
+  EXPECT_TRUE(traced);
+  EXPECT_GE(hedged->stats().hedges_launched, 1u);
+}
+
+TEST(HedgedRuntimeTest, ParallelGenerationCountsHedges) {
+  auto world = testutil::MakeWorld(4);
+  auto profile = llm::DefaultProfiles()[2];
+  profile.name = "hedged:stats";
+
+  llm::FaultConfig faults;
+  faults.seed = 0xFEED;
+  faults.latency_spike_prob = 0.35;
+  faults.latency_spike_seconds = 4.0;
+  auto spiky = std::make_shared<llm::FaultyModel>(
+      std::make_shared<llm::SyntheticModel>(profile, world.knowledge), faults);
+  auto clone =
+      std::make_shared<llm::SyntheticModel>(profile, world.knowledge);
+  llm::HedgeConfig config;
+  config.percentile = 0.5;
+  config.min_samples = 4;
+  auto hedged = std::make_shared<llm::HedgedModel>(
+      spiky, std::vector<std::shared_ptr<llm::LanguageModel>>{clone}, config);
+  ASSERT_TRUE(world.registry->Register(hedged).ok());
+  ASSERT_TRUE(world.runtime->LoadModel("hedged:stats").ok());
+
+  llm::GenerationRequest request;
+  request.prompt = world.dataset[2].question;
+  auto generation =
+      world.runtime->StartGeneration({"hedged:stats"}, request);
+  ASSERT_TRUE(generation.ok());
+  for (size_t i = 0; i < 100; ++i) {
+    auto stats = (*generation)->StatsOf("hedged:stats");
+    ASSERT_TRUE(stats.ok());
+    if (stats->finished) break;
+    ASSERT_TRUE((*generation)->NextChunk("hedged:stats", 8).ok());
+  }
+  auto stats = (*generation)->StatsOf("hedged:stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->hedges,
+            hedged->stats().hedges_launched + hedged->stats().failovers);
+  EXPECT_GE(stats->hedges, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker: probe budget, call clock, transition history
+
+TEST(CircuitBreakerTest, ProbeBudgetRequiresConfiguredSuccesses) {
+  llm::CircuitBreaker breaker(/*failure_threshold=*/1, /*open_calls=*/1,
+                              /*probe_successes_to_close=*/3);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());  // rejection flips to half-open
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.AllowRequest());   // the probe
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess();  // third success spends the budget
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensEvenAfterPartialBudget) {
+  llm::CircuitBreaker breaker(1, 1, /*probe_successes_to_close=*/3);
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  breaker.RecordSuccess();  // 2 of 3
+  breaker.RecordFailure();  // any half-open failure reopens immediately
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kOpen);
+  // The partial budget does not survive the reopen.
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, SuccessWhileOpenDoesNotCloseTheCircuit) {
+  // A stream admitted before the trip keeps delivering chunks; that must not
+  // short-circuit the half-open probe discipline.
+  llm::CircuitBreaker breaker(1, /*open_calls=*/10);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);  // but it is good evidence
+}
+
+TEST(CircuitBreakerTest, TransitionHistoryRecordsCallClockTimestamps) {
+  llm::CircuitBreaker breaker(1, 1, 1, /*history_capacity=*/16);
+  breaker.RecordFailure();       // call 1: closed -> open
+  EXPECT_FALSE(breaker.AllowRequest());  // call 2: open -> half-open
+  EXPECT_TRUE(breaker.AllowRequest());   // call 3
+  breaker.RecordSuccess();       // call 4: half-open -> closed
+
+  const auto history = breaker.history();
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0].from, llm::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(history[0].to, llm::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(history[0].at_call, 1u);
+  EXPECT_EQ(history[1].to, llm::CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(history[1].at_call, 2u);
+  EXPECT_EQ(history[2].to, llm::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(history[2].at_call, 4u);
+  EXPECT_EQ(breaker.call_clock(), 4u);
+}
+
+TEST(CircuitBreakerTest, HistoryRingKeepsOnlyTheLastK) {
+  llm::CircuitBreaker breaker(1, 1, 1, /*history_capacity=*/2);
+  breaker.RecordFailure();              // closed -> open      (dropped)
+  EXPECT_FALSE(breaker.AllowRequest()); // open -> half-open   (kept)
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();              // half-open -> open   (kept)
+  const auto history = breaker.history();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].to, llm::CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(history[1].to, llm::CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, SnapshotRestoreRoundTrips) {
+  llm::CircuitBreaker breaker(2, 3);
+  breaker.RecordFailure();
+  breaker.RecordFailure();  // trips
+  EXPECT_FALSE(breaker.AllowRequest());
+  const auto snapshot = breaker.snapshot();
+
+  llm::CircuitBreaker restored(2, 3);
+  restored.Restore(snapshot);
+  EXPECT_EQ(restored.state(), llm::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(restored.total_failures(), 2u);
+  EXPECT_EQ(restored.fast_rejections(), 1u);
+  EXPECT_EQ(restored.call_clock(), snapshot.call_clock);
+  EXPECT_EQ(restored.history().size(), breaker.history().size());
+}
+
+TEST(CircuitBreakerTest, TransitionListenerFiresOutsideTheLock) {
+  llm::CircuitBreaker breaker(1, 1);
+  std::vector<llm::CircuitBreaker::Snapshot> seen;
+  breaker.SetTransitionListener(
+      [&breaker, &seen](const llm::CircuitBreaker::Snapshot& snapshot) {
+        // Re-entering the breaker from the listener must not deadlock —
+        // exactly what BreakerStore does when it saves.
+        (void)breaker.snapshot();
+        seen.push_back(snapshot);
+      });
+  breaker.RecordFailure();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].state, llm::CircuitBreaker::State::kOpen);
+}
+
+// ---------------------------------------------------------------------------
+// BreakerStore: durable breaker state
+
+TEST(BreakerStoreTest, SnapshotJsonRoundTrips) {
+  llm::CircuitBreaker breaker(1, 1);
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.AllowRequest());
+  const auto snapshot = breaker.snapshot();
+  const auto json = llm::BreakerStore::SnapshotToJson(snapshot);
+  const auto back = llm::BreakerStore::SnapshotFromJson(json);
+  EXPECT_EQ(back.state, snapshot.state);
+  EXPECT_EQ(back.total_failures, snapshot.total_failures);
+  EXPECT_EQ(back.fast_rejections, snapshot.fast_rejections);
+  EXPECT_EQ(back.call_clock, snapshot.call_clock);
+  ASSERT_EQ(back.history.size(), snapshot.history.size());
+  for (size_t i = 0; i < back.history.size(); ++i) {
+    EXPECT_EQ(back.history[i].to, snapshot.history[i].to);
+    EXPECT_EQ(back.history[i].at_call, snapshot.history[i].at_call);
+  }
+}
+
+TEST(BreakerStoreTest, StateSurvivesRestart) {
+  const std::string path = ::testing::TempDir() + "/breakers.json";
+  std::remove(path.c_str());
+
+  // Process 1: attach, trip the breaker; every transition saves.
+  {
+    llm::BreakerStore store(path);
+    ASSERT_TRUE(store.Load().ok());
+    llm::CircuitBreaker breaker(2, 4);
+    store.Attach("m1", &breaker);
+    breaker.RecordFailure();
+    breaker.RecordFailure();  // trips -> saved
+    EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kOpen);
+    breaker.SetTransitionListener(nullptr);
+  }
+
+  // Process 2 ("restart"): a fresh breaker resumes open, with history.
+  {
+    llm::BreakerStore store(path);
+    ASSERT_TRUE(store.Load().ok());
+    EXPECT_TRUE(store.Has("m1"));
+    llm::CircuitBreaker breaker(2, 4);
+    store.Attach("m1", &breaker);
+    EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kOpen);
+    EXPECT_EQ(breaker.total_failures(), 2u);
+    ASSERT_EQ(breaker.history().size(), 1u);
+    EXPECT_EQ(breaker.history()[0].to, llm::CircuitBreaker::State::kOpen);
+    breaker.SetTransitionListener(nullptr);
+  }
+}
+
+TEST(BreakerStoreTest, MissingFileIsEmptyStore) {
+  llm::BreakerStore store(::testing::TempDir() + "/does-not-exist.json");
+  EXPECT_TRUE(store.Load().ok());
+  EXPECT_FALSE(store.Has("anything"));
+}
+
+TEST(BreakerStoreTest, MalformedFileIsAnError) {
+  const std::string path = ::testing::TempDir() + "/garbage.json";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{not json", f);
+    std::fclose(f);
+  }
+  llm::BreakerStore store(path);
+  EXPECT_FALSE(store.Load().ok());
+}
+
+// ---------------------------------------------------------------------------
+// /api/health + persistence wiring through the app layer
+
+class HedgedServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = testutil::MakeWorld(4);
+    // Register one hedged + resilient model alongside the plain defaults.
+    auto profile = llm::DefaultProfiles()[0];
+    profile.name = "hedged:svc";
+    llm::FaultConfig faults;
+    faults.seed = 0xCAFE;
+    faults.latency_spike_prob = 0.3;
+    faults.latency_spike_seconds = 5.0;
+    auto spiky = std::make_shared<llm::FaultyModel>(
+        std::make_shared<llm::SyntheticModel>(profile, world_.knowledge),
+        faults);
+    primary_resilient_ = std::make_shared<llm::ResilientModel>(
+        spiky, llm::ResilienceConfig());
+    auto clone = std::make_shared<llm::ResilientModel>(
+        std::make_shared<llm::SyntheticModel>(profile, world_.knowledge),
+        llm::ResilienceConfig());
+    llm::HedgeConfig config;
+    config.percentile = 0.5;
+    config.min_samples = 4;
+    hedged_ = std::make_shared<llm::HedgedModel>(primary_resilient_,
+                                                 std::vector<std::shared_ptr<
+                                                     llm::LanguageModel>>{
+                                                     clone},
+                                                 config);
+    ASSERT_TRUE(world_.registry->Register(hedged_).ok());
+    ASSERT_TRUE(world_.runtime->LoadModel("hedged:svc").ok());
+
+    db_ = std::make_shared<vectordb::VectorDatabase>();
+    sessions_ = std::make_shared<session::SessionStore>();
+    engine_ = std::make_unique<core::SearchEngine>(
+        world_.runtime.get(), world_.embedder, db_, sessions_);
+    service_ = std::make_unique<app::ApiService>(engine_.get());
+  }
+
+  const Json* HealthEntryFor(const Json& response, const std::string& name) {
+    for (const Json& entry : response["models"].AsArray()) {
+      if (entry["model"].AsString() == name) return &entry;
+    }
+    return nullptr;
+  }
+
+  testutil::World world_;
+  std::shared_ptr<llm::ResilientModel> primary_resilient_;
+  std::shared_ptr<llm::HedgedModel> hedged_;
+  std::shared_ptr<vectordb::VectorDatabase> db_;
+  std::shared_ptr<session::SessionStore> sessions_;
+  std::unique_ptr<core::SearchEngine> engine_;
+  std::unique_ptr<app::ApiService> service_;
+};
+
+TEST_F(HedgedServiceTest, HealthReportsHedgeStatsAndLatencyPercentiles) {
+  // Generate through the hedged model so the windows have samples.
+  llm::GenerationRequest request;
+  request.prompt = world_.dataset[0].question;
+  auto stream = hedged_->StartGeneration(request);
+  ASSERT_TRUE(stream.ok());
+  Drain(stream->get(), 8, hedged_->tokens_per_second());
+  ASSERT_GE(hedged_->stats().hedges_launched, 1u);
+
+  auto response = service_->HandleHealth();
+  ASSERT_TRUE(response["ok"].AsBool());
+  const Json* entry = HealthEntryFor(response, "hedged:svc");
+  ASSERT_NE(entry, nullptr);
+
+  const Json& hedging = (*entry)["hedging"];
+  ASSERT_TRUE(hedging.is_object());
+  EXPECT_EQ(hedging["replicas"].AsInt(), 2);
+  EXPECT_GE(hedging["hedges_launched"].AsInt(), 1);
+  const Json& latency = hedging["latency"];
+  ASSERT_TRUE(latency.is_array());
+  ASSERT_EQ(latency.Size(), 2u);
+  EXPECT_GT(latency.At(0)["samples"].AsInt(), 0);
+  EXPECT_GT(latency.At(0)["p95_seconds"].AsDouble(), 0.0);
+  EXPECT_GE(latency.At(0)["p95_seconds"].AsDouble(),
+            latency.At(0)["p50_seconds"].AsDouble());
+
+  // The breaker inspected is the primary replica's (nesting order).
+  EXPECT_EQ((*entry)["circuit"].AsString(), "closed");
+  EXPECT_TRUE(entry->Contains("circuit_history"));
+}
+
+TEST_F(HedgedServiceTest, HealthReportsBreakerTransitionHistory) {
+  auto* breaker = primary_resilient_->mutable_breaker();
+  breaker->RecordFailure();
+  breaker->RecordFailure();
+  breaker->RecordFailure();  // default threshold 3 -> open
+
+  auto response = service_->HandleHealth();
+  ASSERT_TRUE(response["ok"].AsBool());
+  EXPECT_EQ(response["status"].AsString(), "degraded");
+  const Json* entry = HealthEntryFor(response, "hedged:svc");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ((*entry)["circuit"].AsString(), "open");
+  const Json& history = (*entry)["circuit_history"];
+  ASSERT_EQ(history.Size(), 1u);
+  EXPECT_EQ(history.At(0)["from"].AsString(), "closed");
+  EXPECT_EQ(history.At(0)["to"].AsString(), "open");
+  EXPECT_GT(history.At(0)["at_call"].AsInt(), 0);
+}
+
+TEST_F(HedgedServiceTest, BreakerStateSurvivesServiceRestart) {
+  const std::string path = ::testing::TempDir() + "/svc-breakers.json";
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(service_->EnableBreakerPersistence(path).ok());
+  auto* breaker = primary_resilient_->mutable_breaker();
+  breaker->RecordFailure();
+  breaker->RecordFailure();
+  breaker->RecordFailure();  // trips -> persisted via the listener
+  EXPECT_EQ(breaker->state(), llm::CircuitBreaker::State::kOpen);
+  service_.reset();  // "shutdown": detaches listeners
+
+  // "Restart": a brand-new world and service over the same file.
+  SetUp();
+  ASSERT_TRUE(service_->EnableBreakerPersistence(path).ok());
+  EXPECT_EQ(primary_resilient_->breaker().state(),
+            llm::CircuitBreaker::State::kOpen)
+      << "tripped breaker must stay tripped across restart";
+  auto response = service_->HandleHealth();
+  EXPECT_EQ(response["status"].AsString(), "degraded");
+  const Json* entry = HealthEntryFor(response, "hedged:svc");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ((*entry)["circuit"].AsString(), "open");
+}
+
+// ---------------------------------------------------------------------------
+// String stability (wire/UI contracts)
+
+TEST(HedgeNamesTest, OutcomeAndEventNamesAreStable) {
+  EXPECT_STREQ(llm::HedgeOutcomeToString(llm::HedgeOutcome::kNone), "none");
+  EXPECT_STREQ(llm::HedgeOutcomeToString(llm::HedgeOutcome::kPrimaryWon),
+               "primary-won");
+  EXPECT_STREQ(llm::HedgeOutcomeToString(llm::HedgeOutcome::kBackupWon),
+               "backup-won");
+  EXPECT_STREQ(llm::HedgeOutcomeToString(llm::HedgeOutcome::kFailover),
+               "failover");
+  EXPECT_STREQ(core::EventTypeToString(core::EventType::kHedge), "hedge");
+}
+
+}  // namespace
+}  // namespace llmms
