@@ -1,7 +1,12 @@
 // Runs LLM-MS as an HTTP daemon — the full production topology of §7.1:
 // the platform behind a real socket, serving JSON endpoints and SSE streams.
 //
-//   ./build/examples/serve [port]        # default 8080
+//   ./build/examples/serve [port] [state.json]   # default port 8080
+//
+// With a state file, breaker state and hedge latency sketches survive
+// restarts (llm::StateStore): kill the daemon, start it again with the same
+// file, and the node resumes with warm hedge percentiles and any tripped
+// circuits still quarantined.
 //
 // Then, from another terminal:
 //   curl -s localhost:8080/api/health
@@ -33,6 +38,13 @@ int main(int argc, char** argv) {
 
   auto platform = examples::MakePlatform(20);
   app::ApiService service(platform.engine.get());
+  if (argc > 2) {
+    if (auto status = service.EnableStatePersistence(argv[2]); !status.ok()) {
+      std::cerr << "cannot enable state persistence: " << status << "\n";
+      return 1;
+    }
+    std::cout << "durable node state: " << argv[2] << "\n";
+  }
   app::HttpServer server(&service);
   if (auto status = server.Start(port); !status.ok()) {
     std::cerr << "cannot start server: " << status << "\n";

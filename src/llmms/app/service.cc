@@ -1,9 +1,9 @@
 #include "llmms/app/service.h"
 
 #include "llmms/app/nl_config.h"
-#include "llmms/llm/breaker_store.h"
 #include "llmms/llm/hedged_model.h"
 #include "llmms/llm/resilient_model.h"
+#include "llmms/llm/state_store.h"
 
 namespace llmms::app {
 namespace {
@@ -41,9 +41,11 @@ Json ErrorResponse(const Status& status) {
 ApiService::ApiService(core::SearchEngine* engine) : engine_(engine) {}
 
 ApiService::~ApiService() {
-  // Breaker listeners hold a raw pointer to the store; detach them before
-  // the store dies.
-  if (breaker_store_ == nullptr) return;
+  if (state_store_ == nullptr) return;
+  // Flush the latest sketches (breaker transitions save eagerly, latency
+  // windows only piggy-back on them), then detach the breaker listeners —
+  // they hold a raw pointer to the store, which dies with us.
+  (void)state_store_->SaveNow();
   for (const auto& name : engine_->runtime()->LoadedModels()) {
     auto model = engine_->runtime()->registry()->Get(name);
     if (!model.ok()) continue;
@@ -63,17 +65,20 @@ llm::CircuitBreaker* ApiService::BreakerOf(
   return resilient == nullptr ? nullptr : resilient->mutable_breaker();
 }
 
-Status ApiService::EnableBreakerPersistence(const std::string& path) {
-  auto store = std::make_unique<llm::BreakerStore>(path);
+Status ApiService::EnableStatePersistence(const std::string& path) {
+  auto store = std::make_unique<llm::StateStore>(path);
   LLMMS_RETURN_NOT_OK(store->Load());
   for (const auto& name : engine_->runtime()->LoadedModels()) {
     auto model = engine_->runtime()->registry()->Get(name);
     if (!model.ok()) continue;
     if (llm::CircuitBreaker* breaker = BreakerOf(*model)) {
-      store->Attach(name, breaker);
+      store->AttachBreaker(name, breaker);
+    }
+    if (auto hedged = std::dynamic_pointer_cast<llm::HedgedModel>(*model)) {
+      store->AttachSketches(name, hedged);
     }
   }
-  breaker_store_ = std::move(store);
+  state_store_ = std::move(store);
   return Status::OK();
 }
 
@@ -404,6 +409,17 @@ Json ApiService::HandleHealth() {
       hedging.Set("failovers", stats.failovers);
       hedging.Set("wasted_tokens", stats.wasted_tokens);
       hedging.Set("wasted_seconds", stats.wasted_seconds);
+      // The adaptive-threshold loop (DESIGN.md §11): where the effective
+      // percentile currently sits, its configured bounds, and how often the
+      // reward feed has moved it.
+      hedging.Set("adaptive", hedged->config().adapt);
+      hedging.Set("effective_percentile", hedged->effective_percentile());
+      if (hedged->config().adapt) {
+        hedging.Set("min_percentile", hedged->config().min_percentile);
+        hedging.Set("max_percentile", hedged->config().max_percentile);
+        hedging.Set("adaptations", hedged->adaptations());
+        hedging.Set("last_favour", hedged->last_favour());
+      }
       Json latency = Json::MakeArray();
       for (const auto& replica : hedged->LatencySnapshot()) {
         Json sample = Json::MakeObject();
@@ -450,6 +466,21 @@ Json ApiService::HandleHealth() {
   }
   response.Set("status", degraded ? "degraded" : "healthy");
   response.Set("models", std::move(models));
+
+  // Placement block: where each model sits and what it reserves. A hedged
+  // group shows the race headroom (hedge_extra_mb) the scheduler charged on
+  // top of its steady-state footprint.
+  Json placement = Json::MakeArray();
+  for (const auto& info : engine_->runtime()->PlacementSnapshot()) {
+    Json entry = Json::MakeObject();
+    entry.Set("model", info.model);
+    entry.Set("device", info.device);
+    entry.Set("memory_mb", info.memory_mb);
+    entry.Set("hedge_extra_mb", info.hedge_extra_mb);
+    entry.Set("race_peak_mb", info.memory_mb + info.hedge_extra_mb);
+    placement.Append(std::move(entry));
+  }
+  response.Set("placement", std::move(placement));
   return response;
 }
 

@@ -9,8 +9,8 @@
 #include "llmms/core/search_engine.h"
 
 namespace llmms::llm {
-class BreakerStore;
 class CircuitBreaker;
+class StateStore;
 }  // namespace llmms::llm
 
 namespace llmms::app {
@@ -74,13 +74,16 @@ class ApiService {
   void set_streaming_generate(bool enabled) { streaming_generate_ = enabled; }
   bool streaming_generate() const { return streaming_generate_; }
 
-  // Durable circuit-breaker state: loads saved breaker snapshots from `path`
-  // (a missing file is fine — first run), restores them into every currently
-  // loaded model that has a breaker (unwrapping a HedgedModel to its primary
-  // replica), and re-saves the file on every future state transition. Call
+  // Durable node state (llm::StateStore): loads saved state from `path` (a
+  // missing file is a clean first run; a corrupt one cold-starts — see
+  // StateStore::Load), restores breaker snapshots into every currently
+  // loaded model that has a breaker (unwrapping a HedgedModel to its
+  // primary replica) and latency sketches into every hedged group — so the
+  // first post-restart request hedges with real percentiles — then re-saves
+  // the file on every breaker transition and at service shutdown. Call
   // AFTER the models are loaded; models loaded later are not attached.
-  Status EnableBreakerPersistence(const std::string& path);
-  llm::BreakerStore* breaker_store() const { return breaker_store_.get(); }
+  Status EnableStatePersistence(const std::string& path);
+  llm::StateStore* state_store() const { return state_store_.get(); }
 
  private:
   // The breaker of `model`, unwrapping the hedging decorator, or nullptr.
@@ -89,7 +92,7 @@ class ApiService {
 
   core::SearchEngine* engine_;
   bool streaming_generate_ = true;
-  std::unique_ptr<llm::BreakerStore> breaker_store_;
+  std::unique_ptr<llm::StateStore> state_store_;
 };
 
 // Builds the error payload used by every endpoint.

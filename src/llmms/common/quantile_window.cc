@@ -43,4 +43,28 @@ void QuantileWindow::Clear() {
   count_ = 0;
 }
 
+QuantileWindow::Snapshot QuantileWindow::snapshot() const {
+  Snapshot out;
+  out.capacity = capacity_;
+  out.count = count_;
+  out.samples.reserve(window_.size());
+  if (window_.size() < capacity_) {
+    out.samples = window_;  // not yet wrapped: already in arrival order
+  } else {
+    // Ring has wrapped: the oldest sample sits at the insertion cursor.
+    for (size_t i = 0; i < window_.size(); ++i) {
+      out.samples.push_back(window_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+void QuantileWindow::Restore(const Snapshot& snapshot) {
+  Clear();
+  for (double value : snapshot.samples) Add(value);
+  // Add() counted the replayed samples; lift to the recorded lifetime count
+  // (never below what the window actually holds, in case the snapshot lied).
+  count_ = std::max(snapshot.count, count_);
+}
+
 }  // namespace llmms

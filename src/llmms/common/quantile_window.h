@@ -36,6 +36,29 @@ class QuantileWindow {
 
   void Clear();
 
+  // Durable form of the window, same shape discipline as
+  // CircuitBreaker::Snapshot: a value type the persistence layer can
+  // serialize and feed back through Restore() to warm-start a freshly
+  // constructed window (hedged generation resumes with real percentiles
+  // instead of a cold min_samples ramp).
+  struct Snapshot {
+    size_t capacity = 0;
+    // Lifetime observation count (count()), >= samples.size().
+    size_t count = 0;
+    // The retained samples in arrival order, oldest first.
+    std::vector<double> samples;
+  };
+
+  // Captures the current window. snapshot().samples lists the ring buffer
+  // oldest-to-newest, so Restore() replays it through Add() verbatim.
+  Snapshot snapshot() const;
+
+  // Replaces the window contents with a snapshot. The window keeps its own
+  // capacity: when the snapshot holds more samples than fit, only the most
+  // recent survive (exactly as if they had been Add()ed live). The lifetime
+  // count is restored to at least the retained sample count.
+  void Restore(const Snapshot& snapshot);
+
  private:
   size_t capacity_;
   std::vector<double> window_;  // ring buffer

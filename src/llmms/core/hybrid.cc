@@ -88,6 +88,9 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
     for (size_t i = 0; i < candidates.size(); ++i) {
       last_scores[candidates[i]] = scores[i];
       emit(EventType::kScore, candidates[i], scores[i].combined);
+      internal::PublishReward(config_.reward_feed, candidates[i],
+                              scores[i].combined, round, used_tokens,
+                              callback, &result.trace);
     }
     return Status::OK();
   };
@@ -238,6 +241,8 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
     ++total_pulls;
     if (chunk.done) arm.finished = true;
     emit(EventType::kScore, chosen, reward);
+    internal::PublishReward(config_.reward_feed, chosen, reward, round,
+                            used_tokens, callback, &result.trace);
   }
 
   // ---------------- Final selection. Failed models never win; a fully

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "llmms/core/orchestrator.h"
+#include "llmms/core/reward_feed.h"
 #include "llmms/core/scoring.h"
 #include "llmms/llm/runtime.h"
 
@@ -35,6 +36,10 @@ class HybridOrchestrator final : public Orchestrator {
     size_t min_survivors = 2;      // phase 1 never prunes below this
     size_t mab_chunk_tokens = 16;  // phase-2 pull size
     double gamma0 = 0.3;           // phase-2 exploration coefficient
+    // When set, both phases publish their reward observations so adaptive
+    // hedged models can move their thresholds (DESIGN.md §11). Must outlive
+    // the orchestrator; null disables the feedback loop.
+    RewardFeed* reward_feed = nullptr;
   };
 
   HybridOrchestrator(llm::ModelRuntime* runtime,

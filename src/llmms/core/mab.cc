@@ -180,6 +180,8 @@ StatusOr<OrchestrationResult> MabOrchestrator::Run(
       event.total_tokens = used_tokens;
       internal::Emit(event, callback, &result.trace);
     }
+    internal::PublishReward(config_.reward_feed, chosen, reward, round,
+                            used_tokens, callback, &result.trace);
 
     // --- Termination (lines 12-14): stop early when a finished arm's mean
     // reward dominates the optimistic bound of every live arm. ---

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "llmms/core/orchestrator.h"
+#include "llmms/core/reward_feed.h"
 #include "llmms/core/scoring.h"
 #include "llmms/llm/runtime.h"
 
@@ -34,6 +35,10 @@ class MabOrchestrator final : public Orchestrator {
     size_t chunk_tokens = 16;    // tokens per pull
     double gamma0 = 0.3;         // initial exploration coefficient
     bool decay_gamma = true;     // gamma = gamma0*(1 - used/budget)
+    // When set, every pull reward is published so adaptive hedged models
+    // can move their thresholds (DESIGN.md §11). Must outlive the
+    // orchestrator; null disables the feedback loop.
+    RewardFeed* reward_feed = nullptr;
   };
 
   MabOrchestrator(llm::ModelRuntime* runtime, std::vector<std::string> models,

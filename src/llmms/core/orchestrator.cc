@@ -16,6 +16,8 @@ const char* EventTypeToString(EventType type) {
       return "failure";
     case EventType::kHedge:
       return "hedge";
+    case EventType::kHedgeAdapt:
+      return "hedge-adapt";
     case EventType::kFinal:
       return "final";
   }

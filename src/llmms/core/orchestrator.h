@@ -25,6 +25,7 @@ enum class EventType {
   kEarlyStop,  // a model won before the budget was spent
   kFailure,    // a model's stream failed and it was quarantined
   kHedge,      // a hedge race fired on a model's stream (llm::HedgedModel)
+  kHedgeAdapt, // reward feedback moved a model's effective hedge percentile
   kFinal,      // the final answer was selected
 };
 

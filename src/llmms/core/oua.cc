@@ -138,6 +138,10 @@ StatusOr<OrchestrationResult> OuaOrchestrator::Run(
       event.round = round;
       event.total_tokens = generation->TotalTokens();
       internal::Emit(event, callback, &result.trace);
+      internal::PublishReward(config_.reward_feed, candidates[i],
+                              scores[i].combined, round,
+                              generation->TotalTokens(), callback,
+                              &result.trace);
     }
 
     // --- Early stop (Algorithm 1 lines 16-19): the best candidate wins now

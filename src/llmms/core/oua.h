@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "llmms/core/orchestrator.h"
+#include "llmms/core/reward_feed.h"
 #include "llmms/core/scoring.h"
 #include "llmms/llm/runtime.h"
 
@@ -36,6 +37,10 @@ class OuaOrchestrator final : public Orchestrator {
     double prune_margin = 0.02;      // 2nd worst - worst > margin => prune
     // Pruning starts after this many rounds so every model gets a hearing.
     size_t min_rounds_before_prune = 1;
+    // When set, every round score is published as a reward observation so
+    // adaptive hedged models can move their thresholds (DESIGN.md §11).
+    // Must outlive the orchestrator; null disables the feedback loop.
+    RewardFeed* reward_feed = nullptr;
   };
 
   // `runtime` must outlive the orchestrator; `models` must all be loaded.

@@ -1,0 +1,120 @@
+#include "llmms/core/reward_feed.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "llmms/llm/hedged_model.h"
+#include "llmms/llm/runtime.h"
+
+namespace llmms::core {
+
+void RewardFeed::Subscribe(const std::string& model, Subscriber subscriber) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribers_[model] = std::move(subscriber);
+}
+
+RewardFeed::Adaptation RewardFeed::Publish(const std::string& model,
+                                           double reward) {
+  Update update;
+  update.model = model;
+  update.reward = reward;
+  Subscriber subscriber;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats& stats = stats_[model];
+    stats.reward_sum += reward;
+    ++stats.count;
+    update.mean = stats.MeanReward();
+    update.count = stats.count;
+    update.favour = FavourLocked(model);
+    auto it = subscribers_.find(model);
+    if (it != subscribers_.end()) subscriber = it->second;
+  }
+  // The subscriber calls back into the model (which takes its own lock);
+  // never hold the feed lock across it.
+  Adaptation adaptation;
+  if (subscriber) adaptation = subscriber(update);
+  adaptation.favour = update.favour;
+  return adaptation;
+}
+
+double RewardFeed::FavourLocked(const std::string& model) const {
+  auto it = stats_.find(model);
+  if (it == stats_.end() || it->second.count == 0) return 0.0;
+  const double mean = it->second.MeanReward();
+  if (mean <= 0.0) return 0.0;
+  double best = 0.0;
+  for (const auto& [name, stats] : stats_) {
+    best = std::max(best, stats.MeanReward());
+  }
+  const double ratio = best > 0.0 ? std::clamp(mean / best, 0.0, 1.0) : 0.0;
+  const double ramp =
+      std::min(1.0, static_cast<double>(it->second.count) /
+                        static_cast<double>(warmup_));
+  return ratio * ramp;
+}
+
+RewardFeed::Stats RewardFeed::StatsFor(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(model);
+  return it == stats_.end() ? Stats() : it->second;
+}
+
+double RewardFeed::FavourOf(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FavourLocked(model);
+}
+
+void RewardFeed::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.clear();
+}
+
+size_t AttachAdaptiveHedging(RewardFeed* feed, llm::ModelRuntime* runtime) {
+  size_t attached = 0;
+  for (const auto& name : runtime->LoadedModels()) {
+    auto model_or = runtime->registry()->Get(name);
+    if (!model_or.ok()) continue;
+    auto hedged = std::dynamic_pointer_cast<llm::HedgedModel>(*model_or);
+    if (hedged == nullptr || !hedged->config().adapt) continue;
+    feed->Subscribe(name, [hedged](const RewardFeed::Update& update) {
+      RewardFeed::Adaptation adaptation;
+      if (auto moved = hedged->ApplyRewardFavour(update.favour)) {
+        adaptation.changed = true;
+        adaptation.old_percentile = moved->first;
+        adaptation.new_percentile = moved->second;
+      }
+      return adaptation;
+    });
+    ++attached;
+  }
+  return attached;
+}
+
+namespace internal {
+
+void PublishReward(RewardFeed* feed, const std::string& model, double reward,
+                   size_t round, size_t total_tokens,
+                   const EventCallback& callback,
+                   std::vector<TraceEntry>* trace) {
+  if (feed == nullptr) return;
+  const RewardFeed::Adaptation adaptation = feed->Publish(model, reward);
+  if (!adaptation.changed) return;
+  char detail[96];
+  std::snprintf(detail, sizeof(detail), "p%.3f->%.3f favour=%.3f",
+                adaptation.old_percentile, adaptation.new_percentile,
+                adaptation.favour);
+  OrchestratorEvent event;
+  event.type = EventType::kHedgeAdapt;
+  event.model = model;
+  event.text = detail;
+  event.score = adaptation.new_percentile;
+  event.round = round;
+  event.total_tokens = total_tokens;
+  Emit(event, callback, trace);
+}
+
+}  // namespace internal
+}  // namespace llmms::core

@@ -1,0 +1,121 @@
+#ifndef LLMMS_CORE_REWARD_FEED_H_
+#define LLMMS_CORE_REWARD_FEED_H_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "llmms/core/orchestrator.h"
+
+namespace llmms::llm {
+class ModelRuntime;
+}  // namespace llmms::llm
+
+namespace llmms::core {
+
+// The feedback bus that closes the adaptive-hedging loop (DESIGN.md §11):
+// orchestrators publish every per-model reward observation (OUA round
+// scores, UCB1 pull rewards) here; subscribers — hedged models with
+// HedgeConfig::adapt — turn the stream into hedge-percentile moves.
+//
+// From the raw rewards the feed computes a pool-relative *favour* in
+// [0, 1] for each model:
+//
+//   favour = (mean_reward / best_mean_reward_in_pool) * min(1, count/warmup)
+//
+// so the orchestrator's current favourite converges to 1, losers fall
+// toward their score ratio, and models with few observations are damped by
+// the warm-up ramp (a cold model must not hedge aggressively off one lucky
+// score). Negative means clamp to 0.
+//
+// Layering: this lives in core (above llm), so llm::HedgedModel never sees
+// it — subscribers are plain lambdas wired by AttachAdaptiveHedging(),
+// which call HedgedModel::ApplyRewardFavour. Subscribers run outside the
+// feed lock and synchronously on the publishing orchestrator's thread; the
+// returned Adaptation (did the effective percentile move, and whence to
+// where) is handed back to the publisher so it can emit the
+// EventType::kHedgeAdapt trace event.
+//
+// Thread-safe; subscribers must be registered before queries run.
+class RewardFeed {
+ public:
+  struct Stats {
+    double reward_sum = 0.0;
+    size_t count = 0;
+    double MeanReward() const {
+      return count == 0 ? 0.0 : reward_sum / static_cast<double>(count);
+    }
+  };
+
+  // One published observation, as delivered to the model's subscriber.
+  struct Update {
+    std::string model;
+    double reward = 0.0;
+    double mean = 0.0;    // the model's running mean after this observation
+    size_t count = 0;     // observations of this model so far
+    double favour = 0.0;  // pool-relative favour in [0, 1]
+  };
+
+  // What the subscriber did in response; `changed` is false for a no-op
+  // (identical percentile, adaptation disabled, bounds already reached).
+  struct Adaptation {
+    bool changed = false;
+    double old_percentile = 0.0;
+    double new_percentile = 0.0;
+    double favour = 0.0;
+  };
+
+  using Subscriber = std::function<Adaptation(const Update&)>;
+
+  explicit RewardFeed(size_t warmup = 8)
+      : warmup_(warmup == 0 ? 1 : warmup) {}
+
+  // At most one subscriber per model; the last registration wins.
+  void Subscribe(const std::string& model, Subscriber subscriber);
+
+  // Records one reward observation and notifies the model's subscriber (if
+  // any). Returns the subscriber's Adaptation so the publishing
+  // orchestrator can trace a percentile move; `changed` is false when the
+  // model has no subscriber.
+  Adaptation Publish(const std::string& model, double reward);
+
+  Stats StatsFor(const std::string& model) const;
+  // The favour Publish() would hand the model's subscriber right now.
+  double FavourOf(const std::string& model) const;
+  size_t warmup() const { return warmup_; }
+
+  void Reset();
+
+ private:
+  double FavourLocked(const std::string& model) const;
+
+  const size_t warmup_;
+  mutable std::mutex mu_;
+  std::map<std::string, Stats> stats_;
+  std::map<std::string, Subscriber> subscribers_;
+};
+
+// Subscribes every loaded llm::HedgedModel with HedgeConfig::adapt to the
+// feed, wiring Update::favour into HedgedModel::ApplyRewardFavour. Returns
+// how many models were attached. Call after the models are loaded; models
+// loaded later are not attached.
+size_t AttachAdaptiveHedging(RewardFeed* feed, llm::ModelRuntime* runtime);
+
+namespace internal {
+
+// Orchestrator-side publication helper: a no-op when `feed` is null;
+// otherwise publishes the reward and, when the subscribing model moved its
+// effective hedge percentile, emits the EventType::kHedgeAdapt event whose
+// detail reads "p0.950->0.781 favour=0.375" (score = the new percentile).
+void PublishReward(RewardFeed* feed, const std::string& model, double reward,
+                   size_t round, size_t total_tokens,
+                   const EventCallback& callback,
+                   std::vector<TraceEntry>* trace);
+
+}  // namespace internal
+}  // namespace llmms::core
+
+#endif  // LLMMS_CORE_REWARD_FEED_H_

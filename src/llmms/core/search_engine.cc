@@ -23,7 +23,11 @@ SearchEngine::SearchEngine(llm::ModelRuntime* runtime,
     : runtime_(runtime),
       embedder_(std::move(embedder)),
       db_(std::move(db)),
-      sessions_(std::move(sessions)) {}
+      sessions_(std::move(sessions)) {
+  // Close the adaptive-hedging loop: hedged models with HedgeConfig::adapt
+  // follow the orchestrators' reward stream from the first query.
+  AttachAdaptiveHedging(&reward_feed_, runtime_);
+}
 
 StatusOr<rag::RagPipeline*> SearchEngine::PipelineFor(
     const std::string& session_id) {
@@ -102,6 +106,7 @@ StatusOr<SearchEngine::AskResult> SearchEngine::Ask(
       config.chunk_tokens = options.oua_chunk_tokens;
       config.early_stop_margin = options.oua_early_stop_margin;
       config.prune_margin = options.oua_prune_margin;
+      config.reward_feed = &reward_feed_;
       orchestrator = std::make_unique<OuaOrchestrator>(runtime_, models,
                                                        embedder_, config);
       break;
@@ -112,6 +117,7 @@ StatusOr<SearchEngine::AskResult> SearchEngine::Ask(
       config.token_budget = options.token_budget;
       config.chunk_tokens = options.mab_chunk_tokens;
       config.gamma0 = options.mab_gamma0;
+      config.reward_feed = &reward_feed_;
       orchestrator = std::make_unique<MabOrchestrator>(runtime_, models,
                                                        embedder_, config);
       break;
@@ -124,6 +130,7 @@ StatusOr<SearchEngine::AskResult> SearchEngine::Ask(
       config.prune_margin = options.oua_prune_margin;
       config.mab_chunk_tokens = options.mab_chunk_tokens;
       config.gamma0 = options.mab_gamma0;
+      config.reward_feed = &reward_feed_;
       orchestrator = std::make_unique<HybridOrchestrator>(runtime_, models,
                                                           embedder_, config);
       break;

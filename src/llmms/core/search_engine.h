@@ -11,6 +11,7 @@
 #include "llmms/core/mab.h"
 #include "llmms/core/orchestrator.h"
 #include "llmms/core/oua.h"
+#include "llmms/core/reward_feed.h"
 #include "llmms/core/single.h"
 #include "llmms/llm/runtime.h"
 #include "llmms/rag/pipeline.h"
@@ -87,11 +88,20 @@ class SearchEngine {
     return sessions_;
   }
 
+  // The engine-lifetime reward bus of the adaptive-hedging loop
+  // (DESIGN.md §11). The constructor subscribes every loaded hedged model
+  // with HedgeConfig::adapt, and Ask() hands the feed to each
+  // OUA/MAB/hybrid run so their scores accumulate across queries (the loop
+  // learns the pool's pecking order over a session, not per query). Models
+  // without adaptation never subscribe, so for them the feed is inert.
+  RewardFeed* reward_feed() { return &reward_feed_; }
+
  private:
   StatusOr<rag::RagPipeline*> PipelineFor(const std::string& session_id);
   session::MemoryGraph* MemoryFor(const std::string& session_id);
 
   llm::ModelRuntime* runtime_;
+  RewardFeed reward_feed_;
   std::shared_ptr<const embedding::Embedder> embedder_;
   std::shared_ptr<vectordb::VectorDatabase> db_;
   std::shared_ptr<session::SessionStore> sessions_;

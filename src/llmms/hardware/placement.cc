@@ -22,7 +22,15 @@ HardwareManager::HardwareManager(const std::vector<DeviceSpec>& specs) {
 
 StatusOr<std::unique_ptr<Placement>> HardwareManager::Place(
     uint64_t memory_mb) {
-  // Prefer the GPU with the most free memory (least loaded), then CPU.
+  return Place(PlacementRequest{memory_mb, 0});
+}
+
+StatusOr<std::unique_ptr<Placement>> HardwareManager::Place(
+    const PlacementRequest& request) {
+  // Fit the peak footprint: steady-state residency plus the transient
+  // second replica of a hedge race. Prefer the GPU with the most free
+  // memory (least loaded), then CPU.
+  const uint64_t needed = request.total_mb();
   Device* best_gpu = nullptr;
   uint64_t best_free = 0;
   Device* cpu = nullptr;
@@ -32,20 +40,25 @@ StatusOr<std::unique_ptr<Placement>> HardwareManager::Place(
       continue;
     }
     const uint64_t free = d->FreeMemoryMb();
-    if (free >= memory_mb && free > best_free) {
+    if (free >= needed && free > best_free) {
       best_free = free;
       best_gpu = d.get();
     }
   }
   for (Device* candidate : {best_gpu, cpu}) {
     if (candidate == nullptr) continue;
-    Status st = candidate->ReserveMemory(memory_mb);
+    Status st = candidate->ReserveMemory(needed);
     if (st.ok()) {
-      return std::make_unique<Placement>(candidate, memory_mb);
+      return std::make_unique<Placement>(candidate, request);
     }
   }
-  return Status::ResourceExhausted(
-      "no device can host a model of " + std::to_string(memory_mb) + " MB");
+  std::string what = "no device can host a model of " +
+                     std::to_string(request.memory_mb) + " MB";
+  if (request.hedge_extra_mb > 0) {
+    what += " (+" + std::to_string(request.hedge_extra_mb) +
+            " MB hedge-race headroom)";
+  }
+  return Status::ResourceExhausted(what);
 }
 
 std::vector<DeviceTelemetry> HardwareManager::Snapshot() const {

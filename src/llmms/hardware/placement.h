@@ -12,29 +12,46 @@
 
 namespace llmms::hardware {
 
+// What a model load asks of the hardware layer. `memory_mb` is the
+// steady-state resident footprint; `hedge_extra_mb` is the transient extra
+// a hedged group needs while a race is in flight (primary + one backup
+// resident simultaneously, DESIGN.md §11). The device must fit the *peak*
+// — a placement that only fits in the no-race steady state would make the
+// first tail spike an OOM — so the full `total_mb()` is reserved.
+struct PlacementRequest {
+  uint64_t memory_mb = 0;
+  uint64_t hedge_extra_mb = 0;
+  uint64_t total_mb() const { return memory_mb + hedge_extra_mb; }
+};
+
 // RAII handle for a model placement: holds the memory reservation on a
-// device until destroyed.
+// device until destroyed. The reservation covers the request's peak
+// footprint (steady state plus hedge headroom).
 class Placement {
  public:
   Placement(Device* device, uint64_t memory_mb)
-      : device_(device), memory_mb_(memory_mb) {}
+      : Placement(device, PlacementRequest{memory_mb, 0}) {}
+  Placement(Device* device, const PlacementRequest& request)
+      : device_(device), request_(request) {}
   ~Placement() {
-    if (device_ != nullptr) device_->ReleaseMemory(memory_mb_);
+    if (device_ != nullptr) device_->ReleaseMemory(request_.total_mb());
   }
 
   Placement(const Placement&) = delete;
   Placement& operator=(const Placement&) = delete;
   Placement(Placement&& other) noexcept
-      : device_(other.device_), memory_mb_(other.memory_mb_) {
+      : device_(other.device_), request_(other.request_) {
     other.device_ = nullptr;
   }
 
   Device* device() const { return device_; }
-  uint64_t memory_mb() const { return memory_mb_; }
+  uint64_t memory_mb() const { return request_.memory_mb; }
+  uint64_t hedge_extra_mb() const { return request_.hedge_extra_mb; }
+  uint64_t total_mb() const { return request_.total_mb(); }
 
  private:
   Device* device_;
-  uint64_t memory_mb_;
+  PlacementRequest request_;
 };
 
 // The platform's hardware layer (§3.2): owns the device fleet, exposes
@@ -51,7 +68,14 @@ class HardwareManager {
 
   // Places a model requiring `memory_mb`; prefers the GPU with the most
   // free memory, else the CPU device. ResourceExhausted when nothing fits.
+  // Identical to Place({memory_mb, 0}) — kept for plain (non-hedged) loads.
   StatusOr<std::unique_ptr<Placement>> Place(uint64_t memory_mb);
+
+  // Hedge-aware placement: fits the request's *peak* footprint
+  // (steady-state + hedge headroom), so a device that only fits the group
+  // between races is rejected and the load re-packs onto one that can host
+  // the race — falling back to CPU like any other load.
+  StatusOr<std::unique_ptr<Placement>> Place(const PlacementRequest& request);
 
   // Snapshot of every device (nvidia-smi substitute).
   std::vector<DeviceTelemetry> Snapshot() const;

@@ -271,6 +271,17 @@ HedgedModel::HedgedModel(std::shared_ptr<LanguageModel> primary,
     : primary_(std::move(primary)),
       backups_(std::move(backups)),
       config_(config) {
+  // Normalise the adaptation bounds so a misconfigured pair cannot invert
+  // the clamp; the static percentile starts inside them when adapting.
+  if (config_.min_percentile > config_.max_percentile) {
+    std::swap(config_.min_percentile, config_.max_percentile);
+  }
+  config_.min_percentile = std::clamp(config_.min_percentile, 0.0, 1.0);
+  config_.max_percentile = std::clamp(config_.max_percentile, 0.0, 1.0);
+  effective_percentile_ =
+      config_.adapt ? std::clamp(config_.percentile, config_.min_percentile,
+                                 config_.max_percentile)
+                    : config_.percentile;
   const size_t window = std::max<size_t>(1, config_.latency_window);
   windows_.reserve(replica_count());
   for (size_t i = 0; i < replica_count(); ++i) {
@@ -334,8 +345,54 @@ double HedgedModel::ThresholdFor(size_t replica) const {
   if (window.size() < std::max<size_t>(1, config_.min_samples)) {
     return std::numeric_limits<double>::infinity();
   }
-  return std::max(window.Quantile(config_.percentile),
+  return std::max(window.Quantile(effective_percentile_),
                   config_.min_threshold_seconds);
+}
+
+std::optional<std::pair<double, double>> HedgedModel::ApplyRewardFavour(
+    double favour) const {
+  if (!config_.adapt) return std::nullopt;
+  favour = std::clamp(favour, 0.0, 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  last_favour_ = favour;
+  const double target =
+      config_.max_percentile -
+      favour * (config_.max_percentile - config_.min_percentile);
+  if (target == effective_percentile_) return std::nullopt;
+  const double old = effective_percentile_;
+  effective_percentile_ = target;
+  ++adaptations_;
+  return std::make_pair(old, target);
+}
+
+double HedgedModel::effective_percentile() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return effective_percentile_;
+}
+
+size_t HedgedModel::adaptations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return adaptations_;
+}
+
+double HedgedModel::last_favour() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_favour_;
+}
+
+std::vector<QuantileWindow::Snapshot> HedgedModel::SketchSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QuantileWindow::Snapshot> out;
+  out.reserve(windows_.size());
+  for (const auto& window : windows_) out.push_back(window.snapshot());
+  return out;
+}
+
+void HedgedModel::RestoreSketches(
+    const std::vector<QuantileWindow::Snapshot>& sketches) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = std::min(sketches.size(), windows_.size());
+  for (size_t i = 0; i < n; ++i) windows_[i].Restore(sketches[i]);
 }
 
 void HedgedModel::CountHedge(size_t launched, size_t won, size_t lost,

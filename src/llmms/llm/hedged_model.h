@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,6 +41,18 @@ struct HedgeConfig {
   // When the serving stream dies (start refused or a mid-stream error), try
   // the remaining backups instead of surfacing the error.
   bool failover_on_error = true;
+
+  // --- Adaptive thresholds (DESIGN.md §11). ---
+  // When true, orchestrator-level reward observations (published through
+  // core::RewardFeed) move the *effective* percentile inside
+  // [min_percentile, max_percentile]: a model the orchestrator favours
+  // hedges earlier (lower percentile — its tail latency costs the most
+  // budget), a cold or penalised model hedges conservatively. `percentile`
+  // above is the static starting point, clamped into the bounds. When
+  // false, the percentile never moves (PR 3 behaviour).
+  bool adapt = false;
+  double min_percentile = 0.50;
+  double max_percentile = 0.95;
 };
 
 // Hedging decorator: wraps a primary LanguageModel plus one or more backup
@@ -120,6 +133,35 @@ class HedgedModel final : public LanguageModel {
   };
   std::vector<ReplicaLatency> LatencySnapshot() const;
 
+  // --- Adaptive-threshold feedback (config().adapt, DESIGN.md §11). ---
+  // Applies a pool-relative reward favour in [0, 1] (0 = cold/worst,
+  // 1 = the pool's best model): the effective percentile becomes
+  //   max_percentile - favour * (max_percentile - min_percentile)
+  // so a favoured model hedges earlier. Returns {old, new} when the
+  // effective percentile changed, nullopt when it did not (or adaptation is
+  // disabled) — callers emit a trace event only on change. Layering note:
+  // this class knows nothing of core::RewardFeed; the feed calls this
+  // through a subscriber lambda wired at the core layer.
+  std::optional<std::pair<double, double>> ApplyRewardFavour(
+      double favour) const;
+  // The percentile ThresholdFor() currently uses (== config().percentile
+  // when adaptation is off or no reward has arrived yet).
+  double effective_percentile() const;
+  // How many times the effective percentile moved / the last favour seen,
+  // for /api/health.
+  size_t adaptations() const;
+  double last_favour() const;
+
+  // --- Warm-start sketches (llm::StateStore, DESIGN.md §11). ---
+  // The per-replica latency windows as durable snapshots (index 0 =
+  // primary), and their restoration into a freshly constructed group so a
+  // restarted node hedges with real percentiles from its first request.
+  // Restore matches snapshots to replicas by index and ignores extras
+  // (replica topology may have changed across the restart).
+  std::vector<QuantileWindow::Snapshot> SketchSnapshot() const;
+  void RestoreSketches(
+      const std::vector<QuantileWindow::Snapshot>& sketches) const;
+
   // Internal, used by the stream: records one chunk latency of a replica.
   void RecordLatency(size_t replica, double seconds) const;
   // Internal: the current hedge threshold of a replica, or +infinity while
@@ -143,6 +185,9 @@ class HedgedModel final : public LanguageModel {
   mutable std::mutex mu_;
   mutable std::vector<QuantileWindow> windows_;  // one per replica
   mutable Stats stats_;
+  mutable double effective_percentile_;  // moves inside [min, max] bounds
+  mutable double last_favour_ = 0.0;
+  mutable size_t adaptations_ = 0;
 };
 
 }  // namespace llmms::llm

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <future>
 
+#include "llmms/llm/hedged_model.h"
+
 namespace llmms::llm {
 
 StatusOr<Chunk> ParallelGeneration::NextChunkLocked(Entry* entry,
@@ -146,10 +148,40 @@ Status ModelRuntime::LoadModel(const std::string& name) {
   LLMMS_ASSIGN_OR_RETURN(auto model, registry_->Get(name));
   std::lock_guard<std::mutex> lock(mu_);
   if (loaded_.count(name) > 0) return Status::OK();
-  LLMMS_ASSIGN_OR_RETURN(auto placement,
-                         hardware_->Place(model->memory_mb()));
+  hardware::PlacementRequest request;
+  request.memory_mb = model->memory_mb();
+  if (auto hedged = std::dynamic_pointer_cast<HedgedModel>(model)) {
+    // A hedge race holds the serving replica and one backup resident at the
+    // same time; reserve headroom for the largest backup so the race cannot
+    // OOM a device that only fits the steady state.
+    for (const auto& backup : hedged->backups()) {
+      request.hedge_extra_mb =
+          std::max(request.hedge_extra_mb, backup->memory_mb());
+    }
+  }
+  LLMMS_ASSIGN_OR_RETURN(auto placement, hardware_->Place(request));
   loaded_[name] = LoadedModel{std::move(model), std::move(placement)};
   return Status::OK();
+}
+
+std::vector<ModelRuntime::PlacementInfo> ModelRuntime::PlacementSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PlacementInfo> out;
+  out.reserve(loaded_.size());
+  for (const auto& [name, loaded] : loaded_) {
+    PlacementInfo info;
+    info.model = name;
+    info.device = loaded.placement->device()->spec().name;
+    info.memory_mb = loaded.placement->memory_mb();
+    info.hedge_extra_mb = loaded.placement->hedge_extra_mb();
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PlacementInfo& a, const PlacementInfo& b) {
+              return a.model < b.model;
+            });
+  return out;
 }
 
 Status ModelRuntime::UnloadModel(const std::string& name) {

@@ -115,11 +115,25 @@ class ModelRuntime {
   ModelRuntime& operator=(const ModelRuntime&) = delete;
 
   // Loads a registered model onto the best available device, reserving its
-  // memory footprint. Loading an already-loaded model is a no-op.
+  // memory footprint. A HedgedModel reserves its *peak* footprint: the
+  // steady-state residency plus the largest backup replica, since a hedge
+  // race keeps two replicas resident simultaneously (DESIGN.md §11) — a
+  // device that only fits the group between races is skipped. Loading an
+  // already-loaded model is a no-op.
   Status LoadModel(const std::string& name);
   Status UnloadModel(const std::string& name);
   bool IsLoaded(const std::string& name) const;
   std::vector<std::string> LoadedModels() const;
+
+  // Where each loaded model sits and what it reserves, sorted by model name
+  // (the /api/health placement block).
+  struct PlacementInfo {
+    std::string model;
+    std::string device;
+    uint64_t memory_mb = 0;       // steady-state footprint
+    uint64_t hedge_extra_mb = 0;  // extra headroom reserved for hedge races
+  };
+  std::vector<PlacementInfo> PlacementSnapshot() const;
 
   // Starts a parallel generation across `models` (all must be loaded —
   // asking for an unloaded model fails the whole call, a config error). A

@@ -1,0 +1,272 @@
+#include "llmms/llm/state_store.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "llmms/llm/hedged_model.h"
+
+namespace llmms::llm {
+namespace {
+
+Json TransitionToJson(const CircuitBreaker::Transition& transition) {
+  Json out = Json::MakeObject();
+  out.Set("from", CircuitStateToString(transition.from));
+  out.Set("to", CircuitStateToString(transition.to));
+  out.Set("at_call", static_cast<size_t>(transition.at_call));
+  return out;
+}
+
+CircuitBreaker::State StateFromString(const std::string& name) {
+  if (name == "open") return CircuitBreaker::State::kOpen;
+  if (name == "half-open") return CircuitBreaker::State::kHalfOpen;
+  return CircuitBreaker::State::kClosed;
+}
+
+}  // namespace
+
+Json StateStore::BreakerToJson(const CircuitBreaker::Snapshot& snapshot) {
+  Json out = Json::MakeObject();
+  out.Set("state", CircuitStateToString(snapshot.state));
+  out.Set("consecutive_failures", snapshot.consecutive_failures);
+  out.Set("total_failures", snapshot.total_failures);
+  out.Set("fast_rejections", snapshot.fast_rejections);
+  out.Set("rejections_since_open", snapshot.rejections_since_open);
+  out.Set("probe_successes", snapshot.probe_successes);
+  out.Set("call_clock", static_cast<size_t>(snapshot.call_clock));
+  Json history = Json::MakeArray();
+  for (const auto& transition : snapshot.history) {
+    history.Append(TransitionToJson(transition));
+  }
+  out.Set("history", std::move(history));
+  return out;
+}
+
+CircuitBreaker::Snapshot StateStore::BreakerFromJson(const Json& json) {
+  CircuitBreaker::Snapshot out;
+  out.state = StateFromString(json["state"].AsString());
+  out.consecutive_failures =
+      static_cast<size_t>(json["consecutive_failures"].AsInt());
+  out.total_failures = static_cast<size_t>(json["total_failures"].AsInt());
+  out.fast_rejections = static_cast<size_t>(json["fast_rejections"].AsInt());
+  out.rejections_since_open =
+      static_cast<size_t>(json["rejections_since_open"].AsInt());
+  out.probe_successes = static_cast<size_t>(json["probe_successes"].AsInt());
+  out.call_clock = static_cast<uint64_t>(json["call_clock"].AsInt());
+  if (json["history"].is_array()) {
+    for (const Json& entry : json["history"].AsArray()) {
+      CircuitBreaker::Transition transition;
+      transition.from = StateFromString(entry["from"].AsString());
+      transition.to = StateFromString(entry["to"].AsString());
+      transition.at_call = static_cast<uint64_t>(entry["at_call"].AsInt());
+      out.history.push_back(transition);
+    }
+  }
+  return out;
+}
+
+Json StateStore::SketchesToJson(
+    const std::vector<QuantileWindow::Snapshot>& sketches) {
+  Json out = Json::MakeArray();
+  for (const auto& sketch : sketches) {
+    Json entry = Json::MakeObject();
+    entry.Set("capacity", sketch.capacity);
+    entry.Set("count", sketch.count);
+    Json samples = Json::MakeArray();
+    for (double value : sketch.samples) samples.Append(value);
+    entry.Set("samples", std::move(samples));
+    out.Append(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<QuantileWindow::Snapshot> StateStore::SketchesFromJson(
+    const Json& json) {
+  std::vector<QuantileWindow::Snapshot> out;
+  if (!json.is_array()) return out;
+  for (const Json& entry : json.AsArray()) {
+    QuantileWindow::Snapshot sketch;
+    sketch.capacity = static_cast<size_t>(entry["capacity"].AsInt());
+    sketch.count = static_cast<size_t>(entry["count"].AsInt());
+    if (entry["samples"].is_array()) {
+      for (const Json& value : entry["samples"].AsArray()) {
+        sketch.samples.push_back(value.AsDouble());
+      }
+    }
+    out.push_back(std::move(sketch));
+  }
+  return out;
+}
+
+StateStore::StateStore(std::string path) : path_(std::move(path)) {}
+
+Status StateStore::Load() {
+  load_warning_.clear();
+  std::ifstream in(path_);
+  if (!in.is_open()) return Status::OK();  // first run: nothing saved yet
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) return Status::OK();
+
+  // Corruption policy: parse the whole file *before* committing anything.
+  // Truncated or garbage state cold-starts the node — never a crash, never
+  // a half-restore — and the reason is kept for the operator.
+  auto cold_start = [this](const std::string& why) {
+    load_warning_ = "state store '" + path_ + "' " + why +
+                    "; cold-starting with empty state";
+    std::lock_guard<std::mutex> lock(mu_);
+    breakers_.clear();
+    sketches_.clear();
+    return Status::OK();
+  };
+
+  auto parsed = Json::Parse(text);
+  if (!parsed.ok()) {
+    return cold_start("is not valid JSON (" + parsed.status().message() + ")");
+  }
+  const Json& doc = parsed.value();
+  if (!doc.is_object()) {
+    return cold_start("must be a JSON object");
+  }
+
+  std::map<std::string, CircuitBreaker::Snapshot> breakers;
+  std::map<std::string, std::vector<QuantileWindow::Snapshot>> sketches;
+  if (doc.Contains("breakers") || doc.Contains("sketches")) {
+    if (doc.Contains("breakers")) {
+      if (!doc["breakers"].is_object()) {
+        return cold_start("has a non-object 'breakers' section");
+      }
+      for (const auto& [model, snapshot] : doc["breakers"].AsObject()) {
+        breakers[model] = BreakerFromJson(snapshot);
+      }
+    }
+    if (doc.Contains("sketches")) {
+      if (!doc["sketches"].is_object()) {
+        return cold_start("has a non-object 'sketches' section");
+      }
+      for (const auto& [model, sketch] : doc["sketches"].AsObject()) {
+        sketches[model] = SketchesFromJson(sketch);
+      }
+    }
+  } else {
+    // Legacy BreakerStore layout: model -> breaker snapshot at top level.
+    for (const auto& [model, snapshot] : doc.AsObject()) {
+      if (!snapshot.is_object()) {
+        return cold_start("is neither the current nor the legacy layout");
+      }
+      breakers[model] = BreakerFromJson(snapshot);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  breakers_ = std::move(breakers);
+  sketches_ = std::move(sketches);
+  return Status::OK();
+}
+
+void StateStore::AttachBreaker(const std::string& model,
+                               CircuitBreaker* breaker) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = breakers_.find(model);
+    if (it != breakers_.end()) breaker->Restore(it->second);
+  }
+  breaker->SetTransitionListener(
+      [this, model](const CircuitBreaker::Snapshot& snapshot) {
+        UpdateBreaker(model, snapshot);
+      });
+}
+
+void StateStore::AttachSketches(const std::string& model,
+                                std::shared_ptr<const HedgedModel> hedged) {
+  std::vector<QuantileWindow::Snapshot> saved;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sketches_.find(model);
+    if (it != sketches_.end()) saved = it->second;
+    hedged_[model] = hedged;
+  }
+  // Restoring outside the store lock: RestoreSketches takes the model's own
+  // lock, and a model method must never run under ours (same discipline as
+  // the breaker transition listener).
+  if (!saved.empty()) hedged->RestoreSketches(saved);
+}
+
+void StateStore::UpdateBreaker(const std::string& model,
+                               const CircuitBreaker::Snapshot& snapshot) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    breakers_[model] = snapshot;
+  }
+  // Persistence is best-effort on the transition path: a full disk must not
+  // fail a generation. SaveNow() reports errors for explicit callers.
+  (void)SaveNow();
+}
+
+Status StateStore::SaveNow() {
+  // Snapshot the live groups outside the store lock (SketchSnapshot takes
+  // each model's own lock; model methods never run under ours).
+  std::map<std::string, std::shared_ptr<const HedgedModel>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live = hedged_;
+  }
+  std::map<std::string, std::vector<QuantileWindow::Snapshot>> fresh;
+  for (const auto& [model, hedged] : live) {
+    fresh[model] = hedged->SketchSnapshot();
+  }
+
+  Json breakers = Json::MakeObject();
+  Json sketches = Json::MakeObject();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Refresh the saved sketches from the live snapshots, so the file
+    // always carries the newest windows (and a model detached later keeps
+    // its last snapshot).
+    for (auto& [model, sketch] : fresh) {
+      sketches_[model] = std::move(sketch);
+    }
+    for (const auto& [model, snapshot] : breakers_) {
+      breakers.Set(model, BreakerToJson(snapshot));
+    }
+    for (const auto& [model, sketch] : sketches_) {
+      sketches.Set(model, SketchesToJson(sketch));
+    }
+  }
+  Json doc = Json::MakeObject();
+  doc.Set("breakers", std::move(breakers));
+  doc.Set("sketches", std::move(sketches));
+
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::IOError("cannot write state store temp file '" + tmp +
+                             "'");
+    }
+    out << doc.Dump(2) << '\n';
+    if (!out.good()) {
+      return Status::IOError("short write to state store temp file '" + tmp +
+                             "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::IOError("cannot rename '" + tmp + "' over '" + path_ +
+                           "'");
+  }
+  return Status::OK();
+}
+
+bool StateStore::HasBreaker(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breakers_.find(model) != breakers_.end();
+}
+
+bool StateStore::HasSketches(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sketches_.find(model) != sketches_.end();
+}
+
+}  // namespace llmms::llm

@@ -1,0 +1,114 @@
+#ifndef LLMMS_LLM_STATE_STORE_H_
+#define LLMMS_LLM_STATE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "llmms/common/json.h"
+#include "llmms/common/quantile_window.h"
+#include "llmms/common/status.h"
+#include "llmms/llm/resilient_model.h"
+
+namespace llmms::llm {
+
+class HedgedModel;
+
+// Durable node state (the generalisation of PR 1's BreakerStore): one JSON
+// file holding, per model,
+//   - the circuit-breaker snapshot, so a model quarantined by a tripped
+//     breaker stays quarantined across restarts, and
+//   - the per-replica latency-percentile sketches of a hedged group, so a
+//     restarted node hedges with real percentiles from its first request
+//     instead of re-running the min_samples cold-start ramp (DESIGN.md §11).
+//
+// File shape:
+//   { "breakers": { "<model>": {<CircuitBreaker::Snapshot>} },
+//     "sketches": { "<model>": [ {<QuantileWindow::Snapshot>}, ... ] } }
+// The pre-StateStore flat format (model -> breaker snapshot at top level)
+// is still read, so PR 1 state files survive the upgrade.
+//
+// Usage:
+//   StateStore store("/var/lib/llmms/state.json");
+//   store.Load();                        // never fails the boot: a missing
+//                                        // OR corrupt file cold-starts (the
+//                                        // problem lands in load_warning())
+//   store.AttachBreaker("m1", breaker);  // restore + save on transitions
+//   store.AttachSketches("m1", hedged);  // restore + included in SaveNow()
+//
+// Writes are atomic (temp file + rename), so a crash mid-write leaves the
+// previous snapshot readable. Restores are all-or-nothing: the file is
+// parsed completely before any state is committed, so a truncated file can
+// never half-restore.
+//
+// AttachBreaker() installs a transition listener that rewrites the file on
+// every breaker state change (which also persists the current sketches —
+// there is no equivalent "transition" for a latency window, so sketches
+// ride along with breaker saves and explicit SaveNow() calls; ApiService
+// flushes once more at shutdown). The listener runs outside the breaker
+// lock (see CircuitBreaker::SetTransitionListener), so saving cannot
+// deadlock. The store must outlive every attached breaker (or the
+// listeners must be cleared first); ApiService owns both, in that order.
+class StateStore {
+ public:
+  explicit StateStore(std::string path);
+
+  // Reads the file. A missing or empty file is a clean first run; a
+  // malformed one degrades to the same empty store — a node must never
+  // refuse to boot over a bad state file — with the parse problem kept in
+  // load_warning(). Only I/O-level surprises (e.g. the path is a
+  // directory) return an error.
+  Status Load();
+
+  // Why the last Load() cold-started despite the file existing; empty when
+  // the load was clean.
+  const std::string& load_warning() const { return load_warning_; }
+
+  // Restores `model`'s saved breaker snapshot into `breaker` (no-op if the
+  // store has none) and subscribes to its transitions so future changes are
+  // persisted.
+  void AttachBreaker(const std::string& model, CircuitBreaker* breaker);
+
+  // Restores `model`'s saved sketches into `hedged` (no-op if the store has
+  // none) and registers the group so SaveNow() persists its live windows.
+  // The store keeps a reference: `hedged` stays alive at least as long as
+  // the store.
+  void AttachSketches(const std::string& model,
+                      std::shared_ptr<const HedgedModel> hedged);
+
+  // Serializes breakers + the attached groups' current sketches to the file
+  // (atomically via a temp file + rename).
+  Status SaveNow();
+
+  const std::string& path() const { return path_; }
+
+  // True if the store holds saved state for `model` (loaded or recorded).
+  bool HasBreaker(const std::string& model) const;
+  bool HasSketches(const std::string& model) const;
+
+  // JSON (de)serialization, exposed for tests.
+  static Json BreakerToJson(const CircuitBreaker::Snapshot& snapshot);
+  static CircuitBreaker::Snapshot BreakerFromJson(const Json& json);
+  static Json SketchesToJson(const std::vector<QuantileWindow::Snapshot>& s);
+  static std::vector<QuantileWindow::Snapshot> SketchesFromJson(
+      const Json& json);
+
+ private:
+  void UpdateBreaker(const std::string& model,
+                     const CircuitBreaker::Snapshot& snapshot);
+
+  const std::string path_;
+  std::string load_warning_;
+  mutable std::mutex mu_;
+  std::map<std::string, CircuitBreaker::Snapshot> breakers_;
+  // Saved sketches (from Load, or the last snapshot of a detached model)…
+  std::map<std::string, std::vector<QuantileWindow::Snapshot>> sketches_;
+  // …and the live groups whose windows SaveNow() snapshots fresh.
+  std::map<std::string, std::shared_ptr<const HedgedModel>> hedged_;
+};
+
+}  // namespace llmms::llm
+
+#endif  // LLMMS_LLM_STATE_STORE_H_

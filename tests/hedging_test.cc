@@ -1,6 +1,6 @@
 // Tests for the hedging layer: QuantileWindow, HedgedModel race/failover
 // semantics and accounting, the probe-budget circuit breaker with transition
-// history, and durable breaker state (BreakerStore + /api/health).
+// history, and durable breaker state (StateStore + /api/health).
 //
 // Hedge races run in *simulated* time (chunk cost = extra_seconds +
 // tokens/tps), so every race in this file is deterministic: same seeds, same
@@ -18,7 +18,7 @@
 #include "llmms/app/service.h"
 #include "llmms/common/quantile_window.h"
 #include "llmms/core/single.h"
-#include "llmms/llm/breaker_store.h"
+#include "llmms/llm/state_store.h"
 #include "llmms/llm/fault_injection.h"
 #include "llmms/llm/hedged_model.h"
 #include "llmms/llm/resilient_model.h"
@@ -796,7 +796,7 @@ TEST(CircuitBreakerTest, TransitionListenerFiresOutsideTheLock) {
   breaker.SetTransitionListener(
       [&breaker, &seen](const llm::CircuitBreaker::Snapshot& snapshot) {
         // Re-entering the breaker from the listener must not deadlock —
-        // exactly what BreakerStore does when it saves.
+        // exactly what StateStore does when it saves.
         (void)breaker.snapshot();
         seen.push_back(snapshot);
       });
@@ -806,15 +806,16 @@ TEST(CircuitBreakerTest, TransitionListenerFiresOutsideTheLock) {
 }
 
 // ---------------------------------------------------------------------------
-// BreakerStore: durable breaker state
+// StateStore: durable breaker state (see adaptive_hedging_test.cc for the
+// sketch side and the corruption-policy suite)
 
-TEST(BreakerStoreTest, SnapshotJsonRoundTrips) {
+TEST(StateStoreTest, SnapshotJsonRoundTrips) {
   llm::CircuitBreaker breaker(1, 1);
   breaker.RecordFailure();
   EXPECT_FALSE(breaker.AllowRequest());
   const auto snapshot = breaker.snapshot();
-  const auto json = llm::BreakerStore::SnapshotToJson(snapshot);
-  const auto back = llm::BreakerStore::SnapshotFromJson(json);
+  const auto json = llm::StateStore::BreakerToJson(snapshot);
+  const auto back = llm::StateStore::BreakerFromJson(json);
   EXPECT_EQ(back.state, snapshot.state);
   EXPECT_EQ(back.total_failures, snapshot.total_failures);
   EXPECT_EQ(back.fast_rejections, snapshot.fast_rejections);
@@ -826,16 +827,16 @@ TEST(BreakerStoreTest, SnapshotJsonRoundTrips) {
   }
 }
 
-TEST(BreakerStoreTest, StateSurvivesRestart) {
+TEST(StateStoreTest, StateSurvivesRestart) {
   const std::string path = ::testing::TempDir() + "/breakers.json";
   std::remove(path.c_str());
 
   // Process 1: attach, trip the breaker; every transition saves.
   {
-    llm::BreakerStore store(path);
+    llm::StateStore store(path);
     ASSERT_TRUE(store.Load().ok());
     llm::CircuitBreaker breaker(2, 4);
-    store.Attach("m1", &breaker);
+    store.AttachBreaker("m1", &breaker);
     breaker.RecordFailure();
     breaker.RecordFailure();  // trips -> saved
     EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kOpen);
@@ -844,11 +845,11 @@ TEST(BreakerStoreTest, StateSurvivesRestart) {
 
   // Process 2 ("restart"): a fresh breaker resumes open, with history.
   {
-    llm::BreakerStore store(path);
+    llm::StateStore store(path);
     ASSERT_TRUE(store.Load().ok());
-    EXPECT_TRUE(store.Has("m1"));
+    EXPECT_TRUE(store.HasBreaker("m1"));
     llm::CircuitBreaker breaker(2, 4);
-    store.Attach("m1", &breaker);
+    store.AttachBreaker("m1", &breaker);
     EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kOpen);
     EXPECT_EQ(breaker.total_failures(), 2u);
     ASSERT_EQ(breaker.history().size(), 1u);
@@ -857,13 +858,16 @@ TEST(BreakerStoreTest, StateSurvivesRestart) {
   }
 }
 
-TEST(BreakerStoreTest, MissingFileIsEmptyStore) {
-  llm::BreakerStore store(::testing::TempDir() + "/does-not-exist.json");
+TEST(StateStoreTest, MissingFileIsEmptyStore) {
+  llm::StateStore store(::testing::TempDir() + "/does-not-exist.json");
   EXPECT_TRUE(store.Load().ok());
-  EXPECT_FALSE(store.Has("anything"));
+  EXPECT_FALSE(store.HasBreaker("anything"));
 }
 
-TEST(BreakerStoreTest, MalformedFileIsAnError) {
+TEST(StateStoreTest, MalformedFileColdStartsWithWarning) {
+  // A corrupt state file must never stop the node from booting: Load()
+  // degrades to an empty store and reports why through load_warning().
+  // (The full corruption matrix lives in adaptive_hedging_test.cc.)
   const std::string path = ::testing::TempDir() + "/garbage.json";
   {
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -871,8 +875,10 @@ TEST(BreakerStoreTest, MalformedFileIsAnError) {
     std::fputs("{not json", f);
     std::fclose(f);
   }
-  llm::BreakerStore store(path);
-  EXPECT_FALSE(store.Load().ok());
+  llm::StateStore store(path);
+  EXPECT_TRUE(store.Load().ok());
+  EXPECT_FALSE(store.load_warning().empty());
+  EXPECT_FALSE(store.HasBreaker("anything"));
 }
 
 // ---------------------------------------------------------------------------
@@ -985,7 +991,7 @@ TEST_F(HedgedServiceTest, BreakerStateSurvivesServiceRestart) {
   const std::string path = ::testing::TempDir() + "/svc-breakers.json";
   std::remove(path.c_str());
 
-  ASSERT_TRUE(service_->EnableBreakerPersistence(path).ok());
+  ASSERT_TRUE(service_->EnableStatePersistence(path).ok());
   auto* breaker = primary_resilient_->mutable_breaker();
   breaker->RecordFailure();
   breaker->RecordFailure();
@@ -995,7 +1001,7 @@ TEST_F(HedgedServiceTest, BreakerStateSurvivesServiceRestart) {
 
   // "Restart": a brand-new world and service over the same file.
   SetUp();
-  ASSERT_TRUE(service_->EnableBreakerPersistence(path).ok());
+  ASSERT_TRUE(service_->EnableStatePersistence(path).ok());
   EXPECT_EQ(primary_resilient_->breaker().state(),
             llm::CircuitBreaker::State::kOpen)
       << "tripped breaker must stay tripped across restart";

@@ -1,0 +1,251 @@
+// Property tests for QuantileWindow: the nearest-rank estimator is checked
+// against a naive sort-based reference on randomized (but seeded, hence
+// reproducible) sequences, the ring buffer is checked to hold exactly the
+// last `capacity` samples, and Snapshot/Restore is checked to round-trip
+// the window bit-for-bit — including the min_samples cold-start boundary a
+// restored HedgedModel sketch must respect.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llmms/common/quantile_window.h"
+#include "llmms/common/rng.h"
+#include "llmms/llm/hedged_model.h"
+
+namespace llmms {
+namespace {
+
+// The reference: sort the window and take the nearest-rank sample, i.e. the
+// ceil(q*n)-th smallest (1-based), with q clamped into [0, 1].
+double NaiveQuantile(std::vector<double> samples, double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+  rank = std::clamp<size_t>(rank, 1, n);
+  return samples[rank - 1];
+}
+
+// A latency-shaped sample: mostly small values with occasional spikes, the
+// distribution hedging actually sees.
+double LatencySample(Rng* rng) {
+  if (rng->Bernoulli(0.1)) return rng->Uniform(50.0, 100.0);
+  return rng->Uniform(0.0, 10.0);
+}
+
+const double kQGrid[] = {0.0,  0.01, 0.1, 0.25, 0.5,
+                         0.75, 0.9,  0.95, 0.99, 1.0};
+
+TEST(QuantileWindowPropertyTest, MatchesNaiveReferenceOnRandomSequences) {
+  const size_t kCapacities[] = {1, 2, 3, 7, 16, 64};
+  const uint64_t kSeeds[] = {1, 42, 0xBADC0FFEE};
+  for (size_t capacity : kCapacities) {
+    for (uint64_t seed : kSeeds) {
+      Rng rng(seed);
+      QuantileWindow window(capacity);
+      std::deque<double> recent;  // the last `capacity` samples, oldest first
+      for (int i = 0; i < 200; ++i) {
+        const double value = LatencySample(&rng);
+        window.Add(value);
+        recent.push_back(value);
+        if (recent.size() > capacity) recent.pop_front();
+        const std::vector<double> reference(recent.begin(), recent.end());
+        for (double q : kQGrid) {
+          ASSERT_DOUBLE_EQ(window.Quantile(q), NaiveQuantile(reference, q))
+              << "capacity=" << capacity << " seed=" << seed << " add=" << i
+              << " q=" << q;
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantileWindowPropertyTest, FullRankSweepRecoversTheSortedWindow) {
+  // Querying q = (k+0.5)/n for every k must walk the sorted window exactly
+  // — the strongest form of the nearest-rank contract (the midpoint avoids
+  // the float-rounding ambiguity of exact rank boundaries).
+  Rng rng(7);
+  QuantileWindow window(48);
+  std::vector<double> values;
+  for (int i = 0; i < 48; ++i) {
+    const double v = LatencySample(&rng);
+    window.Add(v);
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  for (size_t k = 0; k < values.size(); ++k) {
+    const double q = (static_cast<double>(k) + 0.5) / n;
+    EXPECT_DOUBLE_EQ(window.Quantile(q), values[k]) << "rank " << k;
+  }
+}
+
+TEST(QuantileWindowPropertyTest, EvictionKeepsExactlyTheLastCapacitySamples) {
+  // Long past the first wrap-around, the window must behave as if only the
+  // most recent `capacity` samples ever existed.
+  const size_t capacity = 9;
+  Rng rng(1234);
+  QuantileWindow window(capacity);
+  std::deque<double> recent;
+  for (int i = 0; i < 10 * static_cast<int>(capacity) + 3; ++i) {
+    const double v = rng.Uniform(-5.0, 5.0);
+    window.Add(v);
+    recent.push_back(v);
+    if (recent.size() > capacity) recent.pop_front();
+  }
+  EXPECT_EQ(window.size(), capacity);
+  EXPECT_EQ(window.count(), 10 * capacity + 3);
+  EXPECT_DOUBLE_EQ(window.last(), recent.back());
+  std::vector<double> reference(recent.begin(), recent.end());
+  std::sort(reference.begin(), reference.end());
+  EXPECT_DOUBLE_EQ(window.Quantile(0.0), reference.front());
+  EXPECT_DOUBLE_EQ(window.Quantile(1.0), reference.back());
+  for (size_t k = 0; k < capacity; ++k) {
+    const double q =
+        (static_cast<double>(k) + 0.5) / static_cast<double>(capacity);
+    EXPECT_DOUBLE_EQ(window.Quantile(q), reference[k]);
+  }
+}
+
+TEST(QuantileWindowPropertyTest, SnapshotRestoreRoundTripsExactly) {
+  const uint64_t kSeeds[] = {3, 99, 2026};
+  for (uint64_t seed : kSeeds) {
+    Rng rng(seed);
+    QuantileWindow original(16);
+    // Past capacity, so the snapshot has to unwrap the ring correctly.
+    for (int i = 0; i < 41; ++i) original.Add(LatencySample(&rng));
+
+    const auto snapshot = original.snapshot();
+    EXPECT_EQ(snapshot.capacity, 16u);
+    EXPECT_EQ(snapshot.count, 41u);
+    ASSERT_EQ(snapshot.samples.size(), original.size());
+
+    QuantileWindow restored(16);
+    restored.Restore(snapshot);
+    EXPECT_EQ(restored.size(), original.size());
+    EXPECT_EQ(restored.count(), original.count());
+    EXPECT_DOUBLE_EQ(restored.last(), original.last());
+    for (double q : kQGrid) {
+      EXPECT_DOUBLE_EQ(restored.Quantile(q), original.Quantile(q))
+          << "seed=" << seed << " q=" << q;
+    }
+
+    // The restored window must also EVOLVE identically: feeding both the
+    // same future keeps them indistinguishable (arrival order survived).
+    Rng future(seed ^ 0xF00D);
+    for (int i = 0; i < 20; ++i) {
+      const double v = LatencySample(&future);
+      original.Add(v);
+      restored.Add(v);
+      for (double q : kQGrid) {
+        ASSERT_DOUBLE_EQ(restored.Quantile(q), original.Quantile(q));
+      }
+    }
+
+    // Snapshot of the restored window equals a fresh snapshot of the
+    // original (idempotence of the round trip).
+    const auto again = restored.snapshot();
+    const auto fresh = original.snapshot();
+    EXPECT_EQ(again.count, fresh.count);
+    ASSERT_EQ(again.samples.size(), fresh.samples.size());
+    for (size_t i = 0; i < again.samples.size(); ++i) {
+      EXPECT_DOUBLE_EQ(again.samples[i], fresh.samples[i]);
+    }
+  }
+}
+
+TEST(QuantileWindowPropertyTest, RestoreIntoSmallerWindowKeepsMostRecent) {
+  QuantileWindow big(16);
+  for (int i = 1; i <= 16; ++i) big.Add(static_cast<double>(i));
+
+  QuantileWindow small(4);
+  small.Restore(big.snapshot());
+  // Only the most recent 4 samples (13, 14, 15, 16) survive — exactly as if
+  // they had been Add()ed live into the smaller ring.
+  EXPECT_EQ(small.size(), 4u);
+  EXPECT_EQ(small.count(), 16u);  // lifetime count restored from the snapshot
+  EXPECT_DOUBLE_EQ(small.Quantile(0.0), 13.0);
+  EXPECT_DOUBLE_EQ(small.Quantile(1.0), 16.0);
+  EXPECT_DOUBLE_EQ(small.last(), 16.0);
+}
+
+TEST(QuantileWindowPropertyTest, RestoreReplacesPriorContents) {
+  QuantileWindow window(8);
+  for (int i = 0; i < 5; ++i) window.Add(100.0);
+
+  QuantileWindow other(8);
+  other.Add(1.0);
+  other.Add(2.0);
+  window.Restore(other.snapshot());
+  EXPECT_EQ(window.size(), 2u);
+  EXPECT_EQ(window.count(), 2u);
+  EXPECT_DOUBLE_EQ(window.Quantile(1.0), 2.0);
+
+  // An empty snapshot empties the window.
+  window.Restore(QuantileWindow::Snapshot{});
+  EXPECT_TRUE(window.empty());
+}
+
+// ---------------------------------------------------------------------------
+// The min_samples cold-start boundary, seen through a restored HedgedModel
+// sketch: one sample short of min_samples still reports the +infinity
+// threshold (no hedge may fire), exactly min_samples flips to the real
+// percentile.
+
+class InertModel final : public llm::LanguageModel {
+ public:
+  explicit InertModel(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  uint64_t memory_mb() const override { return 1; }
+  double tokens_per_second() const override { return 0.0; }
+  size_t context_window() const override { return 4096; }
+  StatusOr<std::unique_ptr<llm::GenerationStream>> StartGeneration(
+      const llm::GenerationRequest&) const override {
+    return Status::Unimplemented("inert");
+  }
+
+ private:
+  std::string name_;
+};
+
+TEST(QuantileWindowPropertyTest, RestoredSketchHonoursMinSamplesBoundary) {
+  llm::HedgeConfig config;
+  config.min_samples = 8;
+  config.percentile = 0.5;
+
+  QuantileWindow::Snapshot sketch;
+  sketch.capacity = 128;
+  for (int i = 1; i <= 7; ++i) {
+    sketch.samples.push_back(static_cast<double>(i));
+  }
+  sketch.count = sketch.samples.size();
+
+  // 7 of 8 required samples: still cold, the threshold must stay infinite.
+  llm::HedgedModel seven(std::make_shared<InertModel>("m"),
+                         {std::make_shared<InertModel>("m")}, config);
+  seven.RestoreSketches({sketch});
+  EXPECT_TRUE(std::isinf(seven.ThresholdFor(0)));
+
+  // The 8th sample crosses the boundary: the threshold becomes the exact
+  // nearest-rank percentile of the restored history.
+  sketch.samples.push_back(8.0);
+  sketch.count = sketch.samples.size();
+  llm::HedgedModel eight(std::make_shared<InertModel>("m"),
+                         {std::make_shared<InertModel>("m")}, config);
+  eight.RestoreSketches({sketch});
+  EXPECT_FALSE(std::isinf(eight.ThresholdFor(0)));
+  EXPECT_DOUBLE_EQ(eight.ThresholdFor(0), 4.0);  // ceil(0.5*8) = 4th smallest
+
+  // The backup replica received no sketch and stays cold.
+  EXPECT_TRUE(std::isinf(eight.ThresholdFor(1)));
+}
+
+}  // namespace
+}  // namespace llmms
