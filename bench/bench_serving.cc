@@ -1,0 +1,248 @@
+// Closed-loop serving benchmark: the first recorded end-to-end performance
+// baseline for the HTTP front door (DESIGN.md §12). Drives the full stack —
+// socket server, admission control, ApiService, SearchEngine, orchestrators,
+// synthetic models — with concurrent closed-loop clients at 1x/2x/4x the
+// server's capacity (capacity = one in-flight request per worker) and
+// records per-multiple latency percentiles, served QPS, and shed rate into
+// BENCH_serving.json.
+//
+// Usage: bench_serving [output.json]
+//   LLMMS_BENCH_QPD       questions per domain for the synthetic dataset
+//   LLMMS_BENCH_REQS      requests per client per run (default 25)
+//   LLMMS_BENCH_WORKERS   server worker count (default 4)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "llmms/app/http_server.h"
+#include "llmms/app/service.h"
+#include "llmms/common/json.h"
+#include "llmms/core/search_engine.h"
+#include "llmms/session/session_store.h"
+#include "llmms/vectordb/database.h"
+
+namespace llmms::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return fallback;
+}
+
+double PercentileMs(std::vector<double> sorted_seconds, double p) {
+  if (sorted_seconds.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted_seconds.size() - 1,
+      static_cast<size_t>(std::ceil(p * sorted_seconds.size())) - 1);
+  return sorted_seconds[index] * 1e3;
+}
+
+struct RunResult {
+  size_t multiple = 0;
+  size_t clients = 0;
+  size_t requests = 0;
+  size_t served = 0;
+  size_t shed = 0;
+  size_t errors = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double shed_rate = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+// One closed-loop run: `clients` threads, each issuing `per_client`
+// sequential queries; every admitted (200) response contributes a latency
+// sample, every 503 counts as shed.
+RunResult RunClosedLoop(int port, const std::vector<llm::QaItem>& dataset,
+                        size_t multiple, size_t clients, size_t per_client) {
+  RunResult result;
+  result.multiple = multiple;
+  result.clients = clients;
+  result.requests = clients * per_client;
+
+  std::mutex mu;
+  std::vector<double> latencies;
+  std::atomic<size_t> served{0};
+  std::atomic<size_t> shed{0};
+  std::atomic<size_t> errors{0};
+
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c]() {
+      std::vector<double> local;
+      local.reserve(per_client);
+      for (size_t i = 0; i < per_client; ++i) {
+        Json body = Json::MakeObject();
+        body.Set("session", "bench-" + std::to_string(multiple) + "-" +
+                                std::to_string(c));
+        body.Set("query",
+                 dataset[(c * per_client + i) % dataset.size()].question);
+        body.Set("budget", 64);
+        body.Set("use_rag", false);
+        const auto sent = Clock::now();
+        auto response =
+            app::HttpFetch("127.0.0.1", port, "POST", "/api/query",
+                           body.Dump(), "application/json",
+                           /*timeout_seconds=*/60.0);
+        const double elapsed = SecondsSince(sent);
+        if (response.ok() && response->status == 200) {
+          ++served;
+          local.push_back(elapsed);
+        } else if (response.ok() && response->status == 503) {
+          ++shed;
+        } else {
+          ++errors;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  result.wall_seconds = SecondsSince(start);
+
+  result.served = served.load();
+  result.shed = shed.load();
+  result.errors = errors.load();
+  result.qps = result.wall_seconds > 0.0
+                   ? static_cast<double>(result.served) / result.wall_seconds
+                   : 0.0;
+  result.shed_rate = result.requests > 0
+                         ? static_cast<double>(result.shed) /
+                               static_cast<double>(result.requests)
+                         : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  result.p50_ms = PercentileMs(latencies, 0.50);
+  result.p95_ms = PercentileMs(latencies, 0.95);
+  result.p99_ms = PercentileMs(latencies, 0.99);
+  return result;
+}
+
+Json ToJson(const RunResult& r) {
+  Json row = Json::MakeObject();
+  row.Set("load_multiple", r.multiple);
+  row.Set("clients", r.clients);
+  row.Set("requests", r.requests);
+  row.Set("served", r.served);
+  row.Set("shed", r.shed);
+  row.Set("errors", r.errors);
+  row.Set("wall_seconds", r.wall_seconds);
+  row.Set("served_qps", r.qps);
+  row.Set("shed_rate", r.shed_rate);
+  row.Set("p50_ms", r.p50_ms);
+  row.Set("p95_ms", r.p95_ms);
+  row.Set("p99_ms", r.p99_ms);
+  return row;
+}
+
+int Main(int argc, char** argv) {
+  const std::string output =
+      argc > 1 ? argv[1] : std::string("BENCH_serving.json");
+  const size_t workers = EnvSize("LLMMS_BENCH_WORKERS", 4);
+  const size_t per_client = EnvSize("LLMMS_BENCH_REQS", 25);
+
+  auto world = MakeBenchWorld(EnvSize("LLMMS_BENCH_QPD", 8));
+  auto db = std::make_shared<vectordb::VectorDatabase>();
+  auto sessions = std::make_shared<session::SessionStore>();
+  core::SearchEngine engine(world.runtime.get(), world.embedder, db,
+                            sessions);
+  app::ApiService service(&engine);
+
+  app::HttpServerOptions options;
+  options.num_workers = workers;
+  options.max_queue = workers;  // one queued request per worker
+  options.request_timeout_seconds = 60.0;
+  options.socket_timeout_seconds = 60.0;
+  app::HttpServer server(&service, options);
+  if (auto status = server.Start(0); !status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  // Warmup: touch every layer (lazy caches, first-query session setup)
+  // before measuring.
+  (void)RunClosedLoop(server.port(), world.dataset, 0, workers,
+                      std::max<size_t>(2, per_client / 5));
+
+  std::fprintf(stderr,
+               "serving bench: %zu workers, queue %zu, %zu reqs/client\n",
+               workers, options.max_queue, per_client);
+  std::vector<RunResult> runs;
+  for (const size_t multiple : {size_t{1}, size_t{2}, size_t{4}}) {
+    const size_t clients = multiple * workers;
+    RunResult run = RunClosedLoop(server.port(), world.dataset, multiple,
+                                  clients, per_client);
+    std::fprintf(stderr,
+                 "  %zux: %zu clients  served %zu  shed %zu (%.0f%%)  "
+                 "qps %.1f  p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
+                 multiple, clients, run.served, run.shed,
+                 run.shed_rate * 100.0, run.qps, run.p50_ms, run.p95_ms,
+                 run.p99_ms);
+    runs.push_back(run);
+  }
+  const auto& stats = server.stats();
+  Json server_counters = stats.ToJson();
+  server.Stop();
+
+  Json config = Json::MakeObject();
+  config.Set("num_workers", workers);
+  config.Set("max_queue", options.max_queue);
+  config.Set("requests_per_client", per_client);
+  config.Set("dataset_questions", world.dataset.size());
+  config.Set("token_budget", 64);
+  config.Set("algorithm", "oua");
+
+  Json out = Json::MakeObject();
+  out.Set("bench", "serving");
+  out.Set("description",
+          "closed-loop load against the HTTP front door at 1x/2x/4x "
+          "capacity (capacity = num_workers concurrent clients); latency "
+          "percentiles are over admitted (200) responses only");
+  out.Set("config", std::move(config));
+  // Capacity is what the 1x run measured: every worker busy, no shedding.
+  out.Set("capacity_qps", runs.front().qps);
+  Json rows = Json::MakeArray();
+  for (const auto& run : runs) rows.Append(ToJson(run));
+  out.Set("runs", std::move(rows));
+  out.Set("server_counters", std::move(server_counters));
+
+  FILE* f = std::fopen(output.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", output.c_str());
+    return 1;
+  }
+  const std::string dump = out.Dump(2);
+  std::fwrite(dump.data(), 1, dump.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", output.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace llmms::bench
+
+int main(int argc, char** argv) { return llmms::bench::Main(argc, argv); }

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -9,6 +10,8 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <string_view>
@@ -20,7 +23,8 @@
 namespace llmms::app {
 namespace {
 
-// Sends all of `data` on `fd`; returns false on error.
+// Sends all of `data` on `fd`; returns false on error (including an expired
+// SO_SNDTIMEO — a peer that stopped reading).
 bool SendAll(int fd, std::string_view data) {
   size_t sent = 0;
   while (sent < data.size()) {
@@ -32,8 +36,38 @@ bool SendAll(int fd, std::string_view data) {
   return true;
 }
 
+void SetSocketTimeouts(int fd, double timeout_seconds) {
+  if (timeout_seconds <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+// Lingering half-close for responses sent before the request was fully
+// consumed (shed 503s, oversize 413s, slow-loris 408s). Closing with unread
+// bytes in the receive buffer makes TCP reset the connection, which can
+// destroy the in-flight response on the client side — exactly the response
+// telling it to back off. Instead: FIN our side, then discard whatever the
+// peer still sends until it closes (bounded by the fd's SO_RCVTIMEO).
+void HalfCloseAndDrain(int fd) {
+  ::shutdown(fd, SHUT_WR);
+  char discard[4096];
+  while (::recv(fd, discard, sizeof(discard), 0) > 0) {
+  }
+}
+
 // Reads one full HTTP request (head + Content-Length body) from `fd`.
-StatusOr<std::string> ReadRequest(int fd) {
+// Typed failures: DeadlineExceeded when SO_RCVTIMEO expires before the
+// request arrives (a slow-loris peer trickling bytes slower than the socket
+// deadline), ResourceExhausted when the head exceeds `max_head_bytes` or the
+// announced/observed body exceeds `max_body_bytes` — checked as soon as the
+// head (and its Content-Length) is parsed, so an oversized upload is
+// rejected before its body is pulled off the wire.
+StatusOr<std::string> ReadRequest(int fd, size_t max_head_bytes,
+                                  size_t max_body_bytes) {
   std::string buffer;
   char chunk[4096];
   size_t body_needed = std::string::npos;
@@ -46,7 +80,13 @@ StatusOr<std::string> ReadRequest(int fd) {
       return buffer;
     }
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) return Status::IOError("recv failed");
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded(
+            "request not received within the socket deadline");
+      }
+      return Status::IOError("recv failed");
+    }
     if (n == 0) {
       if (head_end != std::string::npos) return buffer;
       return Status::IOError("connection closed before request head");
@@ -54,21 +94,39 @@ StatusOr<std::string> ReadRequest(int fd) {
     buffer.append(chunk, static_cast<size_t>(n));
     if (head_end == std::string::npos) {
       head_end = buffer.find("\r\n\r\n");
-      if (head_end != std::string::npos) {
-        // Extract content-length from the (lower-cased) head.
-        body_needed = 0;
-        std::string head = buffer.substr(0, head_end);
-        for (char& c : head) {
-          c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      if (head_end == std::string::npos) {
+        if (buffer.size() > max_head_bytes) {
+          return Status::ResourceExhausted(
+              "request head exceeds " + std::to_string(max_head_bytes) +
+              " bytes");
         }
-        const size_t pos = head.find("content-length:");
-        if (pos != std::string::npos) {
-          body_needed = static_cast<size_t>(std::strtoull(
-              head.c_str() + pos + strlen("content-length:"), nullptr, 10));
-        }
+        continue;
+      }
+      if (head_end > max_head_bytes) {
+        return Status::ResourceExhausted(
+            "request head exceeds " + std::to_string(max_head_bytes) +
+            " bytes");
+      }
+      // Extract content-length from the (lower-cased) head.
+      body_needed = 0;
+      std::string head = buffer.substr(0, head_end);
+      for (char& c : head) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      const size_t pos = head.find("content-length:");
+      if (pos != std::string::npos) {
+        body_needed = static_cast<size_t>(std::strtoull(
+            head.c_str() + pos + strlen("content-length:"), nullptr, 10));
+      }
+      if (body_needed != std::string::npos && body_needed > max_body_bytes) {
+        return Status::ResourceExhausted(
+            "request body of " + std::to_string(body_needed) +
+            " bytes exceeds the " + std::to_string(max_body_bytes) +
+            "-byte limit");
       }
     }
-    if (buffer.size() > (16u << 20)) {
+    // Defence in depth for peers that send more body than they announced.
+    if (buffer.size() > max_head_bytes + 4 + max_body_bytes) {
       return Status::ResourceExhausted("request too large");
     }
   }
@@ -98,19 +156,24 @@ constexpr const char kSseHead[] =
     "transfer-encoding: chunked\r\n"
     "connection: close\r\n\r\n";
 
+// Maps a service error payload's status-code name to the HTTP status the
+// front door answers with. Anything unmapped stays a client-ish 400, which
+// is what every error answered before typed serving codes existed.
+int HttpStatusForError(const Json& result) {
+  const std::string code = result["error"]["code"].AsString();
+  if (code == "NotFound") return 404;
+  if (code == "DeadlineExceeded") return 504;
+  if (code == "Cancelled") return 503;
+  if (code == "ResourceExhausted") return 413;
+  return 400;
+}
+
 // Opens a TCP connection to host:port with optional send/recv deadlines.
 StatusOr<int> ConnectSocket(const std::string& host, int port,
                             double timeout_seconds) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::IOError("socket() failed");
-  if (timeout_seconds > 0.0) {
-    timeval tv{};
-    tv.tv_sec = static_cast<time_t>(timeout_seconds);
-    tv.tv_usec = static_cast<suseconds_t>(
-        (timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  }
+  SetSocketTimeouts(fd, timeout_seconds);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
@@ -144,69 +207,256 @@ std::string SerializeHttpRequest(const std::string& host,
 
 }  // namespace
 
+Json HttpServerStats::ToJson() const {
+  Json out = Json::MakeObject();
+  out.Set("accepted", accepted.load());
+  out.Set("completed", completed.load());
+  out.Set("shed", shed.load());
+  out.Set("rejected_oversize", rejected_oversize.load());
+  out.Set("timeouts", timeouts.load());
+  out.Set("cancelled", cancelled.load());
+  out.Set("accept_errors", accept_errors.load());
+  out.Set("queued", queued.load());
+  out.Set("in_flight", in_flight.load());
+  out.Set("draining", draining.load());
+  return out;
+}
+
+HttpServer::HttpServer(ApiService* service, const HttpServerOptions& options)
+    : service_(service),
+      options_(options),
+      stats_(std::make_shared<HttpServerStats>()),
+      workers_(std::max<size_t>(1, options.num_workers)) {}
+
 HttpServer::HttpServer(ApiService* service, size_t num_workers)
-    : service_(service), workers_(num_workers) {}
+    : HttpServer(service, [num_workers] {
+        HttpServerOptions options;
+        options.num_workers = num_workers;
+        return options;
+      }()) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
 Status HttpServer::Start(int port) {
   if (running_.load()) return Status::FailedPrecondition("already running");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return Status::IOError("socket() failed");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket() failed");
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
     return Status::IOError("bind() failed on port " + std::to_string(port));
   }
-  if (::listen(listen_fd_, 64) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
     return Status::IOError("listen() failed");
   }
   socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
-      0) {
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
     port_ = ntohs(addr.sin_port);
   }
+  listen_fd_.store(fd);
+  stats_->draining.store(false);
+  // /api/health's "server" block. The closure owns the stats struct, so the
+  // last counters stay readable after the server stops or is destroyed.
+  if (service_ != nullptr) {
+    auto stats = stats_;
+    service_->SetServerStats([stats]() { return stats->ToJson(); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(shed_mu_);
+    shed_stop_ = false;
+  }
   running_.store(true);
+  shed_thread_ = std::thread([this]() { ShedLoop(); });
   accept_thread_ = std::thread([this]() { AcceptLoop(); });
   return Status::OK();
 }
 
 void HttpServer::Stop() {
   if (!running_.exchange(false)) return;
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  stats_->draining.store(true);
+
+  // 1. Stop accepting: new connections are refused at the TCP layer. The
+  // exchange publishes the cleared fd to the accept thread, which may still
+  // be blocked in accept() on it (shutdown wakes it).
+  if (const int listen = listen_fd_.exchange(-1); listen >= 0) {
+    ::shutdown(listen, SHUT_RDWR);
+    ::close(listen);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(shed_mu_);
+    shed_stop_ = true;
+  }
+  shed_cv_.notify_all();
+  if (shed_thread_.joinable()) shed_thread_.join();
+
+  // 2. Grace period: queued and in-flight requests run to completion.
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              std::max(0.0, options_.drain_timeout_seconds)));
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  drain_cv_.wait_until(lock, drain_deadline,
+                       [this]() { return active_.empty(); });
+
+  // 3. Stragglers: cancel their contexts (generation loops unwind at the
+  // next chunk boundary) and shut their sockets down so any thread blocked
+  // in recv/send wakes immediately. Shutdown happens under conn_mu_, before
+  // the owning worker can unregister-and-close, so the fd cannot have been
+  // reused.
+  for (auto& [fd, ctx] : active_) {
+    if (ctx != nullptr) ctx->Cancel("server shutting down");
+    ::shutdown(fd, SHUT_RDWR);
+    stats_->cancelled.fetch_add(1);
+  }
+
+  // 4. Bounded second wait for the cancelled stragglers to unwind. The
+  // ThreadPool destructor would join anyway; waiting here keeps Stop()'s
+  // contract — no request is still touching the service when it returns.
+  drain_cv_.wait_for(lock, std::chrono::seconds(10),
+                     [this]() { return active_.empty(); });
+  if (!active_.empty()) {
+    LLMMS_LOGS(Warning) << "http: " << active_.size()
+                        << " connection(s) did not unwind within the drain "
+                           "deadline";
+  }
+}
+
+void HttpServer::RegisterConnection(int fd,
+                                    std::shared_ptr<RequestContext> ctx) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  active_[fd] = std::move(ctx);
+}
+
+void HttpServer::UnregisterConnection(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    active_.erase(fd);
+  }
+  drain_cv_.notify_all();
 }
 
 void HttpServer::AcceptLoop() {
+  bool in_error_burst = false;
   while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd_.load(), nullptr, nullptr);
     if (fd < 0) {
       if (!running_.load()) break;
+      // Transient accept failures (EMFILE/ENFILE under fd pressure, ECONNABORTED,
+      // EINTR) must not busy-spin the accept thread at 100% CPU: back off
+      // briefly, and log once per burst rather than once per failure.
+      stats_->accept_errors.fetch_add(1);
+      if (!in_error_burst) {
+        in_error_burst = true;
+        LLMMS_LOGS(Warning) << "http: accept() failed (errno " << errno
+                            << ": " << std::strerror(errno)
+                            << "); backing off";
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
-    workers_.Submit([this, fd]() { HandleConnection(fd); });
+    in_error_burst = false;
+    stats_->accepted.fetch_add(1);
+
+    // Admission control: a connection beyond the pending-queue cap is shed
+    // with 503 + Retry-After instead of joining a queue whose wait already
+    // exceeds anything a client would tolerate. The response itself is sent
+    // by the shed thread — it must linger to drain the client's unread
+    // request bytes, which would stall this loop.
+    if (stats_->queued.load() >= options_.max_queue) {
+      stats_->shed.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> lock(shed_mu_);
+        shed_fds_.push_back(fd);
+      }
+      shed_cv_.notify_one();
+      continue;
+    }
+
+    SetSocketTimeouts(fd, options_.socket_timeout_seconds);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    // The request's wall-clock budget starts at admission, so time spent
+    // waiting for a worker counts against it.
+    auto ctx = options_.request_timeout_seconds > 0.0
+                   ? RequestContext::WithTimeout(
+                         options_.request_timeout_seconds)
+                   : RequestContext::Unbounded();
+    RegisterConnection(fd, ctx);
+    stats_->queued.fetch_add(1);
+    workers_.Submit([this, fd, ctx]() {
+      stats_->queued.fetch_sub(1);
+      stats_->in_flight.fetch_add(1);
+      HandleConnection(fd, ctx);
+      stats_->in_flight.fetch_sub(1);
+      stats_->completed.fetch_add(1);
+      UnregisterConnection(fd);
+      ::close(fd);
+    });
   }
 }
 
-void HttpServer::HandleConnection(int fd) {
-  auto fail = [fd](int status, const std::string& message) {
+void HttpServer::ShedLoop() {
+  HttpResponse response;
+  response.status = 503;
+  response.headers["content-type"] = "application/json";
+  response.headers["retry-after"] = std::to_string(static_cast<long>(
+      std::ceil(std::max(0.0, options_.retry_after_seconds))));
+  Json error = Json::MakeObject();
+  error.Set("ok", false);
+  error.Set("message", "server overloaded; retry later");
+  response.body = error.Dump();
+  const std::string wire = SerializeHttpResponse(response);
+
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(shed_mu_);
+      shed_cv_.wait(lock,
+                    [this]() { return shed_stop_ || !shed_fds_.empty(); });
+      if (shed_fds_.empty()) return;  // stopped and queue empty
+      fd = shed_fds_.front();
+      shed_fds_.pop_front();
+      // On shutdown, just close the backlog — the clients are being
+      // refused at the listener anyway.
+      if (shed_stop_) {
+        ::close(fd);
+        continue;
+      }
+    }
+    // The drain is bounded: a peer that neither finishes its request nor
+    // closes holds this (one) thread for at most the timeout, and the worst
+    // it can do is delay other shed *responses* — admission decisions and
+    // real traffic are unaffected.
+    SetSocketTimeouts(fd, std::min(std::max(options_.socket_timeout_seconds,
+                                            0.1),
+                                   1.0));
+    if (SendAll(fd, wire)) HalfCloseAndDrain(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd,
+                                  const std::shared_ptr<RequestContext>& ctx) {
+  auto fail = [fd](int status, const std::string& message,
+                   const std::string& extra_header = "") {
     HttpResponse response;
     response.status = status;
     response.headers["content-type"] = "application/json";
+    if (!extra_header.empty()) {
+      const size_t colon = extra_header.find(':');
+      response.headers[extra_header.substr(0, colon)] =
+          extra_header.substr(colon + 1);
+    }
     Json error = Json::MakeObject();
     error.Set("ok", false);
     error.Set("message", message);
@@ -214,20 +464,45 @@ void HttpServer::HandleConnection(int fd) {
     SendAll(fd, SerializeHttpResponse(response));
   };
 
-  auto raw = ReadRequest(fd);
+  // The connection may have aged out (or been drain-cancelled) while it sat
+  // in the admission queue; answer without touching the service. The
+  // request was never read, so linger-drain before the caller closes.
+  if (const Status admitted = ctx->Check(); !admitted.ok()) {
+    if (admitted.IsDeadlineExceeded()) {
+      stats_->timeouts.fetch_add(1);
+      fail(504, admitted.message());
+    } else {
+      fail(503, admitted.message());
+    }
+    HalfCloseAndDrain(fd);
+    return;
+  }
+
+  auto raw = ReadRequest(fd, options_.max_head_bytes, options_.max_body_bytes);
   if (!raw.ok()) {
-    ::close(fd);
+    if (raw.status().IsResourceExhausted()) {
+      stats_->rejected_oversize.fetch_add(1);
+      fail(413, raw.status().message());
+      // Rejected before the body was consumed: linger-drain so the reset
+      // from closing on unread bytes cannot destroy the 413 in flight.
+      HalfCloseAndDrain(fd);
+    } else if (raw.status().IsDeadlineExceeded()) {
+      // Slow-loris: the peer held a worker without delivering a request
+      // within the socket deadline.
+      stats_->timeouts.fetch_add(1);
+      fail(408, raw.status().message());
+      HalfCloseAndDrain(fd);
+    }
+    // IOError (peer vanished before sending anything): nothing to answer.
     return;
   }
   auto request = ParseHttpRequest(*raw);
   if (!request.ok()) {
     fail(400, request.status().message());
-    ::close(fd);
     return;
   }
   if (request->method != "GET" && request->method != "POST") {
     fail(405, "method not allowed");
-    ::close(fd);
     return;
   }
 
@@ -236,7 +511,6 @@ void HttpServer::HandleConnection(int fd) {
     auto parsed = Json::Parse(request->body);
     if (!parsed.ok()) {
       fail(400, "invalid JSON body: " + parsed.status().message());
-      ::close(fd);
       return;
     }
     payload = std::move(parsed).value();
@@ -244,25 +518,34 @@ void HttpServer::HandleConnection(int fd) {
 
   if (request->path == "/api/query" && WantsStream(*request)) {
     // SSE: send the head, then one chunk per event, then the result frame.
-    if (!SendAll(fd, kSseHead)) {
-      ::close(fd);
-      return;
-    }
+    if (!SendAll(fd, kSseHead)) return;
     size_t frame_id = 0;
     Json result = service_->HandleQuery(
-        payload, [fd, &frame_id](const Json& event) {
+        payload,
+        [this, fd, ctx, &frame_id](const Json& event) {
+          if (ctx->cancelled()) return;
           SseEvent sse;
           sse.event = "orchestration";
           sse.id = std::to_string(frame_id++);
           sse.data = event.Dump();
-          SendAll(fd, ChunkEncode(EncodeSse(sse)));
-        });
+          if (!SendAll(fd, ChunkEncode(EncodeSse(sse)))) {
+            // The client went away (or stopped reading past the send
+            // deadline); cancel so the orchestration loop unwinds at the
+            // next chunk boundary instead of generating for nobody.
+            stats_->cancelled.fetch_add(1);
+            ctx->Cancel("client disconnected mid-stream");
+          }
+        },
+        ctx);
+    if (!result["ok"].AsBool() &&
+        result["error"]["code"].AsString() == "DeadlineExceeded") {
+      stats_->timeouts.fetch_add(1);
+    }
     SseEvent final_frame;
     final_frame.event = "result";
     final_frame.data = result.Dump();
     SendAll(fd, ChunkEncode(EncodeSse(final_frame)));
     SendAll(fd, "0\r\n\r\n");
-    ::close(fd);
     return;
   }
 
@@ -274,39 +557,53 @@ void HttpServer::HandleConnection(int fd) {
     // node with streaming_generate disabled never reaches this branch; the
     // request falls through to the one-shot JSON path below, exactly like a
     // pre-streaming peer ignoring the stream parameter.
-    if (!SendAll(fd, kSseHead)) {
-      ::close(fd);
-      return;
-    }
+    if (!SendAll(fd, kSseHead)) return;
     size_t frame_id = 0;
     Json result = service_->HandleGenerateStream(
-        payload, [fd, &frame_id](const Json& event) {
+        payload,
+        [this, fd, ctx, &frame_id](const Json& event) {
+          if (ctx->cancelled()) return;
           SseEvent sse;
           sse.event = "chunk";
           sse.id = std::to_string(frame_id++);
           sse.data = event.Dump();
-          SendAll(fd, ChunkEncode(EncodeSse(sse)));
-        });
+          if (!SendAll(fd, ChunkEncode(EncodeSse(sse)))) {
+            stats_->cancelled.fetch_add(1);
+            ctx->Cancel("client disconnected mid-stream");
+            return;
+          }
+          // Real pacing (ROADMAP): each chunk's simulated latency already
+          // rides the frame as `extra_seconds`; with pace_scale > 0 the
+          // flushed frame is followed by a scaled real-time delay, so a
+          // consumer sees the primary's congestion on the wire instead of
+          // one terminal burst. SleepFor is cancellable — a disconnect or
+          // drain cuts the pacing short along with the generation.
+          if (options_.pace_scale > 0.0 && event.Contains("extra_seconds")) {
+            (void)ctx->SleepFor(event["extra_seconds"].AsDouble() *
+                                options_.pace_scale);
+          }
+        },
+        ctx);
+    if (!result["ok"].AsBool() &&
+        result["error"]["code"].AsString() == "DeadlineExceeded") {
+      stats_->timeouts.fetch_add(1);
+    }
     SseEvent final_frame;
     final_frame.event = result["ok"].AsBool() ? "done" : "error";
     final_frame.data = result.Dump();
     SendAll(fd, ChunkEncode(EncodeSse(final_frame)));
     SendAll(fd, "0\r\n\r\n");
-    ::close(fd);
     return;
   }
 
-  const Json result = service_->Handle(request->path, payload);
+  const Json result =
+      service_->Handle(request->path, payload, StreamCallback(), ctx);
   HttpResponse response;
-  response.status = result["ok"].AsBool() ? 200 : 400;
-  if (!result["ok"].AsBool() &&
-      result["error"]["code"].AsString() == "NotFound") {
-    response.status = 404;
-  }
+  response.status = result["ok"].AsBool() ? 200 : HttpStatusForError(result);
+  if (response.status == 504) stats_->timeouts.fetch_add(1);
   response.headers["content-type"] = "application/json";
   response.body = result.Dump();
   SendAll(fd, SerializeHttpResponse(response));
-  ::close(fd);
 }
 
 StatusOr<HttpResponse> HttpFetch(const std::string& host, int port,

@@ -2,15 +2,85 @@
 #define LLMMS_APP_HTTP_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "llmms/app/http.h"
 #include "llmms/app/service.h"
+#include "llmms/common/deadline.h"
 #include "llmms/common/thread_pool.h"
 
 namespace llmms::app {
+
+// Serving-layer knobs: admission control, per-request deadlines, size caps,
+// drain behaviour. Every timeout follows the repo's 0-disables idiom.
+struct HttpServerOptions {
+  // Connections are handled concurrently on this many pool workers.
+  size_t num_workers = 4;
+
+  // Admission control: connections accepted but not yet picked up by a
+  // worker. Beyond the cap the accept loop sheds the connection immediately
+  // with `503 Service Unavailable` + `Retry-After` instead of letting the
+  // queue (and every queued client's latency) grow without bound.
+  size_t max_queue = 64;
+  double retry_after_seconds = 1.0;
+
+  // Per-syscall socket deadlines (SO_RCVTIMEO / SO_SNDTIMEO) on accepted
+  // connections. This is what kills a slow-loris client: a peer that
+  // trickles its request head (or stops reading its response) costs a
+  // worker at most this long per syscall, then gets 408 / the socket
+  // closed. 0 = unbounded.
+  double socket_timeout_seconds = 10.0;
+
+  // End-to-end wall-clock budget per request. Threaded through the service
+  // into the generation loops as a RequestContext; once expired the request
+  // unwinds at the next chunk boundary and answers `504 Gateway Timeout`.
+  // 0 = unbounded.
+  double request_timeout_seconds = 30.0;
+
+  // Stop(): grace period for in-flight and queued requests to finish after
+  // the listener closes. Stragglers past it are cancelled through their
+  // RequestContext and their sockets shut down.
+  double drain_timeout_seconds = 5.0;
+
+  // Request size caps; beyond either the request is rejected with
+  // `413 Content Too Large` (before the body is read, when Content-Length
+  // announces the overrun).
+  size_t max_head_bytes = 64 * 1024;
+  size_t max_body_bytes = 8 * 1024 * 1024;
+
+  // Streamed-generation pacing: after flushing an SSE chunk that carries
+  // simulated latency (`extra_seconds`, DESIGN.md §9), sleep
+  // `pace_scale * extra_seconds` of real time before producing the next
+  // chunk — so a remote consumer observes the primary's congestion on the
+  // wire instead of receiving the whole response in one burst. The sleep is
+  // cancellable (client disconnect / drain). 0 = no pacing (the default:
+  // tests and benchmarks want wire speed).
+  double pace_scale = 0.0;
+};
+
+// Monotonic serving counters plus the two live gauges, shared between the
+// server and the /api/health "server" block (which holds them via
+// shared_ptr, so a stopped server leaves the last values readable).
+struct HttpServerStats {
+  std::atomic<size_t> accepted{0};    // connections accept()ed
+  std::atomic<size_t> completed{0};   // requests fully handled
+  std::atomic<size_t> shed{0};        // 503s from admission control
+  std::atomic<size_t> rejected_oversize{0};  // 413s from the size caps
+  std::atomic<size_t> timeouts{0};    // 408 (head) + 504 (deadline)
+  std::atomic<size_t> cancelled{0};   // client disconnects + drain kills
+  std::atomic<size_t> accept_errors{0};  // accept() failures (EMFILE, ...)
+  std::atomic<size_t> queued{0};      // gauge: waiting for a worker
+  std::atomic<size_t> in_flight{0};   // gauge: being handled right now
+  std::atomic<bool> draining{false};
+
+  Json ToJson() const;
+};
 
 // The production front of the platform (the Flask + Apache/mod_wsgi layer of
 // §7.1), as a small HTTP/1.1 server over POSIX sockets:
@@ -31,10 +101,13 @@ namespace llmms::app {
 //     through to the one-shot JSON handler like on a pre-streaming node.
 //
 // One request per connection (`Connection: close`); connections are served
-// on a worker pool. Binds 127.0.0.1 only.
+// concurrently on a worker pool behind a bounded admission queue, each under
+// a wall-clock deadline (DESIGN.md §12 has the full threading/locking and
+// overload-protection story). Binds 127.0.0.1 only.
 class HttpServer {
  public:
   // `service` must outlive the server.
+  HttpServer(ApiService* service, const HttpServerOptions& options);
   explicit HttpServer(ApiService* service, size_t num_workers = 4);
   ~HttpServer();
 
@@ -44,23 +117,59 @@ class HttpServer {
   // Binds and starts accepting. `port` 0 picks an ephemeral port.
   Status Start(int port = 0);
 
-  // Stops accepting and drains in-flight connections.
+  // Graceful drain: stops accepting, lets in-flight and queued requests
+  // finish up to drain_timeout_seconds, then cancels stragglers via their
+  // RequestContext (and shuts their sockets down to wake blocked syscalls)
+  // before returning.
   void Stop();
 
   // The bound port (valid after Start succeeds).
   int port() const { return port_; }
   bool running() const { return running_.load(); }
 
+  // Live serving counters (also exported into /api/health as "server").
+  const HttpServerStats& stats() const { return *stats_; }
+  const HttpServerOptions& options() const { return options_; }
+
  private:
   void AcceptLoop();
-  void HandleConnection(int fd);
+  // Answers shed connections (503 + Retry-After) off the accept thread: the
+  // response must be followed by a half-close and a drain of the client's
+  // unread request bytes — closing with unread data would RST the
+  // connection and destroy the very response that tells the client to back
+  // off. That drain blocks briefly, so it must not stall the accept loop.
+  void ShedLoop();
+  void HandleConnection(int fd, const std::shared_ptr<RequestContext>& ctx);
+
+  // Active-connection registry for drain: every accepted (not shed)
+  // connection is tracked from accept to completion so Stop() can cancel
+  // whatever outlives the grace period.
+  void RegisterConnection(int fd, std::shared_ptr<RequestContext> ctx);
+  void UnregisterConnection(int fd);
 
   ApiService* service_;
-  ThreadPool workers_;
+  HttpServerOptions options_;
+  std::shared_ptr<HttpServerStats> stats_;  // shared with /api/health
   std::atomic<bool> running_{false};
-  int listen_fd_ = -1;
+  // Atomic: Stop() closes and clears it while the accept thread is still
+  // blocked in accept() on it.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::thread accept_thread_;
+
+  std::mutex conn_mu_;  // guards active_; drain_cv_ waits on it
+  std::condition_variable drain_cv_;
+  std::unordered_map<int, std::shared_ptr<RequestContext>> active_;
+
+  std::thread shed_thread_;
+  std::mutex shed_mu_;  // guards shed_fds_ / shed_stop_
+  std::condition_variable shed_cv_;
+  std::deque<int> shed_fds_;
+  bool shed_stop_ = false;
+
+  // Declared last so its destructor (which joins any straggler connection
+  // task) runs before the members those tasks touch are destroyed.
+  ThreadPool workers_;
 };
 
 // Minimal blocking test/demo client: one request, reads to EOF.

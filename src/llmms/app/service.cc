@@ -82,11 +82,17 @@ Status ApiService::EnableStatePersistence(const std::string& path) {
   return Status::OK();
 }
 
+void ApiService::SetServerStats(ServerStatsFn fn) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  server_stats_ = std::move(fn);
+}
+
 Json ApiService::Handle(const std::string& endpoint, const Json& request,
-                        const StreamCallback& stream) {
-  if (endpoint == "/api/query") return HandleQuery(request, stream);
+                        const StreamCallback& stream,
+                        const std::shared_ptr<RequestContext>& context) {
+  if (endpoint == "/api/query") return HandleQuery(request, stream, context);
   if (endpoint == "/api/upload") return HandleUpload(request);
-  if (endpoint == "/api/generate") return HandleGenerate(request);
+  if (endpoint == "/api/generate") return HandleGenerate(request, context);
   if (endpoint == "/api/model_info") return HandleModelInfo(request);
   if (endpoint == "/api/models") return HandleModels();
   if (endpoint == "/api/sessions") return HandleSessions();
@@ -97,7 +103,8 @@ Json ApiService::Handle(const std::string& endpoint, const Json& request,
 }
 
 Json ApiService::HandleQuery(const Json& request,
-                             const StreamCallback& stream) {
+                             const StreamCallback& stream,
+                             const std::shared_ptr<RequestContext>& context) {
   const std::string session = request["session"].AsString();
   const std::string query = request["query"].AsString();
   if (session.empty() || query.empty()) {
@@ -106,6 +113,7 @@ Json ApiService::HandleQuery(const Json& request,
   }
 
   core::SearchEngine::QueryOptions options;
+  options.context = context;
   if (request.Contains("algorithm")) {
     options.algorithm = ParseAlgorithm(request["algorithm"].AsString());
   }
@@ -237,13 +245,15 @@ Status ParseGenerateRequest(const Json& request, std::string* model,
 
 }  // namespace
 
-Json ApiService::HandleGenerate(const Json& request) {
+Json ApiService::HandleGenerate(
+    const Json& request, const std::shared_ptr<RequestContext>& context) {
   std::string model;
   llm::GenerationRequest generation;
   if (auto status = ParseGenerateRequest(request, &model, &generation);
       !status.ok()) {
     return ErrorResponse(status);
   }
+  generation.context = context;
   auto result = engine_->runtime()->Generate(model, generation);
   if (!result.ok()) return ErrorResponse(result.status());
   Json response = Json::MakeObject();
@@ -255,14 +265,16 @@ Json ApiService::HandleGenerate(const Json& request) {
   return response;
 }
 
-Json ApiService::HandleGenerateStream(const Json& request,
-                                      const StreamCallback& stream) {
+Json ApiService::HandleGenerateStream(
+    const Json& request, const StreamCallback& stream,
+    const std::shared_ptr<RequestContext>& context) {
   std::string model;
   llm::GenerationRequest generation;
   if (auto status = ParseGenerateRequest(request, &model, &generation);
       !status.ok()) {
     return ErrorResponse(status);
   }
+  generation.context = context;
   // Wire granularity: how many tokens each SSE chunk carries. Clients pick
   // the tradeoff between time-to-first-token and framing overhead.
   size_t chunk_tokens = 8;
@@ -481,6 +493,17 @@ Json ApiService::HandleHealth() {
     placement.Append(std::move(entry));
   }
   response.Set("placement", std::move(placement));
+
+  // Serving-layer overload telemetry (queue depth, in-flight gauge, shed /
+  // timeout / cancel counters), present when an HttpServer fronts this
+  // service. Copied under the lock, invoked outside it: the fn only reads
+  // shared atomic counters.
+  ServerStatsFn stats_fn;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_fn = server_stats_;
+  }
+  if (stats_fn) response.Set("server", stats_fn());
   return response;
 }
 

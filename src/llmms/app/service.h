@@ -3,8 +3,10 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "llmms/common/deadline.h"
 #include "llmms/common/json.h"
 #include "llmms/core/search_engine.h"
 
@@ -46,20 +48,29 @@ class ApiService {
 
   // Dispatches by endpoint. Unknown endpoints return a NotFound error
   // payload. `stream` (optional) receives token/score/decision events during
-  // /api/query.
+  // /api/query. `context` (optional) carries the request's wall-clock
+  // deadline and cancellation flag; the generation-driving endpoints thread
+  // it into the engine so an expired or cancelled request unwinds with a
+  // typed DeadlineExceeded / Cancelled error payload instead of running to
+  // completion (DESIGN.md §12).
   Json Handle(const std::string& endpoint, const Json& request,
-              const StreamCallback& stream = StreamCallback());
+              const StreamCallback& stream = StreamCallback(),
+              const std::shared_ptr<RequestContext>& context = nullptr);
 
-  Json HandleQuery(const Json& request, const StreamCallback& stream);
+  Json HandleQuery(const Json& request, const StreamCallback& stream,
+                   const std::shared_ptr<RequestContext>& context = nullptr);
   Json HandleUpload(const Json& request);
-  Json HandleGenerate(const Json& request);
+  Json HandleGenerate(const Json& request,
+                      const std::shared_ptr<RequestContext>& context = nullptr);
   // Streaming twin of HandleGenerate: emits one {"text", "tokens"} event per
   // generated chunk through `stream` and returns the terminal accounting
   // ({"ok", "done_reason", "tokens", "simulated_seconds"}) — or an error
   // payload, possibly after chunks have already been emitted (a backend
   // dying mid-generation). The HTTP layer maps the return value to the
   // stream's terminal `done` / `error` SSE event.
-  Json HandleGenerateStream(const Json& request, const StreamCallback& stream);
+  Json HandleGenerateStream(const Json& request, const StreamCallback& stream,
+                            const std::shared_ptr<RequestContext>& context =
+                                nullptr);
   Json HandleModelInfo(const Json& request);
   Json HandleModels();
   Json HandleSessions();
@@ -85,6 +96,15 @@ class ApiService {
   Status EnableStatePersistence(const std::string& path);
   llm::StateStore* state_store() const { return state_store_.get(); }
 
+  // Serving-layer stats injected into /api/health as the "server" block
+  // (queue depth, in-flight gauge, shed counters — see HttpServer). The
+  // provider must either outlive the service or share ownership of the
+  // state it reads (HttpServer hands a closure over a shared_ptr, so a
+  // stopped/destroyed server leaves the last counters readable rather than
+  // a dangling pointer). Thread-safe; pass nullptr to detach.
+  using ServerStatsFn = std::function<Json()>;
+  void SetServerStats(ServerStatsFn fn);
+
  private:
   // The breaker of `model`, unwrapping the hedging decorator, or nullptr.
   static llm::CircuitBreaker* BreakerOf(
@@ -93,6 +113,8 @@ class ApiService {
   core::SearchEngine* engine_;
   bool streaming_generate_ = true;
   std::unique_ptr<llm::StateStore> state_store_;
+  mutable std::mutex stats_mu_;  // guards server_stats_ (set vs. health)
+  ServerStatsFn server_stats_;
 };
 
 // Builds the error payload used by every endpoint.

@@ -1,0 +1,63 @@
+#include "llmms/common/deadline.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace llmms {
+
+std::shared_ptr<RequestContext> RequestContext::WithTimeout(double seconds) {
+  if (seconds <= 0.0) return Unbounded();
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  return std::shared_ptr<RequestContext>(new RequestContext(deadline));
+}
+
+std::shared_ptr<RequestContext> RequestContext::Unbounded() {
+  return std::make_shared<RequestContext>();
+}
+
+void RequestContext::Cancel(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_.load(std::memory_order_relaxed)) return;
+    cancel_reason_ = reason;
+    cancelled_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+bool RequestContext::expired() const {
+  return has_deadline_ && Clock::now() >= deadline_;
+}
+
+double RequestContext::remaining_seconds() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  const double remaining =
+      std::chrono::duration<double>(deadline_ - Clock::now()).count();
+  return std::max(0.0, remaining);
+}
+
+Status RequestContext::Check() const {
+  if (cancelled()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Status::Cancelled(cancel_reason_.empty() ? "request cancelled"
+                                                    : cancel_reason_);
+  }
+  if (expired()) return Status::DeadlineExceeded("request deadline exceeded");
+  return Status::OK();
+}
+
+Status RequestContext::SleepFor(double seconds) {
+  double wait = std::max(0.0, seconds);
+  if (has_deadline_) wait = std::min(wait, remaining_seconds());
+  if (wait > 0.0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::duration<double>(wait), [this]() {
+      return cancelled_.load(std::memory_order_acquire);
+    });
+  }
+  return Check();
+}
+
+}  // namespace llmms

@@ -1,0 +1,85 @@
+#ifndef LLMMS_COMMON_DEADLINE_H_
+#define LLMMS_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "llmms/common/status.h"
+
+namespace llmms {
+
+// Wall-clock budget plus cooperative cancellation for one request, threaded
+// from the HTTP front door through the service layer into the generation
+// loops (HttpServer -> ApiService -> SearchEngine/ParallelGeneration).
+//
+// Two independent ways a request dies early:
+//   * its deadline expires -> Check() returns DeadlineExceeded (the server
+//     maps it to a typed 504), or
+//   * someone calls Cancel() -- a client that disconnected mid-stream, or
+//     the server draining past its grace period -> Check() returns
+//     Cancelled.
+//
+// Every layer that does work on behalf of the request polls Check() at its
+// loop boundaries and unwinds with the typed status instead of burning a
+// worker on an answer nobody will read. The context is shared by reference
+// (std::shared_ptr) between the connection handler, the worker running the
+// request, and the server's drain path; all members are thread-safe.
+class RequestContext {
+ public:
+  // No deadline: only Cancel() can end it.
+  RequestContext() = default;
+
+  // A context whose deadline is `seconds` from now. `seconds` <= 0 means
+  // unbounded (deadline-free), matching the 0-disables idiom of the socket
+  // timeouts.
+  static std::shared_ptr<RequestContext> WithTimeout(double seconds);
+  static std::shared_ptr<RequestContext> Unbounded();
+
+  RequestContext(const RequestContext&) = delete;
+  RequestContext& operator=(const RequestContext&) = delete;
+
+  // Marks the request cancelled (idempotent; the first reason wins) and
+  // wakes any SleepFor() in progress.
+  void Cancel(const std::string& reason);
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  bool expired() const;
+
+  // Seconds until the deadline; +infinity when unbounded, never negative.
+  double remaining_seconds() const;
+
+  // OK while the request may continue; Cancelled or DeadlineExceeded once
+  // it must stop. Cancellation wins when both apply (it is the more
+  // specific signal).
+  Status Check() const;
+
+  // Cancellable sleep: blocks up to `seconds`, clamped to the remaining
+  // deadline, returning early when Cancel() fires. Returns Check() after
+  // waking, so callers can `LLMMS_RETURN_NOT_OK(ctx->SleepFor(x))` inside
+  // paced loops.
+  Status SleepFor(double seconds);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  explicit RequestContext(Clock::time_point deadline)
+      : has_deadline_(true), deadline_(deadline) {}
+
+  const bool has_deadline_ = false;
+  const Clock::time_point deadline_{};
+
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;            // guards cancel_reason_ and the cv
+  std::condition_variable cv_;       // wakes SleepFor on Cancel
+  std::string cancel_reason_;
+};
+
+}  // namespace llmms
+
+#endif  // LLMMS_COMMON_DEADLINE_H_

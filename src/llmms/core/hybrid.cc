@@ -28,6 +28,7 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
 
   llm::GenerationRequest request;
   request.prompt = prompt;
+  request.context = config_.context;
   LLMMS_ASSIGN_OR_RETURN(auto generation,
                          runtime_->StartGeneration(models_, request));
 
@@ -97,6 +98,9 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
 
   // ---------------- Phase 1: OUA-style round-robin screening. ----------------
   for (size_t screening = 0; screening < config_.screening_rounds; ++screening) {
+    if (config_.context != nullptr) {
+      LLMMS_RETURN_NOT_OK(config_.context->Check());
+    }
     ++round;
     std::vector<std::pair<std::string, size_t>> requests;
     for (const auto& m : survivors()) {
@@ -172,6 +176,10 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
   size_t total_pulls = 0;
 
   while (used_tokens < config_.token_budget) {
+    // Both phases stop buying tokens the moment the request dies.
+    if (config_.context != nullptr) {
+      LLMMS_RETURN_NOT_OK(config_.context->Check());
+    }
     ++round;
     const double gamma =
         config_.gamma0 *

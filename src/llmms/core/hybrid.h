@@ -40,6 +40,9 @@ class HybridOrchestrator final : public Orchestrator {
     // hedged models can move their thresholds (DESIGN.md §11). Must outlive
     // the orchestrator; null disables the feedback loop.
     RewardFeed* reward_feed = nullptr;
+    // Deadline/cancellation of the request driving this run (null =
+    // unbounded); checked at both phases' loop boundaries (DESIGN.md §12).
+    std::shared_ptr<RequestContext> context;
   };
 
   HybridOrchestrator(llm::ModelRuntime* runtime,

@@ -45,6 +45,7 @@ StatusOr<OrchestrationResult> MabOrchestrator::Run(
   llm::GenerationRequest request;
   request.prompt = prompt;
   request.max_tokens = 0;
+  request.context = config_.context;
   LLMMS_ASSIGN_OR_RETURN(auto generation,
                          runtime_->StartGeneration(models_, request));
 
@@ -87,6 +88,11 @@ StatusOr<OrchestrationResult> MabOrchestrator::Run(
   };
 
   while (used_tokens < config_.token_budget) {
+    // An expired or cancelled request ends the tournament with the typed
+    // status before any more pulls are bought on its behalf.
+    if (config_.context != nullptr) {
+      LLMMS_RETURN_NOT_OK(config_.context->Check());
+    }
     ++round;
     const double gamma = gamma_now();
 

@@ -39,6 +39,9 @@ class MabOrchestrator final : public Orchestrator {
     // can move their thresholds (DESIGN.md §11). Must outlive the
     // orchestrator; null disables the feedback loop.
     RewardFeed* reward_feed = nullptr;
+    // Deadline/cancellation of the request driving this run (null =
+    // unbounded); checked at every pull boundary (DESIGN.md §12).
+    std::shared_ptr<RequestContext> context;
   };
 
   MabOrchestrator(llm::ModelRuntime* runtime, std::vector<std::string> models,

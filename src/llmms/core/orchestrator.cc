@@ -68,8 +68,14 @@ void EmitHedge(const std::string& model, const llm::Chunk& chunk,
 
 Status AllModelsFailed(const std::string& orchestrator, size_t pool_size,
                        const Status& last_error) {
-  return Status::Internal(orchestrator + ": all " +
-                          std::to_string(pool_size) +
+  // A pool that "failed" because the request's deadline expired (or the
+  // client went away) is not an internal fault: keep the typed code so the
+  // HTTP layer can answer 504 instead of 500.
+  const StatusCode code =
+      last_error.IsDeadlineExceeded() || last_error.IsCancelled()
+          ? last_error.code()
+          : StatusCode::kInternal;
+  return Status(code, orchestrator + ": all " + std::to_string(pool_size) +
                           " models failed; last error: " +
                           last_error.ToString());
 }

@@ -27,6 +27,7 @@ StatusOr<OrchestrationResult> OuaOrchestrator::Run(
   llm::GenerationRequest request;
   request.prompt = prompt;
   request.max_tokens = 0;  // the orchestrator enforces budgets itself
+  request.context = config_.context;
   LLMMS_ASSIGN_OR_RETURN(auto generation,
                          runtime_->StartGeneration(models_, request));
 
@@ -77,6 +78,11 @@ StatusOr<OrchestrationResult> OuaOrchestrator::Run(
   size_t stalled_rounds = 0;  // rounds with zero progress across the pool
 
   while (!active.empty() && early_winner.empty()) {
+    // An expired or cancelled request ends the query with the typed status
+    // before any more tokens are bought on its behalf.
+    if (config_.context != nullptr) {
+      LLMMS_RETURN_NOT_OK(config_.context->Check());
+    }
     ++round;
 
     // --- Round-robin chunk generation (Algorithm 1 lines 5-9). ---

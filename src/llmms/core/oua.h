@@ -41,6 +41,11 @@ class OuaOrchestrator final : public Orchestrator {
     // adaptive hedged models can move their thresholds (DESIGN.md §11).
     // Must outlive the orchestrator; null disables the feedback loop.
     RewardFeed* reward_feed = nullptr;
+    // Deadline/cancellation of the request driving this run (null =
+    // unbounded). Checked at every round boundary and by the runtime before
+    // every chunk; an expired or cancelled request unwinds with the typed
+    // DeadlineExceeded / Cancelled status (DESIGN.md §12).
+    std::shared_ptr<RequestContext> context;
   };
 
   // `runtime` must outlive the orchestrator; `models` must all be loaded.

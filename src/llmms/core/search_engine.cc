@@ -64,6 +64,10 @@ StatusOr<SearchEngine::AskResult> SearchEngine::Ask(
   if (query.empty()) {
     return Status::InvalidArgument("query must not be empty");
   }
+  // A request that is already dead on arrival does no retrieval work.
+  if (options.context != nullptr) {
+    LLMMS_RETURN_NOT_OK(options.context->Check());
+  }
   LLMMS_ASSIGN_OR_RETURN(auto session, sessions_->GetOrCreate(session_id));
 
   // --- Stage 1-2 (§6.1-6.2): retrieval + prompt construction. ---
@@ -107,6 +111,7 @@ StatusOr<SearchEngine::AskResult> SearchEngine::Ask(
       config.early_stop_margin = options.oua_early_stop_margin;
       config.prune_margin = options.oua_prune_margin;
       config.reward_feed = &reward_feed_;
+      config.context = options.context;
       orchestrator = std::make_unique<OuaOrchestrator>(runtime_, models,
                                                        embedder_, config);
       break;
@@ -118,6 +123,7 @@ StatusOr<SearchEngine::AskResult> SearchEngine::Ask(
       config.chunk_tokens = options.mab_chunk_tokens;
       config.gamma0 = options.mab_gamma0;
       config.reward_feed = &reward_feed_;
+      config.context = options.context;
       orchestrator = std::make_unique<MabOrchestrator>(runtime_, models,
                                                        embedder_, config);
       break;
@@ -131,6 +137,7 @@ StatusOr<SearchEngine::AskResult> SearchEngine::Ask(
       config.mab_chunk_tokens = options.mab_chunk_tokens;
       config.gamma0 = options.mab_gamma0;
       config.reward_feed = &reward_feed_;
+      config.context = options.context;
       orchestrator = std::make_unique<HybridOrchestrator>(runtime_, models,
                                                           embedder_, config);
       break;
@@ -141,6 +148,7 @@ StatusOr<SearchEngine::AskResult> SearchEngine::Ask(
       SingleModelOrchestrator::Config config;
       config.weights = options.weights;
       config.token_budget = options.token_budget;
+      config.context = options.context;
       orchestrator = std::make_unique<SingleModelOrchestrator>(
           runtime_, model, embedder_, config);
       break;

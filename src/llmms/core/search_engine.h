@@ -52,6 +52,11 @@ class SearchEngine {
     // Contextual memory graphs (§9.5): recall related past exchanges from
     // the session's memory graph and inject them alongside the history.
     bool use_memory_graph = false;
+    // Deadline/cancellation of the request driving this query (null =
+    // unbounded). Threaded into the chosen orchestrator and the runtime's
+    // chunk loop so a client timeout or disconnect stops generation at the
+    // next chunk boundary with a typed status (DESIGN.md §12).
+    std::shared_ptr<RequestContext> context;
   };
 
   struct AskResult {

@@ -20,6 +20,7 @@ StatusOr<OrchestrationResult> SingleModelOrchestrator::Run(
   llm::GenerationRequest request;
   request.prompt = prompt;
   request.max_tokens = 0;
+  request.context = config_.context;
   LLMMS_ASSIGN_OR_RETURN(auto generation,
                          runtime_->StartGeneration({model_}, request));
 
@@ -49,6 +50,9 @@ StatusOr<OrchestrationResult> SingleModelOrchestrator::Run(
   }
 
   for (;;) {
+    if (config_.context != nullptr) {
+      LLMMS_RETURN_NOT_OK(config_.context->Check());
+    }
     LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(model_));
     if (stats.finished || used >= config_.token_budget) break;
     ++round;

@@ -20,6 +20,9 @@ class SingleModelOrchestrator final : public Orchestrator {
     ScoringWeights weights;
     size_t token_budget = 2048;
     size_t chunk_tokens = 32;  // streaming granularity for events
+    // Deadline/cancellation of the request driving this run (null =
+    // unbounded); checked at every chunk boundary (DESIGN.md §12).
+    std::shared_ptr<RequestContext> context;
   };
 
   SingleModelOrchestrator(llm::ModelRuntime* runtime, std::string model,

@@ -45,6 +45,7 @@ StatusOr<Chunk> ParallelGeneration::NextChunkLocked(Entry* entry,
 StatusOr<Chunk> ParallelGeneration::NextChunk(const std::string& model,
                                               size_t max_tokens) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (context_ != nullptr) LLMMS_RETURN_NOT_OK(context_->Check());
   auto it = entries_.find(model);
   if (it == entries_.end()) {
     return Status::NotFound("model '" + model +
@@ -61,6 +62,9 @@ StatusOr<Chunk> ParallelGeneration::NextChunk(const std::string& model,
 StatusOr<ParallelGeneration::ChunkBatch> ParallelGeneration::NextChunks(
     const std::vector<std::pair<std::string, size_t>>& requests) {
   std::lock_guard<std::mutex> lock(mu_);
+  // An expired or cancelled request fails the whole round with the typed
+  // status: nobody's tokens are worth generating once the caller is gone.
+  if (context_ != nullptr) LLMMS_RETURN_NOT_OK(context_->Check());
   // Validate first so misuse fails atomically.
   for (const auto& [name, tokens] : requests) {
     if (entries_.find(name) == entries_.end()) {
@@ -211,9 +215,14 @@ StatusOr<std::unique_ptr<ParallelGeneration>> ModelRuntime::StartGeneration(
   if (models.empty()) {
     return Status::InvalidArgument("at least one model is required");
   }
+  // A request that is already dead on arrival never claims streams.
+  if (request.context != nullptr) {
+    LLMMS_RETURN_NOT_OK(request.context->Check());
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto generation =
       std::unique_ptr<ParallelGeneration>(new ParallelGeneration(&pool_));
+  generation->context_ = request.context;
   size_t started = 0;
   Status last_start_error = Status::OK();
   for (const auto& name : models) {

@@ -53,13 +53,18 @@ class ParallelGeneration {
 
   // Requests the next chunk (up to max_tokens) from one model. A stream
   // error is sticky: the model is marked failed and every further call
-  // returns the recorded error.
+  // returns the recorded error. When the request's context (carried in the
+  // GenerationRequest) is expired or cancelled, the call returns the typed
+  // DeadlineExceeded / Cancelled status instead of generating — the choke
+  // point that makes every driver (orchestrators, the streaming endpoint,
+  // Generate) honor the request deadline without knowing about it.
   StatusOr<Chunk> NextChunk(const std::string& model, size_t max_tokens);
 
   // Requests chunks from several models concurrently. Per-model stream
   // errors are reported in the batch, not as the call's status; the call
   // itself only fails on misuse (a model that is not part of the
-  // generation).
+  // generation) or when the request context has expired / been cancelled —
+  // a whole-request condition, not any single model's fault.
   StatusOr<ChunkBatch> NextChunks(
       const std::vector<std::pair<std::string, size_t>>& requests);
 
@@ -98,6 +103,9 @@ class ParallelGeneration {
   ThreadPool* pool_;
   std::vector<std::string> order_;
   std::unordered_map<std::string, Entry> entries_;
+  // The originating request's deadline/cancellation (null = unbounded),
+  // taken from GenerationRequest::context at StartGeneration.
+  std::shared_ptr<RequestContext> context_;
   mutable std::mutex mu_;
   double simulated_wall_seconds_ = 0.0;
 };

@@ -2,7 +2,10 @@
 #define LLMMS_LLM_TYPES_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+
+#include "llmms/common/deadline.h"
 
 namespace llmms::llm {
 
@@ -35,6 +38,14 @@ struct GenerationRequest {
   // Extra entropy mixed into the model's own seed, for reproducible
   // sampling variation across repeated calls.
   uint64_t seed = 0;
+  // Wall-clock deadline + cancellation for the request driving this
+  // generation (null = unbounded). The runtime's ParallelGeneration checks
+  // it before every chunk, so a client timeout or disconnect stops the
+  // generation at the next chunk boundary with a typed DeadlineExceeded /
+  // Cancelled status instead of burning a worker to completion. Local-only:
+  // the federation adapter does not serialize it (a remote peer protects
+  // itself with its own socket deadlines).
+  std::shared_ptr<RequestContext> context;
 };
 
 // One streamed chunk of output.
