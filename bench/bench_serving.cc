@@ -6,10 +6,18 @@
 // records per-multiple latency percentiles, served QPS, and shed rate into
 // BENCH_serving.json.
 //
-// Usage: bench_serving [output.json]
+// With --batched, a second phase turns on the continuous-batching scheduler
+// (DESIGN.md §13) over shared model replicas and sweeps clients-per-replica,
+// recording the batched runs, the scheduler's own gauges, and the
+// batched-vs-unbatched capacity delta in a `batched` section. The unbatched
+// phase always runs first and is unaffected.
+//
+// Usage: bench_serving [--batched] [output.json]
 //   LLMMS_BENCH_QPD       questions per domain for the synthetic dataset
 //   LLMMS_BENCH_REQS      requests per client per run (default 25)
 //   LLMMS_BENCH_WORKERS   server worker count (default 4)
+//   LLMMS_BENCH_REPLICAS  replica slots per model in the batched phase
+//                         (default 2)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -25,6 +33,7 @@
 #include "llmms/app/http_server.h"
 #include "llmms/app/service.h"
 #include "llmms/common/json.h"
+#include "llmms/llm/batch_scheduler.h"
 #include "llmms/core/search_engine.h"
 #include "llmms/session/session_store.h"
 #include "llmms/vectordb/database.h"
@@ -158,10 +167,19 @@ Json ToJson(const RunResult& r) {
 }
 
 int Main(int argc, char** argv) {
-  const std::string output =
-      argc > 1 ? argv[1] : std::string("BENCH_serving.json");
+  std::string output = "BENCH_serving.json";
+  bool batched = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--batched") {
+      batched = true;
+    } else {
+      output = arg;
+    }
+  }
   const size_t workers = EnvSize("LLMMS_BENCH_WORKERS", 4);
   const size_t per_client = EnvSize("LLMMS_BENCH_REQS", 25);
+  const size_t replicas = EnvSize("LLMMS_BENCH_REPLICAS", 2);
 
   auto world = MakeBenchWorld(EnvSize("LLMMS_BENCH_QPD", 8));
   auto db = std::make_shared<vectordb::VectorDatabase>();
@@ -203,6 +221,36 @@ int Main(int argc, char** argv) {
                  run.p99_ms);
     runs.push_back(run);
   }
+  // Batched phase: the same front door, but every generation started from
+  // here on multiplexes the shared replica slots through one
+  // llm::BatchScheduler. Sweep clients-per-replica so the row dimension is
+  // contention on the replicas themselves, not on the HTTP workers.
+  std::vector<RunResult> batched_runs;
+  Json scheduler_gauges;
+  if (batched) {
+    llm::SchedulerConfig scheduler_config;
+    scheduler_config.replicas_per_model = replicas;
+    world.runtime->EnableScheduler(scheduler_config);
+    std::fprintf(stderr, "batched phase: %zu replica slots per model\n",
+                 replicas);
+    for (const size_t per_replica : {size_t{1}, size_t{2}, size_t{4}}) {
+      const size_t clients = per_replica * replicas;
+      RunResult run = RunClosedLoop(server.port(), world.dataset, per_replica,
+                                    clients, per_client);
+      std::fprintf(stderr,
+                   "  %zu clients/replica: %zu clients  served %zu  shed %zu "
+                   "(%.0f%%)  qps %.1f  p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
+                   per_replica, clients, run.served, run.shed,
+                   run.shed_rate * 100.0, run.qps, run.p50_ms, run.p95_ms,
+                   run.p99_ms);
+      batched_runs.push_back(run);
+    }
+    // The scheduler's own view of the phase, via the same health surface
+    // operators scrape.
+    scheduler_gauges = service.Handle("/api/health", Json::MakeObject())
+                           ["scheduler"];
+  }
+
   const auto& stats = server.stats();
   Json server_counters = stats.ToJson();
   server.Stop();
@@ -228,6 +276,29 @@ int Main(int argc, char** argv) {
   for (const auto& run : runs) rows.Append(ToJson(run));
   out.Set("runs", std::move(rows));
   out.Set("server_counters", std::move(server_counters));
+
+  if (batched) {
+    Json section = Json::MakeObject();
+    section.Set("replicas_per_model", replicas);
+    section.Set("capacity_qps", batched_runs.front().qps);
+    // How batched serving at 1 client/replica compares to the unbatched
+    // capacity run: > 1 means continuous batching served strictly more QPS
+    // from the same hardware.
+    section.Set("capacity_qps_vs_unbatched",
+                runs.front().qps > 0.0
+                    ? batched_runs.front().qps / runs.front().qps
+                    : 0.0);
+    Json batched_rows = Json::MakeArray();
+    for (const auto& run : batched_runs) {
+      Json row = ToJson(run);
+      row.MutableObject().erase("load_multiple");
+      row.Set("clients_per_replica", run.multiple);
+      batched_rows.Append(std::move(row));
+    }
+    section.Set("runs", std::move(batched_rows));
+    section.Set("scheduler", std::move(scheduler_gauges));
+    out.Set("batched", std::move(section));
+  }
 
   FILE* f = std::fopen(output.c_str(), "w");
   if (f == nullptr) {

@@ -1,5 +1,7 @@
 #include "llmms/app/service.h"
 
+#include <algorithm>
+
 #include "llmms/app/nl_config.h"
 #include "llmms/llm/hedged_model.h"
 #include "llmms/llm/resilient_model.h"
@@ -146,6 +148,14 @@ Json ApiService::HandleQuery(const Json& request,
   }
   if (request.Contains("use_memory_graph")) {
     options.use_memory_graph = request["use_memory_graph"].AsBool(false);
+  }
+  if (request.Contains("scheduler_weight")) {
+    const double weight = request["scheduler_weight"].AsDouble();
+    if (weight <= 0.0) {
+      return ErrorResponse(
+          Status::InvalidArgument("'scheduler_weight' must be > 0"));
+    }
+    options.scheduler_weight = weight;
   }
 
   // Natural-language configuration (§9.5): a free-text "instructions"
@@ -504,6 +514,58 @@ Json ApiService::HandleHealth() {
     stats_fn = server_stats_;
   }
   if (stats_fn) response.Set("server", stats_fn());
+
+  // Continuous-batching gauges (DESIGN.md §13), present when the runtime
+  // has a BatchScheduler multiplexing queries over shared replicas.
+  if (auto scheduler = engine_->runtime()->scheduler()) {
+    const auto stats = scheduler->stats();
+    Json batching = Json::MakeObject();
+    batching.Set("replicas_per_model", stats.replicas_per_model);
+    batching.Set("admitted_total", stats.admitted_total);
+    batching.Set("finished_total", stats.finished_total);
+    batching.Set("hedge_admitted_total", stats.hedge_admitted_total);
+    batching.Set("expired_total", stats.expired_total);
+    batching.Set("dispatches", stats.dispatches);
+    batching.Set("rounds", stats.rounds);
+    batching.Set("preempted_total", stats.preempted_total);
+    batching.Set("runnable", stats.runnable);
+    batching.Set("waiting", stats.waiting);
+    batching.Set("running", stats.running);
+    batching.Set("total_service_tokens", stats.total_service_tokens);
+    batching.Set("fairness_index", stats.fairness_index);
+    Json streams = Json::MakeArray();
+    for (const auto& s : stats.streams) {
+      Json stream = Json::MakeObject();
+      stream.Set("id", static_cast<size_t>(s.id));
+      stream.Set("model", s.model);
+      stream.Set("weight", s.weight);
+      stream.Set("hedge", s.hedge);
+      stream.Set("virtual_time", s.virtual_time);
+      stream.Set("service_tokens", s.service_tokens);
+      stream.Set("chunks", s.chunks);
+      stream.Set("preemptions", s.preemptions);
+      stream.Set("running", s.running);
+      streams.Append(std::move(stream));
+    }
+    batching.Set("streams", std::move(streams));
+    Json replica_models = Json::MakeArray();
+    for (const auto& m : stats.models) {
+      Json entry = Json::MakeObject();
+      entry.Set("model", m.model);
+      entry.Set("replicas", m.replicas);
+      double busy_max = 0.0;
+      double busy_total = 0.0;
+      for (double b : m.slot_busy_seconds) {
+        busy_max = std::max(busy_max, b);
+        busy_total += b;
+      }
+      entry.Set("slot_busy_seconds_max", busy_max);
+      entry.Set("slot_busy_seconds_total", busy_total);
+      replica_models.Append(std::move(entry));
+    }
+    batching.Set("models", std::move(replica_models));
+    response.Set("scheduler", std::move(batching));
+  }
   return response;
 }
 

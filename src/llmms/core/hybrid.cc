@@ -29,6 +29,8 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
   llm::GenerationRequest request;
   request.prompt = prompt;
   request.context = config_.context;
+  request.token_budget = config_.token_budget;
+  request.scheduler_weight = config_.scheduler_weight;
   LLMMS_ASSIGN_OR_RETURN(auto generation,
                          runtime_->StartGeneration(models_, request));
 

@@ -43,6 +43,9 @@ class HybridOrchestrator final : public Orchestrator {
     // Deadline/cancellation of the request driving this run (null =
     // unbounded); checked at both phases' loop boundaries (DESIGN.md §12).
     std::shared_ptr<RequestContext> context;
+    // Explicit continuous-batching weight (DESIGN.md §13); <= 0 derives it
+    // from token_budget and deadline slack. Ignored without a scheduler.
+    double scheduler_weight = 0.0;
   };
 
   HybridOrchestrator(llm::ModelRuntime* runtime,

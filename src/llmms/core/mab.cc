@@ -46,6 +46,8 @@ StatusOr<OrchestrationResult> MabOrchestrator::Run(
   request.prompt = prompt;
   request.max_tokens = 0;
   request.context = config_.context;
+  request.token_budget = config_.token_budget;
+  request.scheduler_weight = config_.scheduler_weight;
   LLMMS_ASSIGN_OR_RETURN(auto generation,
                          runtime_->StartGeneration(models_, request));
 

@@ -42,6 +42,9 @@ class MabOrchestrator final : public Orchestrator {
     // Deadline/cancellation of the request driving this run (null =
     // unbounded); checked at every pull boundary (DESIGN.md §12).
     std::shared_ptr<RequestContext> context;
+    // Explicit continuous-batching weight (DESIGN.md §13); <= 0 derives it
+    // from token_budget and deadline slack. Ignored without a scheduler.
+    double scheduler_weight = 0.0;
   };
 
   MabOrchestrator(llm::ModelRuntime* runtime, std::vector<std::string> models,

@@ -28,6 +28,8 @@ StatusOr<OrchestrationResult> OuaOrchestrator::Run(
   request.prompt = prompt;
   request.max_tokens = 0;  // the orchestrator enforces budgets itself
   request.context = config_.context;
+  request.token_budget = config_.token_budget;
+  request.scheduler_weight = config_.scheduler_weight;
   LLMMS_ASSIGN_OR_RETURN(auto generation,
                          runtime_->StartGeneration(models_, request));
 

@@ -46,6 +46,10 @@ class OuaOrchestrator final : public Orchestrator {
     // every chunk; an expired or cancelled request unwinds with the typed
     // DeadlineExceeded / Cancelled status (DESIGN.md §12).
     std::shared_ptr<RequestContext> context;
+    // Explicit continuous-batching weight for this query's streams
+    // (DESIGN.md §13); <= 0 lets the scheduler derive it from token_budget
+    // and deadline slack. Ignored when the runtime has no BatchScheduler.
+    double scheduler_weight = 0.0;
   };
 
   // `runtime` must outlive the orchestrator; `models` must all be loaded.

@@ -112,6 +112,7 @@ StatusOr<SearchEngine::AskResult> SearchEngine::Ask(
       config.prune_margin = options.oua_prune_margin;
       config.reward_feed = &reward_feed_;
       config.context = options.context;
+      config.scheduler_weight = options.scheduler_weight;
       orchestrator = std::make_unique<OuaOrchestrator>(runtime_, models,
                                                        embedder_, config);
       break;
@@ -124,6 +125,7 @@ StatusOr<SearchEngine::AskResult> SearchEngine::Ask(
       config.gamma0 = options.mab_gamma0;
       config.reward_feed = &reward_feed_;
       config.context = options.context;
+      config.scheduler_weight = options.scheduler_weight;
       orchestrator = std::make_unique<MabOrchestrator>(runtime_, models,
                                                        embedder_, config);
       break;
@@ -138,6 +140,7 @@ StatusOr<SearchEngine::AskResult> SearchEngine::Ask(
       config.gamma0 = options.mab_gamma0;
       config.reward_feed = &reward_feed_;
       config.context = options.context;
+      config.scheduler_weight = options.scheduler_weight;
       orchestrator = std::make_unique<HybridOrchestrator>(runtime_, models,
                                                           embedder_, config);
       break;
@@ -149,6 +152,7 @@ StatusOr<SearchEngine::AskResult> SearchEngine::Ask(
       config.weights = options.weights;
       config.token_budget = options.token_budget;
       config.context = options.context;
+      config.scheduler_weight = options.scheduler_weight;
       orchestrator = std::make_unique<SingleModelOrchestrator>(
           runtime_, model, embedder_, config);
       break;

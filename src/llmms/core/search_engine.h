@@ -57,6 +57,10 @@ class SearchEngine {
     // chunk loop so a client timeout or disconnect stops generation at the
     // next chunk boundary with a typed status (DESIGN.md §12).
     std::shared_ptr<RequestContext> context;
+    // Explicit continuous-batching weight for this query's streams
+    // (DESIGN.md §13); <= 0 lets the runtime's BatchScheduler derive it
+    // from token_budget and deadline slack. Inert when batching is off.
+    double scheduler_weight = 0.0;
   };
 
   struct AskResult {

@@ -23,6 +23,9 @@ class SingleModelOrchestrator final : public Orchestrator {
     // Deadline/cancellation of the request driving this run (null =
     // unbounded); checked at every chunk boundary (DESIGN.md §12).
     std::shared_ptr<RequestContext> context;
+    // Explicit continuous-batching weight (DESIGN.md §13); <= 0 derives it
+    // from token_budget and deadline slack. Ignored without a scheduler.
+    double scheduler_weight = 0.0;
   };
 
   SingleModelOrchestrator(llm::ModelRuntime* runtime, std::string model,

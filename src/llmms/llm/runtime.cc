@@ -7,6 +7,45 @@
 
 namespace llmms::llm {
 
+ParallelGeneration::~ParallelGeneration() {
+  // Abandoned streams (client gone, orchestrator unwound) must release
+  // their admissions or the scheduler's fairness state leaks them.
+  if (scheduler_ == nullptr) return;
+  for (auto& [name, entry] : entries_) {
+    if (entry.scheduled) scheduler_->Finish(entry.sched_id);
+  }
+}
+
+// Runs one chunk of `entry`, going through the shared scheduler's grant
+// cycle when this stream is admitted to one: the chunk executes while
+// holding a replica slot, so concurrent queries interleave at chunk
+// granularity instead of overlapping on a pretend-infinite model.
+StatusOr<Chunk> ParallelGeneration::ScheduledChunk(Entry* entry,
+                                                   size_t max_tokens) {
+  if (scheduler_ == nullptr || !entry->scheduled || entry->stats.finished ||
+      entry->stats.failed) {
+    return NextChunkLocked(entry, max_tokens);
+  }
+  auto chunk_or = scheduler_->ExecuteChunk(
+      entry->sched_id, max_tokens,
+      [this, entry](size_t tokens) { return NextChunkLocked(entry, tokens); });
+  // A stream that finished, failed, or was unwound by its deadline leaves
+  // the scheduler immediately so it stops competing for slots.
+  if (!chunk_or.ok() || chunk_or->done) {
+    scheduler_->Finish(entry->sched_id);
+    entry->scheduled = false;
+    if (!chunk_or.ok() && !entry->stats.failed) {
+      // Typed deadline/cancel unwinding from the scheduler itself: make it
+      // sticky exactly like a stream error so further calls stay typed.
+      entry->stats.failed = true;
+      entry->stats.finished = true;
+      entry->stats.error = chunk_or.status().message();
+      entry->error = chunk_or.status();
+    }
+  }
+  return chunk_or;
+}
+
 StatusOr<Chunk> ParallelGeneration::NextChunkLocked(Entry* entry,
                                                     size_t max_tokens) {
   if (entry->stats.failed) return entry->error;  // sticky failure
@@ -52,7 +91,7 @@ StatusOr<Chunk> ParallelGeneration::NextChunk(const std::string& model,
                             "' is not part of this generation");
   }
   const double before = it->second.stats.simulated_seconds;
-  auto chunk = NextChunkLocked(&it->second, max_tokens);
+  auto chunk = ScheduledChunk(&it->second, max_tokens);
   if (chunk.ok()) {
     simulated_wall_seconds_ += it->second.stats.simulated_seconds - before;
   }
@@ -65,13 +104,21 @@ StatusOr<ParallelGeneration::ChunkBatch> ParallelGeneration::NextChunks(
   // An expired or cancelled request fails the whole round with the typed
   // status: nobody's tokens are worth generating once the caller is gone.
   if (context_ != nullptr) LLMMS_RETURN_NOT_OK(context_->Check());
-  // Validate first so misuse fails atomically.
-  for (const auto& [name, tokens] : requests) {
+  // Validate first so misuse fails atomically. A model named twice would
+  // hand the same stream to two concurrent pool tasks — a data race the
+  // per-entry ownership argument below depends on excluding.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const auto& name = requests[i].first;
     if (entries_.find(name) == entries_.end()) {
       return Status::NotFound("model '" + name +
                               "' is not part of this generation");
     }
-    (void)tokens;
+    for (size_t j = 0; j < i; ++j) {
+      if (requests[j].first == name) {
+        return Status::InvalidArgument("model '" + name +
+                                       "' requested twice in one round");
+      }
+    }
   }
 
   // Each stream is touched by exactly one task, so the per-entry work is
@@ -82,7 +129,7 @@ StatusOr<ParallelGeneration::ChunkBatch> ParallelGeneration::NextChunks(
     Entry* entry = &entries_[name];
     const size_t max_tokens = tokens;
     futures.push_back(pool_->Submit([this, entry, max_tokens]() {
-      return NextChunkLocked(entry, max_tokens);
+      return ScheduledChunk(entry, max_tokens);
     }));
   }
 
@@ -223,6 +270,9 @@ StatusOr<std::unique_ptr<ParallelGeneration>> ModelRuntime::StartGeneration(
   auto generation =
       std::unique_ptr<ParallelGeneration>(new ParallelGeneration(&pool_));
   generation->context_ = request.context;
+  // An in-flight generation keeps the scheduler it was admitted to even if
+  // the runtime is reconfigured underneath it.
+  generation->scheduler_ = scheduler_;
   size_t started = 0;
   Status last_start_error = Status::OK();
   for (const auto& name : models) {
@@ -242,6 +292,18 @@ StatusOr<std::unique_ptr<ParallelGeneration>> ModelRuntime::StartGeneration(
       entry.device = it->second.placement->device();
       entry.effective_tps = it->second.model->tokens_per_second() *
                             entry.device->spec().throughput_factor;
+      if (generation->scheduler_ != nullptr) {
+        BatchScheduler::AdmitOptions admit;
+        admit.model = name;
+        admit.weight = request.scheduler_weight;
+        admit.token_budget =
+            request.token_budget > 0 ? request.token_budget : request.max_tokens;
+        admit.hedge = request.hedge_priority;
+        admit.context = request.context;
+        admit.tokens_per_second = entry.effective_tps;
+        entry.sched_id = generation->scheduler_->Admit(admit);
+        entry.scheduled = true;
+      }
     } else {
       // The model refused to start: it joins pre-failed so orchestrators
       // can quarantine it instead of losing the whole query.
@@ -260,6 +322,16 @@ StatusOr<std::unique_ptr<ParallelGeneration>> ModelRuntime::StartGeneration(
                       last_start_error.message());
   }
   return generation;
+}
+
+void ModelRuntime::EnableScheduler(const SchedulerConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scheduler_ = std::make_shared<BatchScheduler>(config);
+}
+
+std::shared_ptr<BatchScheduler> ModelRuntime::scheduler() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scheduler_;
 }
 
 StatusOr<GenerationResult> ModelRuntime::Generate(

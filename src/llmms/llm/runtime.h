@@ -13,6 +13,7 @@
 #include "llmms/common/status.h"
 #include "llmms/common/thread_pool.h"
 #include "llmms/hardware/placement.h"
+#include "llmms/llm/batch_scheduler.h"
 #include "llmms/llm/model.h"
 #include "llmms/llm/registry.h"
 
@@ -81,8 +82,13 @@ class ParallelGeneration {
 
   // Simulated wall-clock: per-model chunk times overlap when issued through
   // NextChunks (parallel), so the wall clock is the max over a round, summed
-  // over rounds.
+  // over rounds. Invariant (locked down by llm_runtime_test): a round
+  // charges only the streams actually scheduled in it — models that are
+  // idle, already finished, or not requested contribute nothing, with or
+  // without a BatchScheduler multiplexing the replicas underneath.
   double SimulatedWallSeconds() const { return simulated_wall_seconds_; }
+
+  ~ParallelGeneration();
 
  private:
   friend class ModelRuntime;
@@ -94,11 +100,19 @@ class ParallelGeneration {
     double effective_tps = 1.0;
     ModelStats stats;
     Status error;  // sticky stream error, meaningful when stats.failed
+    // Continuous-batching admission (DESIGN.md §13): set when the runtime
+    // has a BatchScheduler and the stream started; every chunk of this
+    // entry then runs inside a scheduler grant.
+    BatchScheduler::StreamId sched_id = 0;
+    bool scheduled = false;
   };
 
   explicit ParallelGeneration(ThreadPool* pool) : pool_(pool) {}
 
   StatusOr<Chunk> NextChunkLocked(Entry* entry, size_t max_tokens);
+  // NextChunkLocked routed through the shared scheduler's grant cycle when
+  // this entry is admitted to one; plain NextChunkLocked otherwise.
+  StatusOr<Chunk> ScheduledChunk(Entry* entry, size_t max_tokens);
 
   ThreadPool* pool_;
   std::vector<std::string> order_;
@@ -106,6 +120,10 @@ class ParallelGeneration {
   // The originating request's deadline/cancellation (null = unbounded),
   // taken from GenerationRequest::context at StartGeneration.
   std::shared_ptr<RequestContext> context_;
+  // Shared continuous-batching scheduler (null = unbatched, the default
+  // path, preserved unchanged). Shared ownership so an in-flight
+  // generation survives a runtime reconfiguration.
+  std::shared_ptr<BatchScheduler> scheduler_;
   mutable std::mutex mu_;
   double simulated_wall_seconds_ = 0.0;
 };
@@ -156,6 +174,17 @@ class ModelRuntime {
   StatusOr<GenerationResult> Generate(const std::string& model,
                                       const GenerationRequest& request);
 
+  // Turns on continuous batching (DESIGN.md §13): every generation started
+  // afterwards admits its streams to one shared llm::BatchScheduler, so
+  // concurrent queries multiplex the same model replicas chunk-by-chunk
+  // instead of pretending each query has the model to itself. In-flight
+  // generations keep the scheduler they started with. Without this call
+  // the runtime behaves exactly as before (scheduler-off compatibility
+  // contract).
+  void EnableScheduler(const SchedulerConfig& config);
+  // The active scheduler, or null when batching is off.
+  std::shared_ptr<BatchScheduler> scheduler() const;
+
   const std::shared_ptr<ModelRegistry>& registry() const { return registry_; }
   const std::shared_ptr<hardware::HardwareManager>& hardware() const {
     return hardware_;
@@ -173,6 +202,7 @@ class ModelRuntime {
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, LoadedModel> loaded_;
+  std::shared_ptr<BatchScheduler> scheduler_;  // null = batching off
 };
 
 }  // namespace llmms::llm

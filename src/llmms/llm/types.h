@@ -46,6 +46,19 @@ struct GenerationRequest {
   // the federation adapter does not serialize it (a remote peer protects
   // itself with its own socket deadlines).
   std::shared_ptr<RequestContext> context;
+
+  // --- Continuous-batching hints (DESIGN.md §13), meaningful only when the
+  // runtime has a BatchScheduler enabled; ignored otherwise. ---
+  // Advisory whole-query token budget used to derive the stream's scheduler
+  // weight (0 falls back to max_tokens). Orchestrators fill it from their
+  // own budget config since they pass max_tokens = 0.
+  size_t token_budget = 0;
+  // Explicit scheduler weight override; <= 0 derives the weight from
+  // token_budget and the context's deadline slack.
+  double scheduler_weight = 0.0;
+  // Elevated dispatch priority: the admission jumps the run queue the way a
+  // hedge launch does (DESIGN.md §10/§13).
+  bool hedge_priority = false;
 };
 
 // One streamed chunk of output.

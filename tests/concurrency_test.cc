@@ -9,6 +9,7 @@
 #include "llmms/app/service.h"
 #include "llmms/common/rng.h"
 #include "llmms/embedding/embedding_cache.h"
+#include "llmms/llm/batch_scheduler.h"
 #include "testutil.h"
 
 namespace llmms {
@@ -154,6 +155,99 @@ TEST(ConcurrencyTest, ApiServiceParallelRequests) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+// N threads drive whole queries through ONE shared continuous-batching
+// scheduler (DESIGN.md §13): every stream of every query competes for the
+// same replica slots. All queries must complete, and the scheduler must
+// come back to rest with no leaked admissions.
+TEST(ConcurrencyTest, SharedSchedulerAcrossConcurrentQueries) {
+  auto world = testutil::MakeWorld(4);
+  llm::SchedulerConfig config;
+  config.replicas_per_model = 2;
+  world.runtime->EnableScheduler(config);
+  auto db = std::make_shared<vectordb::VectorDatabase>();
+  auto sessions = std::make_shared<session::SessionStore>();
+  core::SearchEngine engine(world.runtime.get(), world.embedder, db, sessions);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      core::SearchEngine::QueryOptions options;
+      options.algorithm =
+          t % 2 == 0 ? core::Algorithm::kOua : core::Algorithm::kMab;
+      options.token_budget = 256;
+      for (int i = 0; i < 3; ++i) {
+        const auto& item = world.dataset[(t * 3 + i) % world.dataset.size()];
+        auto result = engine.Ask("batched-" + std::to_string(t),
+                                 item.question, options);
+        if (!result.ok() || result->orchestration.answer.empty()) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const auto stats = world.runtime->scheduler()->stats();
+  EXPECT_EQ(stats.runnable, 0u);
+  EXPECT_EQ(stats.waiting, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  EXPECT_EQ(stats.finished_total, stats.admitted_total);
+  EXPECT_GT(stats.dispatches, 0u);
+  EXPECT_GT(stats.total_service_tokens, 0u);
+}
+
+// Raw Admit/ExecuteChunk/Finish hammer: many threads, two replica classes,
+// short random streams, some finished early and some abandoned — the
+// retire-while-queued and preemption paths all race here. Gauges must
+// return to zero.
+TEST(ConcurrencyTest, SchedulerAdmitExecuteFinishHammer) {
+  llm::SchedulerConfig config;
+  config.replicas_per_model = 2;
+  llm::BatchScheduler scheduler(config);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(0xBA7C4ull + t);
+      for (int i = 0; i < 40; ++i) {
+        llm::BatchScheduler::AdmitOptions options;
+        options.model = (t + i) % 2 == 0 ? "alpha" : "beta";
+        options.weight = 0.5 + static_cast<double>(rng.NextUint64() % 4);
+        options.hedge = rng.NextUint64() % 8 == 0;
+        options.tokens_per_second = 8.0;
+        const auto id = scheduler.Admit(options);
+        const size_t chunks = 1 + rng.NextUint64() % 3;
+        for (size_t c = 0; c < chunks; ++c) {
+          auto chunk = scheduler.ExecuteChunk(
+              id, 8, [&](size_t) -> StatusOr<llm::Chunk> {
+                llm::Chunk out;
+                out.num_tokens = 8;
+                out.done = c + 1 == chunks && rng.NextUint64() % 2 == 0;
+                return out;
+              });
+          if (!chunk.ok()) {
+            ++failures;
+            break;
+          }
+          if (chunk->done) break;
+        }
+        // Abandoned or completed either way: Finish must be idempotent.
+        scheduler.Finish(id);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.runnable, 0u);
+  EXPECT_EQ(stats.waiting, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  EXPECT_EQ(stats.admitted_total, 8u * 40u);
+  EXPECT_EQ(stats.finished_total, stats.admitted_total);
 }
 
 }  // namespace

@@ -189,6 +189,87 @@ TEST(ParallelGenerationTest, SimulatedTimeUsesSlowestOfRound) {
   EXPECT_LT((*generation)->SimulatedWallSeconds(), sum);
 }
 
+TEST(ParallelGenerationTest, DuplicateModelInOneRoundRejected) {
+  // A model named twice in one NextChunks round would hand the same stream
+  // to two concurrent pool tasks — reject it before any task is submitted.
+  auto world = testutil::MakeWorld();
+  GenerationRequest request;
+  request.prompt = world.dataset[0].question;
+  auto generation =
+      world.runtime->StartGeneration(world.model_names, request);
+  ASSERT_TRUE(generation.ok());
+  auto batch = (*generation)->NextChunks(
+      {{"llama3:8b", 8}, {"mistral:7b", 8}, {"llama3:8b", 8}});
+  EXPECT_TRUE(batch.status().IsInvalidArgument());
+  // The failed round charged nothing and generated nothing.
+  EXPECT_EQ((*generation)->TotalTokens(), 0u);
+  EXPECT_DOUBLE_EQ((*generation)->SimulatedWallSeconds(), 0.0);
+}
+
+// The head-of-line accounting invariant (DESIGN.md §13): a round's
+// wall-clock charge is the max over the streams actually scheduled in it.
+// Models that are idle this round — not requested — contribute nothing,
+// with and without a BatchScheduler multiplexing the replicas underneath.
+void ExpectRoundChargesOnlyScheduledStreams(llm::ModelRuntime* runtime,
+                                            const testutil::World& world) {
+  GenerationRequest request;
+  request.prompt = world.dataset[1].question;
+  auto generation = runtime->StartGeneration(world.model_names, request);
+  ASSERT_TRUE(generation.ok());
+
+  // Round 1: only two of the three models are scheduled.
+  const std::string idle = world.model_names[2];
+  std::vector<std::pair<std::string, size_t>> partial = {
+      {world.model_names[0], 8}, {world.model_names[1], 8}};
+  auto batch = (*generation)->NextChunks(partial);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(batch->errors.empty());
+
+  double slowest = 0.0;
+  for (const auto& [name, tokens] : partial) {
+    auto stats = (*generation)->StatsOf(name);
+    ASSERT_TRUE(stats.ok());
+    slowest = std::max(slowest, stats->simulated_seconds);
+  }
+  // The idle model was never touched...
+  auto idle_stats = (*generation)->StatsOf(idle);
+  ASSERT_TRUE(idle_stats.ok());
+  EXPECT_EQ(idle_stats->tokens, 0u);
+  EXPECT_DOUBLE_EQ(idle_stats->simulated_seconds, 0.0);
+  // ...and the round's wall-clock is exactly the slowest *scheduled*
+  // stream, not inflated by idle replicas or unrequested models.
+  EXPECT_DOUBLE_EQ((*generation)->SimulatedWallSeconds(), slowest);
+
+  // Round 2: only the previously idle model runs; the wall advances by its
+  // chunk alone.
+  const double wall_before = (*generation)->SimulatedWallSeconds();
+  auto second = (*generation)->NextChunks({{idle, 8}});
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->errors.empty());
+  auto after = (*generation)->StatsOf(idle);
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ((*generation)->SimulatedWallSeconds(),
+                   wall_before + after->simulated_seconds);
+}
+
+TEST(ParallelGenerationTest, RoundChargesOnlyScheduledStreams) {
+  auto world = testutil::MakeWorld();
+  ExpectRoundChargesOnlyScheduledStreams(world.runtime.get(), world);
+}
+
+TEST(ParallelGenerationTest, RoundChargesOnlyScheduledStreamsWithScheduler) {
+  auto world = testutil::MakeWorld();
+  SchedulerConfig config;
+  config.replicas_per_model = 2;
+  world.runtime->EnableScheduler(config);
+  ExpectRoundChargesOnlyScheduledStreams(world.runtime.get(), world);
+  // The scheduler saw the streams and released them all.
+  const auto stats = world.runtime->scheduler()->stats();
+  EXPECT_GT(stats.dispatches, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  EXPECT_EQ(stats.waiting, 0u);
+}
+
 TEST(ParallelGenerationTest, GenerateToCompletionViaRuntime) {
   auto world = testutil::MakeWorld();
   GenerationRequest request;
