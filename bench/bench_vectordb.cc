@@ -3,11 +3,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include "llmms/common/fs.h"
 #include "llmms/common/rng.h"
 #include "llmms/vectordb/collection.h"
+#include "llmms/vectordb/database.h"
 #include "llmms/vectordb/flat_index.h"
 #include "llmms/vectordb/hnsw_index.h"
 #include "llmms/vectordb/quantizer.h"
+#include "llmms/vectordb/wal.h"
 
 namespace {
 
@@ -130,6 +133,81 @@ void BM_CollectionFilteredQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CollectionFilteredQuery);
+
+// Durability phase: WAL append throughput per sync policy — the price of
+// the fsync barrier. kNone is the in-memory ceiling, kGroupCommit amortizes
+// one fsync over group_commit_every appends, kEveryRecord is the
+// acked-means-durable mode the crash harness certifies.
+void BM_WalAppend(benchmark::State& state, WriteAheadLog::SyncPolicy policy) {
+  constexpr size_t kDim = 128;
+  Rng rng(17);
+  RealFileSystem fs;
+  const std::string path = "/tmp/llmms_bench.wal";
+  (void)fs.Remove(path);
+  WriteAheadLog::Options options;
+  options.sync_policy = policy;
+  auto log = WriteAheadLog::Open(&fs, path, options);
+  if (!log.ok()) {
+    state.SkipWithError("cannot open WAL");
+    return;
+  }
+  VectorRecord record;
+  record.vector = RandomVector(&rng, kDim);
+  record.metadata["k"] = "v";
+  size_t i = 0;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    record.id = "rec-" + std::to_string(i++);
+    benchmark::DoNotOptimize((*log)->AppendUpsert(record).ok());
+    bytes += kDim * sizeof(float);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+  (void)fs.Remove(path);
+}
+
+void BM_WalAppendSyncNone(benchmark::State& state) {
+  BM_WalAppend(state, WriteAheadLog::SyncPolicy::kNone);
+}
+BENCHMARK(BM_WalAppendSyncNone);
+
+void BM_WalAppendGroupCommit(benchmark::State& state) {
+  BM_WalAppend(state, WriteAheadLog::SyncPolicy::kGroupCommit);
+}
+BENCHMARK(BM_WalAppendGroupCommit);
+
+void BM_WalAppendEveryRecord(benchmark::State& state) {
+  BM_WalAppend(state, WriteAheadLog::SyncPolicy::kEveryRecord);
+}
+BENCHMARK(BM_WalAppendEveryRecord);
+
+void BM_SnapshotSave(benchmark::State& state) {
+  constexpr size_t kDim = 128;
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(23);
+  RealFileSystem fs;
+  VectorDatabase db;
+  auto collection = db.CreateCollection("bench", [] {
+    Collection::Options o;
+    o.dimension = kDim;
+    o.index_kind = IndexKind::kFlat;
+    return o;
+  }());
+  for (size_t i = 0; i < n; ++i) {
+    VectorRecord record;
+    record.id = "rec-" + std::to_string(i);
+    record.vector = RandomVector(&rng, kDim);
+    (void)(*collection)->Upsert(std::move(record));
+  }
+  const std::string path = "/tmp/llmms_bench_snapshot.bin";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Save(&fs, path).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  (void)fs.Remove(path);
+}
+BENCHMARK(BM_SnapshotSave)->Arg(1000);
 
 }  // namespace
 

@@ -566,6 +566,55 @@ Json ApiService::HandleHealth() {
     batching.Set("models", std::move(replica_models));
     response.Set("scheduler", std::move(batching));
   }
+
+  // Storage-plane telemetry (DESIGN.md §14): lifetime recovery/corruption
+  // counters from the durable components plus the default filesystem's op
+  // counts. `chaos` is true when LLMMS_IO_CHAOS put a fault-injecting
+  // filesystem underneath — so operators can tell injected trouble from a
+  // genuinely failing disk.
+  {
+    const auto& sc = GlobalStorageCounters();
+    Json storage = Json::MakeObject();
+    Json recovery = Json::MakeObject();
+    recovery.Set("wal_replays", sc.wal_replays.load());
+    recovery.Set("wal_records_replayed", sc.wal_records_replayed.load());
+    recovery.Set("torn_tails_recovered", sc.torn_tails_recovered.load());
+    recovery.Set("sequence_breaks", sc.sequence_breaks.load());
+    recovery.Set("compactions", sc.compactions.load());
+    recovery.Set("compaction_failures", sc.compaction_failures.load());
+    recovery.Set("snapshot_saves", sc.snapshot_saves.load());
+    recovery.Set("snapshot_save_failures", sc.snapshot_save_failures.load());
+    recovery.Set("snapshot_loads", sc.snapshot_loads.load());
+    recovery.Set("snapshot_load_failures", sc.snapshot_load_failures.load());
+    recovery.Set("state_saves", sc.state_saves.load());
+    recovery.Set("state_save_failures", sc.state_save_failures.load());
+    recovery.Set("state_cold_starts", sc.state_cold_starts.load());
+    storage.Set("recovery", std::move(recovery));
+
+    FileSystem* fs = FileSystem::Default();
+    const auto ops = fs->op_counts();
+    Json io = Json::MakeObject();
+    io.Set("opens", ops.opens);
+    io.Set("appends", ops.appends);
+    io.Set("bytes_appended", ops.bytes_appended);
+    io.Set("syncs", ops.syncs);
+    io.Set("dir_syncs", ops.dir_syncs);
+    io.Set("reads", ops.reads);
+    io.Set("renames", ops.renames);
+    io.Set("removes", ops.removes);
+    io.Set("injected_faults", ops.injected_faults);
+    io.Set("read_corruptions", ops.read_corruptions);
+    storage.Set("io", std::move(io));
+    storage.Set("chaos", fs->injects_faults());
+
+    if (state_store_ != nullptr) {
+      Json state = Json::MakeObject();
+      state.Set("path", state_store_->path());
+      state.Set("load_warning", state_store_->load_warning());
+      storage.Set("state_store", std::move(state));
+    }
+    response.Set("storage", std::move(storage));
+  }
   return response;
 }
 

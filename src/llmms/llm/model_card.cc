@@ -1,8 +1,5 @@
 #include "llmms/llm/model_card.h"
 
-#include <fstream>
-#include <sstream>
-
 #include "llmms/common/json.h"
 
 namespace llmms::llm {
@@ -60,24 +57,30 @@ StatusOr<ModelProfile> ProfileFromJson(const std::string& text) {
   return profile;
 }
 
-Status SaveModelCard(const ModelProfile& profile, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  out << ProfileToJson(profile) << "\n";
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+Status SaveModelCard(const ModelProfile& profile, const std::string& path,
+                     FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  Status status = AtomicWriteFile(fs, path, ProfileToJson(profile) + "\n");
+  if (status.IsNotFound()) {
+    // A missing parent directory surfaces as NotFound from open(); this API
+    // reports every save failure uniformly as IOError.
+    return Status::IOError(status.message());
+  }
+  return status;
 }
 
-StatusOr<ModelProfile> LoadModelCard(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for read: " + path);
-  std::ostringstream contents;
-  contents << in.rdbuf();
-  return ProfileFromJson(contents.str());
+StatusOr<ModelProfile> LoadModelCard(const std::string& path,
+                                     FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  auto contents = fs->ReadFile(path);
+  if (!contents.ok()) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  return ProfileFromJson(*contents);
 }
 
 StatusOr<std::vector<std::string>> WriteDefaultModelCards(
-    const std::string& directory) {
+    const std::string& directory, FileSystem* fs) {
   std::vector<std::string> paths;
   for (const auto& profile : DefaultProfiles()) {
     std::string filename = profile.name;
@@ -85,7 +88,7 @@ StatusOr<std::vector<std::string>> WriteDefaultModelCards(
       if (c == ':' || c == '/') c = '-';
     }
     const std::string path = directory + "/" + filename + ".json";
-    LLMMS_RETURN_NOT_OK(SaveModelCard(profile, path));
+    LLMMS_RETURN_NOT_OK(SaveModelCard(profile, path, fs));
     paths.push_back(path);
   }
   return paths;

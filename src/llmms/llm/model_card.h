@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "llmms/common/fs.h"
 #include "llmms/common/result.h"
 #include "llmms/common/status.h"
 #include "llmms/llm/model_profile.h"
@@ -23,14 +24,18 @@ std::string ProfileToJson(const ModelProfile& profile);
 // Parses a model card; InvalidArgument on missing/ill-typed fields.
 StatusOr<ModelProfile> ProfileFromJson(const std::string& text);
 
-// File round trip.
-Status SaveModelCard(const ModelProfile& profile, const std::string& path);
-StatusOr<ModelProfile> LoadModelCard(const std::string& path);
+// File round trip. Saves go through the atomic tmp + fsync + rename +
+// fsync-dir barrier (common/fs.h), so a crash mid-save leaves the old card
+// (or no card) — never a torn one. `fs` defaults to FileSystem::Default().
+Status SaveModelCard(const ModelProfile& profile, const std::string& path,
+                     FileSystem* fs = nullptr);
+StatusOr<ModelProfile> LoadModelCard(const std::string& path,
+                                     FileSystem* fs = nullptr);
 
 // Writes one card per default profile into `directory` (created by the
 // caller); returns the file paths. Used to bootstrap a model directory.
 StatusOr<std::vector<std::string>> WriteDefaultModelCards(
-    const std::string& directory);
+    const std::string& directory, FileSystem* fs = nullptr);
 
 }  // namespace llmms::llm
 

@@ -1,8 +1,5 @@
 #include "llmms/llm/state_store.h"
 
-#include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "llmms/llm/hedged_model.h"
@@ -99,15 +96,20 @@ std::vector<QuantileWindow::Snapshot> StateStore::SketchesFromJson(
   return out;
 }
 
-StateStore::StateStore(std::string path) : path_(std::move(path)) {}
+StateStore::StateStore(std::string path, FileSystem* fs)
+    : path_(std::move(path)),
+      fs_(fs != nullptr ? fs : FileSystem::Default()) {}
 
 Status StateStore::Load() {
   load_warning_.clear();
-  std::ifstream in(path_);
-  if (!in.is_open()) return Status::OK();  // first run: nothing saved yet
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
+  auto text_or = fs_->ReadFile(path_);
+  if (!text_or.ok()) {
+    // First run: nothing saved yet. Anything else (the path is a directory,
+    // a permission problem) is a real I/O surprise and surfaces.
+    if (text_or.status().IsNotFound()) return Status::OK();
+    return text_or.status();
+  }
+  const std::string text = std::move(*text_or);
   if (text.empty()) return Status::OK();
 
   // Corruption policy: parse the whole file *before* committing anything.
@@ -116,6 +118,8 @@ Status StateStore::Load() {
   auto cold_start = [this](const std::string& why) {
     load_warning_ = "state store '" + path_ + "' " + why +
                     "; cold-starting with empty state";
+    GlobalStorageCounters().state_cold_starts.fetch_add(
+        1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
     breakers_.clear();
     sketches_.clear();
@@ -239,23 +243,17 @@ Status StateStore::SaveNow() {
   doc.Set("breakers", std::move(breakers));
   doc.Set("sketches", std::move(sketches));
 
-  const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out.is_open()) {
-      return Status::IOError("cannot write state store temp file '" + tmp +
-                             "'");
-    }
-    out << doc.Dump(2) << '\n';
-    if (!out.good()) {
-      return Status::IOError("short write to state store temp file '" + tmp +
-                             "'");
-    }
+  auto& counters = GlobalStorageCounters();
+  // Full barrier sequence (write path.tmp, fsync, rename, fsync the parent
+  // directory): a crash between the temp write and the rename — or at any
+  // other point — leaves the previous snapshot readable.
+  Status status = AtomicWriteFile(fs_, path_, doc.Dump(2) + "\n");
+  if (!status.ok()) {
+    counters.state_save_failures.fetch_add(1, std::memory_order_relaxed);
+    if (status.IsNotFound()) return Status::IOError(status.message());
+    return status;
   }
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    return Status::IOError("cannot rename '" + tmp + "' over '" + path_ +
-                           "'");
-  }
+  counters.state_saves.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

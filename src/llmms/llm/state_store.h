@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "llmms/common/fs.h"
 #include "llmms/common/json.h"
 #include "llmms/common/quantile_window.h"
 #include "llmms/common/status.h"
@@ -38,10 +39,14 @@ class HedgedModel;
 //   store.AttachBreaker("m1", breaker);  // restore + save on transitions
 //   store.AttachSketches("m1", hedged);  // restore + included in SaveNow()
 //
-// Writes are atomic (temp file + rename), so a crash mid-write leaves the
-// previous snapshot readable. Restores are all-or-nothing: the file is
-// parsed completely before any state is committed, so a truncated file can
-// never half-restore.
+// Writes are atomic with real durability barriers (temp file + fsync +
+// rename + fsync of the parent directory, via common/fs.h AtomicWriteFile),
+// so a crash at any point — even between the temp write and the rename —
+// leaves the previous snapshot readable. Restores are all-or-nothing: the
+// file is parsed completely before any state is committed, so a truncated
+// file can never half-restore. All I/O goes through the FileSystem passed
+// at construction (FileSystem::Default() when omitted), which is how the
+// crash harness in tests/storage_chaos_test.cc drives it.
 //
 // AttachBreaker() installs a transition listener that rewrites the file on
 // every breaker state change (which also persists the current sketches —
@@ -53,7 +58,8 @@ class HedgedModel;
 // listeners must be cleared first); ApiService owns both, in that order.
 class StateStore {
  public:
-  explicit StateStore(std::string path);
+  // `fs` must outlive the store; FileSystem::Default() when null.
+  explicit StateStore(std::string path, FileSystem* fs = nullptr);
 
   // Reads the file. A missing or empty file is a clean first run; a
   // malformed one degrades to the same empty store — a node must never
@@ -100,6 +106,7 @@ class StateStore {
                      const CircuitBreaker::Snapshot& snapshot);
 
   const std::string path_;
+  FileSystem* const fs_;
   std::string load_warning_;
   mutable std::mutex mu_;
   std::map<std::string, CircuitBreaker::Snapshot> breakers_;

@@ -1,7 +1,7 @@
 #include "llmms/vectordb/database.h"
 
 #include <cstdint>
-#include <fstream>
+#include <cstring>
 
 namespace llmms::vectordb {
 namespace {
@@ -9,37 +9,57 @@ namespace {
 constexpr uint32_t kMagic = 0x4C4D5644;  // "LMVD"
 constexpr uint32_t kVersion = 1;
 
-void WriteU32(std::ostream& out, uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+void WriteU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-void WriteU64(std::ostream& out, uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+void WriteU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-void WriteString(std::ostream& out, const std::string& s) {
+void WriteString(std::string* out, const std::string& s) {
   WriteU64(out, s.size());
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  out->append(s);
 }
 
-bool ReadU32(std::istream& in, uint32_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
-}
+// Cursor reader over the snapshot bytes; bounds checks are phrased as
+// `len > remaining` so hostile declared lengths cannot overflow the cursor.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::string_view data) : data_(data) {}
 
-bool ReadU64(std::istream& in, uint64_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
-}
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
 
-bool ReadString(std::istream& in, std::string* s) {
-  uint64_t len = 0;
-  if (!ReadU64(in, &len)) return false;
-  if (len > (1ULL << 32)) return false;  // sanity bound against corruption
-  s->resize(static_cast<size_t>(len));
-  in.read(s->data(), static_cast<std::streamsize>(len));
-  return in.good() || (len == 0 && !in.bad());
-}
+  bool ReadString(std::string* s) {
+    uint64_t len = 0;
+    if (!ReadU64(&len)) return false;
+    if (len > (1ULL << 32)) return false;  // sanity bound against corruption
+    if (len > data_.size() - pos_) return false;
+    s->assign(data_.data() + pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return true;
+  }
+
+  bool ReadFloats(size_t n, std::vector<float>* v) {
+    if (n > (data_.size() - pos_) / sizeof(float)) return false;
+    v->resize(n);
+    std::memcpy(v->data(), data_.data() + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+    return true;
+  }
+
+ private:
+  bool ReadRaw(void* out, size_t n) {
+    if (n > data_.size() - pos_) return false;
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
 
 }  // namespace
 
@@ -106,62 +126,90 @@ size_t VectorDatabase::collection_count() const {
   return collections_.size();
 }
 
-Status VectorDatabase::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
+Status VectorDatabase::Save(FileSystem* fs, const std::string& path) const {
+  auto& counters = GlobalStorageCounters();
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    WriteU32(&out, kMagic);
+    WriteU32(&out, kVersion);
+    WriteU64(&out, collections_.size());
+    for (const auto& [name, collection] : collections_) {
+      const auto& opts = collection->options();
+      WriteString(&out, name);
+      WriteU64(&out, opts.dimension);
+      WriteU32(&out, static_cast<uint32_t>(opts.metric));
+      WriteU32(&out, static_cast<uint32_t>(opts.index_kind));
+      WriteU64(&out, opts.hnsw_m);
+      WriteU64(&out, opts.hnsw_ef_construction);
+      WriteU64(&out, opts.hnsw_ef_search);
+      WriteU64(&out, opts.seed);
 
-  std::lock_guard<std::mutex> lock(mu_);
-  WriteU32(out, kMagic);
-  WriteU32(out, kVersion);
-  WriteU64(out, collections_.size());
-  for (const auto& [name, collection] : collections_) {
-    const auto& opts = collection->options();
-    WriteString(out, name);
-    WriteU64(out, opts.dimension);
-    WriteU32(out, static_cast<uint32_t>(opts.metric));
-    WriteU32(out, static_cast<uint32_t>(opts.index_kind));
-    WriteU64(out, opts.hnsw_m);
-    WriteU64(out, opts.hnsw_ef_construction);
-    WriteU64(out, opts.hnsw_ef_search);
-    WriteU64(out, opts.seed);
-
-    const auto ids = collection->Ids();
-    WriteU64(out, ids.size());
-    for (const auto& id : ids) {
-      auto record = collection->Get(id);
-      if (!record.ok()) return record.status();
-      WriteString(out, record->id);
-      WriteU64(out, record->vector.size());
-      out.write(reinterpret_cast<const char*>(record->vector.data()),
-                static_cast<std::streamsize>(record->vector.size() *
-                                             sizeof(float)));
-      WriteU64(out, record->metadata.size());
-      for (const auto& [k, v] : record->metadata) {
-        WriteString(out, k);
-        WriteString(out, v);
+      const auto ids = collection->Ids();
+      WriteU64(&out, ids.size());
+      for (const auto& id : ids) {
+        auto record = collection->Get(id);
+        if (!record.ok()) return record.status();
+        WriteString(&out, record->id);
+        WriteU64(&out, record->vector.size());
+        out.append(reinterpret_cast<const char*>(record->vector.data()),
+                   record->vector.size() * sizeof(float));
+        WriteU64(&out, record->metadata.size());
+        for (const auto& [k, v] : record->metadata) {
+          WriteString(&out, k);
+          WriteString(&out, v);
+        }
+        WriteString(&out, record->document);
       }
-      WriteString(out, record->document);
     }
   }
-  if (!out) return Status::IOError("write failed: " + path);
+  Status status = AtomicWriteFile(fs, path, out);
+  if (!status.ok()) {
+    counters.snapshot_save_failures.fetch_add(1, std::memory_order_relaxed);
+    // A missing parent directory surfaces as NotFound from open(); this API
+    // reports every save failure uniformly as IOError.
+    if (status.IsNotFound()) return Status::IOError(status.message());
+    return status;
+  }
+  counters.snapshot_saves.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
+Status VectorDatabase::Save(const std::string& path) const {
+  return Save(FileSystem::Default(), path);
+}
+
 StatusOr<std::unique_ptr<VectorDatabase>> VectorDatabase::Load(
-    const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open for read: " + path);
+    FileSystem* fs, const std::string& path) {
+  auto& counters = GlobalStorageCounters();
+  auto contents_or = fs->ReadFile(path);
+  if (!contents_or.ok()) {
+    counters.snapshot_load_failures.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("cannot open for read: " + path);
+  }
+  const std::string contents = std::move(*contents_or);
+  SnapshotReader in(contents);
+
+  // Any parse failure from here on counts as a failed load.
+  struct FailureCounter {
+    ~FailureCounter() {
+      auto& c = GlobalStorageCounters();
+      (ok ? c.snapshot_loads : c.snapshot_load_failures)
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+    bool ok = false;
+  } outcome;
 
   uint32_t magic = 0;
   uint32_t version = 0;
-  if (!ReadU32(in, &magic) || magic != kMagic) {
+  if (!in.ReadU32(&magic) || magic != kMagic) {
     return Status::IOError("bad database file magic: " + path);
   }
-  if (!ReadU32(in, &version) || version != kVersion) {
+  if (!in.ReadU32(&version) || version != kVersion) {
     return Status::IOError("unsupported database file version");
   }
   uint64_t num_collections = 0;
-  if (!ReadU64(in, &num_collections)) {
+  if (!in.ReadU64(&num_collections)) {
     return Status::IOError("truncated database file");
   }
 
@@ -176,10 +224,10 @@ StatusOr<std::unique_ptr<VectorDatabase>> VectorDatabase::Load(
     uint64_t efc = 0;
     uint64_t efs = 0;
     uint64_t seed = 0;
-    if (!ReadString(in, &name) || !ReadU64(in, &dimension) ||
-        !ReadU32(in, &metric) || !ReadU32(in, &index_kind) ||
-        !ReadU64(in, &m) || !ReadU64(in, &efc) || !ReadU64(in, &efs) ||
-        !ReadU64(in, &seed)) {
+    if (!in.ReadString(&name) || !in.ReadU64(&dimension) ||
+        !in.ReadU32(&metric) || !in.ReadU32(&index_kind) ||
+        !in.ReadU64(&m) || !in.ReadU64(&efc) || !in.ReadU64(&efs) ||
+        !in.ReadU64(&seed)) {
       return Status::IOError("truncated collection header");
     }
     opts.dimension = static_cast<size_t>(dimension);
@@ -193,41 +241,46 @@ StatusOr<std::unique_ptr<VectorDatabase>> VectorDatabase::Load(
     LLMMS_ASSIGN_OR_RETURN(auto collection, db->CreateCollection(name, opts));
 
     uint64_t num_records = 0;
-    if (!ReadU64(in, &num_records)) {
+    if (!in.ReadU64(&num_records)) {
       return Status::IOError("truncated record count");
     }
     for (uint64_t r = 0; r < num_records; ++r) {
       VectorRecord record;
-      if (!ReadString(in, &record.id)) {
+      if (!in.ReadString(&record.id)) {
         return Status::IOError("truncated record id");
       }
       uint64_t dim = 0;
-      if (!ReadU64(in, &dim) || dim != opts.dimension) {
+      if (!in.ReadU64(&dim) || dim != opts.dimension) {
         return Status::IOError("corrupt record vector length");
       }
-      record.vector.resize(static_cast<size_t>(dim));
-      in.read(reinterpret_cast<char*>(record.vector.data()),
-              static_cast<std::streamsize>(dim * sizeof(float)));
-      if (!in) return Status::IOError("truncated record vector");
+      if (!in.ReadFloats(static_cast<size_t>(dim), &record.vector)) {
+        return Status::IOError("truncated record vector");
+      }
       uint64_t num_meta = 0;
-      if (!ReadU64(in, &num_meta)) {
+      if (!in.ReadU64(&num_meta)) {
         return Status::IOError("truncated metadata count");
       }
       for (uint64_t i = 0; i < num_meta; ++i) {
         std::string k;
         std::string v;
-        if (!ReadString(in, &k) || !ReadString(in, &v)) {
+        if (!in.ReadString(&k) || !in.ReadString(&v)) {
           return Status::IOError("truncated metadata entry");
         }
         record.metadata[std::move(k)] = std::move(v);
       }
-      if (!ReadString(in, &record.document)) {
+      if (!in.ReadString(&record.document)) {
         return Status::IOError("truncated record document");
       }
       LLMMS_RETURN_NOT_OK(collection->Upsert(std::move(record)));
     }
   }
+  outcome.ok = true;
   return db;
+}
+
+StatusOr<std::unique_ptr<VectorDatabase>> VectorDatabase::Load(
+    const std::string& path) {
+  return Load(FileSystem::Default(), path);
 }
 
 }  // namespace llmms::vectordb

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "llmms/common/fs.h"
 #include "llmms/common/result.h"
 #include "llmms/common/status.h"
 #include "llmms/vectordb/collection.h"
@@ -42,8 +43,14 @@ class VectorDatabase {
   size_t collection_count() const;
 
   // Persists every collection (records only; indexes are rebuilt on load) to
-  // a single binary file, and restores it.
+  // a single binary file, and restores it. Save goes through the atomic
+  // tmp + fsync + rename + fsync-dir barrier (common/fs.h AtomicWriteFile):
+  // a crash at any point leaves the old snapshot or the new one, never a
+  // torn mixture. The overloads without `fs` use FileSystem::Default().
+  Status Save(FileSystem* fs, const std::string& path) const;
   Status Save(const std::string& path) const;
+  static StatusOr<std::unique_ptr<VectorDatabase>> Load(
+      FileSystem* fs, const std::string& path);
   static StatusOr<std::unique_ptr<VectorDatabase>> Load(
       const std::string& path);
 

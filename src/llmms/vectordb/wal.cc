@@ -7,8 +7,10 @@
 namespace llmms::vectordb {
 namespace {
 
-// Record framing: [u32 payload length][u32 FNV checksum][payload].
-// Payload: 'U' + record fields, or 'D' + id.
+// Record framing (v2): [u32 payload length][u32 FNV checksum][u64 sequence]
+// [payload]; checksum over sequence + payload. Payload: 'U' + record fields,
+// or 'D' + id.
+constexpr size_t kFrameHeaderBytes = 16;  // len(4) + checksum(4) + seq(8)
 
 void PutU32(std::string* out, uint32_t v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -24,12 +26,15 @@ void PutString(std::string* out, const std::string& s) {
 }
 
 // Cursor-based payload reader; every getter returns false on truncation.
+// Bounds checks are phrased as `len > remaining` so that hostile declared
+// lengths near UINT64_MAX cannot overflow `pos_ + len` and wrap past the
+// check (tests/fuzz_test.cc feeds exactly those).
 class Reader {
  public:
   explicit Reader(std::string_view data) : data_(data) {}
 
   bool GetU64(uint64_t* v) {
-    if (pos_ + sizeof(*v) > data_.size()) return false;
+    if (sizeof(*v) > data_.size() - pos_) return false;
     std::memcpy(v, data_.data() + pos_, sizeof(*v));
     pos_ += sizeof(*v);
     return true;
@@ -37,7 +42,7 @@ class Reader {
 
   bool GetString(std::string* s) {
     uint64_t len = 0;
-    if (!GetU64(&len) || pos_ + len > data_.size()) return false;
+    if (!GetU64(&len) || len > data_.size() - pos_) return false;
     s->assign(data_.data() + pos_, len);
     pos_ += len;
     return true;
@@ -50,7 +55,7 @@ class Reader {
   }
 
   bool GetFloats(size_t n, Vector* v) {
-    if (pos_ + n * sizeof(float) > data_.size()) return false;
+    if (n > (data_.size() - pos_) / sizeof(float)) return false;
     v->resize(n);
     std::memcpy(v->data(), data_.data() + pos_, n * sizeof(float));
     pos_ += n * sizeof(float);
@@ -62,8 +67,8 @@ class Reader {
   size_t pos_ = 0;
 };
 
-uint32_t Checksum(std::string_view payload) {
-  return static_cast<uint32_t>(HashBytes(payload.data(), payload.size()));
+uint32_t Checksum(std::string_view covered) {
+  return static_cast<uint32_t>(HashBytes(covered.data(), covered.size()));
 }
 
 std::string SerializeUpsert(const VectorRecord& record) {
@@ -82,36 +87,128 @@ std::string SerializeUpsert(const VectorRecord& record) {
   return payload;
 }
 
+struct Frame {
+  uint64_t sequence = 0;
+  std::string_view payload;
+};
+
+// Parses the frame at `pos`; returns false (a torn tail) when the bytes at
+// `pos` do not form a complete, checksum-valid record.
+bool ParseFrame(std::string_view contents, size_t pos, Frame* frame) {
+  if (kFrameHeaderBytes > contents.size() - pos) return false;
+  uint32_t length = 0;
+  uint32_t checksum = 0;
+  std::memcpy(&length, contents.data() + pos, 4);
+  std::memcpy(&checksum, contents.data() + pos + 4, 4);
+  if (length > contents.size() - pos - kFrameHeaderBytes) return false;
+  // Checksum covers sequence + payload so a record can neither be torn nor
+  // transplanted from another log position without detection.
+  const std::string_view covered(contents.data() + pos + 8, 8 + length);
+  if (Checksum(covered) != checksum) return false;
+  std::memcpy(&frame->sequence, contents.data() + pos + 8, 8);
+  frame->payload = std::string_view(contents.data() + pos + kFrameHeaderBytes,
+                                    length);
+  return true;
+}
+
+// Scans an existing log for the last intact record's sequence number, so a
+// reopened log continues the run rather than restarting at 1.
+uint64_t ScanLastSequence(std::string_view contents) {
+  uint64_t last = 0;
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    Frame frame;
+    if (!ParseFrame(contents, pos, &frame)) break;
+    last = frame.sequence;
+    pos += kFrameHeaderBytes + frame.payload.size();
+  }
+  return last;
+}
+
 }  // namespace
 
-WriteAheadLog::WriteAheadLog(std::string path, std::FILE* file)
-    : path_(std::move(path)), file_(file) {}
+WriteAheadLog::WriteAheadLog(FileSystem* fs, std::string path,
+                             const Options& options,
+                             std::unique_ptr<WritableFile> file,
+                             uint64_t sequence)
+    : fs_(fs),
+      path_(std::move(path)),
+      options_(options),
+      file_(std::move(file)),
+      sequence_(sequence) {}
 
-WriteAheadLog::~WriteAheadLog() {
-  if (file_ != nullptr) std::fclose(file_);
+WriteAheadLog::~WriteAheadLog() = default;
+
+StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    FileSystem* fs, const std::string& path, const Options& options) {
+  uint64_t sequence = 0;
+  auto existing = fs->ReadFile(path);
+  if (existing.ok()) {
+    sequence = ScanLastSequence(*existing);
+  } else if (!existing.status().IsNotFound()) {
+    return existing.status();
+  }
+  const bool created = !existing.ok();
+  auto file = fs->OpenAppend(path);
+  if (!file.ok()) {
+    return Status::IOError("cannot open WAL for append: " + path + ": " +
+                           file.status().message());
+  }
+  if (created) {
+    // A freshly created log is only durable once its directory entry is:
+    // without this barrier a crash can drop the whole file — including
+    // records that were individually fsynced and acked — because fsync on
+    // the file does not persist its name in the parent directory.
+    LLMMS_RETURN_NOT_OK(fs->SyncDir(DirnameOf(path)));
+  }
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(fs, path, options, std::move(*file), sequence));
 }
 
 StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "ab");
-  if (file == nullptr) {
-    return Status::IOError("cannot open WAL for append: " + path);
-  }
-  return std::unique_ptr<WriteAheadLog>(new WriteAheadLog(path, file));
+  return Open(FileSystem::Default(), path, Options{});
 }
 
 Status WriteAheadLog::AppendRecord(const std::string& payload) {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "WAL poisoned by an earlier I/O failure: " + path_);
+  }
+  const uint64_t sequence = sequence_ + 1;
   std::string framed;
+  framed.reserve(kFrameHeaderBytes + payload.size());
   PutU32(&framed, static_cast<uint32_t>(payload.size()));
-  PutU32(&framed, Checksum(payload));
-  framed += payload;
-  if (std::fwrite(framed.data(), 1, framed.size(), file_) != framed.size()) {
-    return Status::IOError("WAL append failed: " + path_);
+  std::string covered;
+  covered.reserve(8 + payload.size());
+  PutU64(&covered, sequence);
+  covered += payload;
+  PutU32(&framed, Checksum(covered));
+  framed += covered;
+
+  Status status = file_->Append(framed);
+  if (status.ok()) {
+    sequence_ = sequence;
+    ++unsynced_appends_;
+    switch (options_.sync_policy) {
+      case SyncPolicy::kNone:
+        break;
+      case SyncPolicy::kGroupCommit:
+        if (unsynced_appends_ >= options_.group_commit_every) {
+          status = Sync();
+        }
+        break;
+      case SyncPolicy::kEveryRecord:
+        status = Sync();
+        break;
+    }
   }
-  if (std::fflush(file_) != 0) {
-    return Status::IOError("WAL flush failed: " + path_);
+  if (!status.ok()) {
+    // An unknown number of bytes may have landed; appending more would bury
+    // garbage in the middle of the log and invalidate later acked records.
+    broken_ = true;
   }
-  return Status::OK();
+  return status;
 }
 
 Status WriteAheadLog::AppendUpsert(const VectorRecord& record) {
@@ -131,48 +228,55 @@ Status WriteAheadLog::AppendDelete(const std::string& id) {
   return AppendRecord(payload);
 }
 
-StatusOr<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
-    const std::string& path, Collection* collection) {
-  ReplayStats stats;
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return stats;  // no log yet: nothing to replay
-
-  std::string contents;
-  {
-    char buffer[1 << 16];
-    size_t n = 0;
-    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
-      contents.append(buffer, n);
-    }
-    std::fclose(file);
+Status WriteAheadLog::Sync() {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "WAL poisoned by an earlier I/O failure: " + path_);
   }
+  Status status = file_->Sync();
+  if (status.ok()) {
+    unsynced_appends_ = 0;
+  } else {
+    broken_ = true;  // durability of the tail is now unknown
+  }
+  return status;
+}
+
+StatusOr<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
+    FileSystem* fs, const std::string& path, Collection* collection) {
+  ReplayStats stats;
+  auto contents_or = fs->ReadFile(path);
+  if (!contents_or.ok()) {
+    if (contents_or.status().IsNotFound()) return stats;  // no log yet
+    return contents_or.status();
+  }
+  const std::string contents = std::move(*contents_or);
+
+  auto& counters = GlobalStorageCounters();
+  counters.wal_replays.fetch_add(1, std::memory_order_relaxed);
 
   size_t pos = 0;
   while (pos < contents.size()) {
-    if (pos + 8 > contents.size()) {
+    Frame frame;
+    if (!ParseFrame(contents, pos, &frame)) {
       stats.torn_tail = true;
+      counters.torn_tails_recovered.fetch_add(1, std::memory_order_relaxed);
       break;
     }
-    uint32_t length = 0;
-    uint32_t checksum = 0;
-    std::memcpy(&length, contents.data() + pos, 4);
-    std::memcpy(&checksum, contents.data() + pos + 4, 4);
-    if (pos + 8 + length > contents.size()) {
-      stats.torn_tail = true;
+    if (frame.sequence != stats.last_sequence + 1) {
+      // An intact record with the wrong sequence number: a lost or
+      // reordered write, not a torn tail. Stop applying — everything after
+      // the gap is untrustworthy.
+      stats.sequence_break = true;
+      counters.sequence_breaks.fetch_add(1, std::memory_order_relaxed);
       break;
     }
-    const std::string_view payload(contents.data() + pos + 8, length);
-    if (Checksum(payload) != checksum) {
-      stats.torn_tail = true;
-      break;
-    }
-    pos += 8 + length;
+    pos += kFrameHeaderBytes + frame.payload.size();
 
-    Reader reader(payload);
+    Reader reader(frame.payload);
     char op = 0;
     if (!reader.GetByte(&op)) {
-      stats.torn_tail = true;
-      break;
+      return Status::IOError("corrupt WAL record in " + path);
     }
     if (op == 'U') {
       VectorRecord record;
@@ -207,8 +311,15 @@ StatusOr<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
     } else {
       return Status::IOError("unknown WAL record type in " + path);
     }
+    stats.last_sequence = frame.sequence;
+    counters.wal_records_replayed.fetch_add(1, std::memory_order_relaxed);
   }
   return stats;
+}
+
+StatusOr<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
+    const std::string& path, Collection* collection) {
+  return Replay(FileSystem::Default(), path, collection);
 }
 
 }  // namespace llmms::vectordb
