@@ -615,6 +615,39 @@ Json ApiService::HandleHealth() {
     }
     response.Set("storage", std::move(storage));
   }
+
+  // Vector-database gauges (DESIGN.md §15): one entry per collection with
+  // per-shard record counts, lifetime query counters (QPS numerators), and
+  // approximate index memory — plain collections report a single shard.
+  if (engine_->db() != nullptr) {
+    Json collections = Json::MakeArray();
+    size_t total_records = 0;
+    uint64_t total_queries = 0;
+    for (const auto& stats : engine_->db()->Stats()) {
+      Json entry = Json::MakeObject();
+      entry.Set("collection", stats.name);
+      entry.Set("sharded", stats.sharded);
+      entry.Set("num_shards", stats.shards.size());
+      Json shards = Json::MakeArray();
+      for (const auto& shard : stats.shards) {
+        Json s = Json::MakeObject();
+        s.Set("records", shard.records);
+        s.Set("queries", shard.queries);
+        s.Set("vector_bytes", shard.vector_bytes);
+        s.Set("quantized", shard.quantized);
+        total_records += shard.records;
+        total_queries += shard.queries;
+        shards.Append(std::move(s));
+      }
+      entry.Set("shards", std::move(shards));
+      collections.Append(std::move(entry));
+    }
+    Json vdb = Json::MakeObject();
+    vdb.Set("collections", std::move(collections));
+    vdb.Set("total_records", total_records);
+    vdb.Set("total_queries", static_cast<size_t>(total_queries));
+    response.Set("vectordb", std::move(vdb));
+  }
   return response;
 }
 

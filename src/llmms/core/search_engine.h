@@ -96,6 +96,7 @@ class SearchEngine {
   const std::shared_ptr<session::SessionStore>& sessions() const {
     return sessions_;
   }
+  const std::shared_ptr<vectordb::VectorDatabase>& db() const { return db_; }
 
   // The engine-lifetime reward bus of the adaptive-hedging loop
   // (DESIGN.md §11). The constructor subscribes every loaded hedged model
@@ -104,6 +105,19 @@ class SearchEngine {
   // learns the pool's pecking order over a session, not per query). Models
   // without adaptation never subscribe, so for them the feed is inert.
   RewardFeed* reward_feed() { return &reward_feed_; }
+
+  // Options for session RAG pipelines created after this call (existing
+  // pipelines keep their configuration). Lets deployments opt sessions into
+  // sharded/quantized vector collections (DESIGN.md §15) without plumbing
+  // knobs through every Ask call.
+  void set_rag_options(const rag::RagPipeline::Options& options) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rag_options_ = options;
+  }
+  rag::RagPipeline::Options rag_options() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rag_options_;
+  }
 
  private:
   StatusOr<rag::RagPipeline*> PipelineFor(const std::string& session_id);
@@ -115,7 +129,8 @@ class SearchEngine {
   std::shared_ptr<vectordb::VectorDatabase> db_;
   std::shared_ptr<session::SessionStore> sessions_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
+  rag::RagPipeline::Options rag_options_;
   std::unordered_map<std::string, std::unique_ptr<rag::RagPipeline>> pipelines_;
   std::unordered_map<std::string, std::unique_ptr<session::MemoryGraph>>
       memories_;

@@ -23,10 +23,11 @@ struct RetrievedChunk {
 
 // Ingestion + retrieval over one vector-database collection: documents are
 // chunked, embedded, and upserted; queries are embedded and matched against
-// the chunks (§6.2, §7.2 steps 2-3).
+// the chunks (§6.2, §7.2 steps 2-3). Works against any CollectionBase —
+// plain or sharded — so session stores scale without changing this layer.
 class DocumentStore {
  public:
-  DocumentStore(std::shared_ptr<vectordb::Collection> collection,
+  DocumentStore(std::shared_ptr<vectordb::CollectionBase> collection,
                 std::shared_ptr<const embedding::Embedder> embedder,
                 Chunker chunker = Chunker());
 
@@ -49,7 +50,7 @@ class DocumentStore {
   }
 
  private:
-  std::shared_ptr<vectordb::Collection> collection_;
+  std::shared_ptr<vectordb::CollectionBase> collection_;
   std::shared_ptr<const embedding::Embedder> embedder_;
   Chunker chunker_;
   std::vector<std::string> document_ids_;

@@ -12,6 +12,10 @@
 #include "llmms/rag/prompt_builder.h"
 #include "llmms/vectordb/database.h"
 
+namespace llmms {
+class ThreadPool;
+}  // namespace llmms
+
 namespace llmms::rag {
 
 // End-to-end retrieval-augmented generation pipeline: one per user session.
@@ -24,6 +28,15 @@ class RagPipeline {
     size_t top_k = 3;
     // Chunks scoring below this are not worth injecting.
     double min_score = 0.1;
+    // Scale knobs for the session collection (DESIGN.md §15). With
+    // vector_shards == 1 and quantization off (the defaults) the pipeline
+    // uses a plain Collection — the exact path unchanged. More shards
+    // hash-partition the chunks (queries fan out over `query_pool` when
+    // set); enabling quantization switches retrieval to the two-stage
+    // quantized-scan + rerank path once enough chunks are indexed.
+    size_t vector_shards = 1;
+    ThreadPool* query_pool = nullptr;
+    vectordb::Collection::Quantization quantization;
     Chunker::Options chunker;
     PromptBuilder::Options prompt;
   };

@@ -1,5 +1,6 @@
 #include "llmms/vectordb/database.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 
@@ -7,7 +8,10 @@ namespace llmms::vectordb {
 namespace {
 
 constexpr uint32_t kMagic = 0x4C4D5644;  // "LMVD"
-constexpr uint32_t kVersion = 1;
+// v1: plain collections only, no quantization options.
+// v2: quantization options per collection + a sharded-collection section.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kOldestReadableVersion = 1;
 
 void WriteU32(std::string* out, uint32_t v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -61,6 +65,114 @@ class SnapshotReader {
   size_t pos_ = 0;
 };
 
+// Collection options, v2 layout (v1 lacks the quantization fields).
+void WriteCollectionOptions(std::string* out, const Collection::Options& opts) {
+  WriteU64(out, opts.dimension);
+  WriteU32(out, static_cast<uint32_t>(opts.metric));
+  WriteU32(out, static_cast<uint32_t>(opts.index_kind));
+  WriteU64(out, opts.hnsw_m);
+  WriteU64(out, opts.hnsw_ef_construction);
+  WriteU64(out, opts.hnsw_ef_search);
+  WriteU64(out, opts.seed);
+  WriteU32(out, opts.quantization.enabled ? 1 : 0);
+  WriteU64(out, opts.quantization.overfetch);
+  WriteU64(out, opts.quantization.train_size);
+}
+
+bool ReadCollectionOptions(SnapshotReader* in, uint32_t version,
+                           Collection::Options* opts) {
+  uint64_t dimension = 0;
+  uint32_t metric = 0;
+  uint32_t index_kind = 0;
+  uint64_t m = 0;
+  uint64_t efc = 0;
+  uint64_t efs = 0;
+  uint64_t seed = 0;
+  if (!in->ReadU64(&dimension) || !in->ReadU32(&metric) ||
+      !in->ReadU32(&index_kind) || !in->ReadU64(&m) || !in->ReadU64(&efc) ||
+      !in->ReadU64(&efs) || !in->ReadU64(&seed)) {
+    return false;
+  }
+  opts->dimension = static_cast<size_t>(dimension);
+  opts->metric = static_cast<DistanceMetric>(metric);
+  opts->index_kind = static_cast<IndexKind>(index_kind);
+  opts->hnsw_m = static_cast<size_t>(m);
+  opts->hnsw_ef_construction = static_cast<size_t>(efc);
+  opts->hnsw_ef_search = static_cast<size_t>(efs);
+  opts->seed = seed;
+  if (version >= 2) {
+    uint32_t quantized = 0;
+    uint64_t overfetch = 0;
+    uint64_t train_size = 0;
+    if (!in->ReadU32(&quantized) || !in->ReadU64(&overfetch) ||
+        !in->ReadU64(&train_size)) {
+      return false;
+    }
+    opts->quantization.enabled = quantized != 0;
+    opts->quantization.overfetch = static_cast<size_t>(overfetch);
+    opts->quantization.train_size = static_cast<size_t>(train_size);
+  }
+  return true;
+}
+
+Status WriteRecords(std::string* out, const CollectionBase& collection) {
+  const auto ids = collection.Ids();
+  WriteU64(out, ids.size());
+  for (const auto& id : ids) {
+    auto record = collection.Get(id);
+    if (!record.ok()) return record.status();
+    WriteString(out, record->id);
+    WriteU64(out, record->vector.size());
+    out->append(reinterpret_cast<const char*>(record->vector.data()),
+                record->vector.size() * sizeof(float));
+    WriteU64(out, record->metadata.size());
+    for (const auto& [k, v] : record->metadata) {
+      WriteString(out, k);
+      WriteString(out, v);
+    }
+    WriteString(out, record->document);
+  }
+  return Status::OK();
+}
+
+Status ReadRecordsInto(SnapshotReader* in, const Collection::Options& opts,
+                       CollectionBase* collection) {
+  uint64_t num_records = 0;
+  if (!in->ReadU64(&num_records)) {
+    return Status::IOError("truncated record count");
+  }
+  for (uint64_t r = 0; r < num_records; ++r) {
+    VectorRecord record;
+    if (!in->ReadString(&record.id)) {
+      return Status::IOError("truncated record id");
+    }
+    uint64_t dim = 0;
+    if (!in->ReadU64(&dim) || dim != opts.dimension) {
+      return Status::IOError("corrupt record vector length");
+    }
+    if (!in->ReadFloats(static_cast<size_t>(dim), &record.vector)) {
+      return Status::IOError("truncated record vector");
+    }
+    uint64_t num_meta = 0;
+    if (!in->ReadU64(&num_meta)) {
+      return Status::IOError("truncated metadata count");
+    }
+    for (uint64_t i = 0; i < num_meta; ++i) {
+      std::string k;
+      std::string v;
+      if (!in->ReadString(&k) || !in->ReadString(&v)) {
+        return Status::IOError("truncated metadata entry");
+      }
+      record.metadata[std::move(k)] = std::move(v);
+    }
+    if (!in->ReadString(&record.document)) {
+      return Status::IOError("truncated record document");
+    }
+    LLMMS_RETURN_NOT_OK(collection->Upsert(std::move(record)));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 StatusOr<std::shared_ptr<Collection>> VectorDatabase::CreateCollection(
@@ -69,7 +181,7 @@ StatusOr<std::shared_ptr<Collection>> VectorDatabase::CreateCollection(
     return Status::InvalidArgument("collection name must not be empty");
   }
   std::lock_guard<std::mutex> lock(mu_);
-  if (collections_.count(name) > 0) {
+  if (NameTakenLocked(name)) {
     return Status::AlreadyExists("collection '" + name + "' already exists");
   }
   auto collection = std::make_shared<Collection>(name, options);
@@ -105,9 +217,58 @@ StatusOr<std::shared_ptr<Collection>> VectorDatabase::GetOrCreateCollection(
   return CreateCollection(name, options);
 }
 
+StatusOr<std::shared_ptr<ShardedCollection>>
+VectorDatabase::CreateShardedCollection(
+    const std::string& name, const ShardedCollection::Options& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("collection name must not be empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (NameTakenLocked(name)) {
+    return Status::AlreadyExists("collection '" + name + "' already exists");
+  }
+  auto collection = std::make_shared<ShardedCollection>(name, options);
+  sharded_[name] = collection;
+  return collection;
+}
+
+StatusOr<std::shared_ptr<ShardedCollection>>
+VectorDatabase::GetShardedCollection(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sharded_.find(name);
+  if (it == sharded_.end()) {
+    return Status::NotFound("no sharded collection named '" + name + "'");
+  }
+  return it->second;
+}
+
+StatusOr<std::shared_ptr<ShardedCollection>>
+VectorDatabase::GetOrCreateShardedCollection(
+    const std::string& name, const ShardedCollection::Options& options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sharded_.find(name);
+    if (it != sharded_.end()) {
+      const auto& existing = it->second->options();
+      if (existing.collection.dimension != options.collection.dimension ||
+          existing.collection.metric != options.collection.metric ||
+          existing.num_shards != std::max<size_t>(1, options.num_shards)) {
+        return Status::FailedPrecondition(
+            "collection '" + name + "' exists with incompatible options");
+      }
+      return it->second;
+    }
+    if (collections_.count(name) > 0) {
+      return Status::FailedPrecondition(
+          "collection '" + name + "' exists but is not sharded");
+    }
+  }
+  return CreateShardedCollection(name, options);
+}
+
 Status VectorDatabase::DropCollection(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (collections_.erase(name) == 0) {
+  if (collections_.erase(name) == 0 && sharded_.erase(name) == 0) {
     return Status::NotFound("no collection named '" + name + "'");
   }
   return Status::OK();
@@ -116,14 +277,45 @@ Status VectorDatabase::DropCollection(const std::string& name) {
 std::vector<std::string> VectorDatabase::ListCollections() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
-  names.reserve(collections_.size());
+  names.reserve(collections_.size() + sharded_.size());
   for (const auto& [name, c] : collections_) names.push_back(name);
+  for (const auto& [name, c] : sharded_) names.push_back(name);
   return names;
 }
 
 size_t VectorDatabase::collection_count() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return collections_.size();
+  return collections_.size() + sharded_.size();
+}
+
+std::vector<VectorDatabase::CollectionStats> VectorDatabase::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CollectionStats> out;
+  out.reserve(collections_.size() + sharded_.size());
+  for (const auto& [name, collection] : collections_) {
+    CollectionStats stats;
+    stats.name = name;
+    ShardedCollection::ShardStats shard;
+    shard.records = collection->size();
+    shard.queries = collection->query_count();
+    shard.vector_bytes = collection->approx_vector_bytes();
+    shard.quantized = collection->quantized();
+    stats.shards.push_back(shard);
+    out.push_back(std::move(stats));
+  }
+  for (const auto& [name, collection] : sharded_) {
+    CollectionStats stats;
+    stats.name = name;
+    stats.sharded = true;
+    stats.shards = collection->Stats();
+    out.push_back(std::move(stats));
+  }
+  // Map iteration order is unspecified; health payloads should be stable.
+  std::sort(out.begin(), out.end(),
+            [](const CollectionStats& a, const CollectionStats& b) {
+              return a.name < b.name;
+            });
+  return out;
 }
 
 Status VectorDatabase::Save(FileSystem* fs, const std::string& path) const {
@@ -135,32 +327,18 @@ Status VectorDatabase::Save(FileSystem* fs, const std::string& path) const {
     WriteU32(&out, kVersion);
     WriteU64(&out, collections_.size());
     for (const auto& [name, collection] : collections_) {
-      const auto& opts = collection->options();
       WriteString(&out, name);
-      WriteU64(&out, opts.dimension);
-      WriteU32(&out, static_cast<uint32_t>(opts.metric));
-      WriteU32(&out, static_cast<uint32_t>(opts.index_kind));
-      WriteU64(&out, opts.hnsw_m);
-      WriteU64(&out, opts.hnsw_ef_construction);
-      WriteU64(&out, opts.hnsw_ef_search);
-      WriteU64(&out, opts.seed);
-
-      const auto ids = collection->Ids();
-      WriteU64(&out, ids.size());
-      for (const auto& id : ids) {
-        auto record = collection->Get(id);
-        if (!record.ok()) return record.status();
-        WriteString(&out, record->id);
-        WriteU64(&out, record->vector.size());
-        out.append(reinterpret_cast<const char*>(record->vector.data()),
-                   record->vector.size() * sizeof(float));
-        WriteU64(&out, record->metadata.size());
-        for (const auto& [k, v] : record->metadata) {
-          WriteString(&out, k);
-          WriteString(&out, v);
-        }
-        WriteString(&out, record->document);
-      }
+      WriteCollectionOptions(&out, collection->options());
+      LLMMS_RETURN_NOT_OK(WriteRecords(&out, *collection));
+    }
+    // v2 trailer: sharded collections, records merged across shards (the
+    // hash placement is deterministic, so Load re-partitions identically).
+    WriteU64(&out, sharded_.size());
+    for (const auto& [name, collection] : sharded_) {
+      WriteString(&out, name);
+      WriteU64(&out, collection->num_shards());
+      WriteCollectionOptions(&out, collection->options().collection);
+      LLMMS_RETURN_NOT_OK(WriteRecords(&out, *collection));
     }
   }
   Status status = AtomicWriteFile(fs, path, out);
@@ -205,7 +383,8 @@ StatusOr<std::unique_ptr<VectorDatabase>> VectorDatabase::Load(
   if (!in.ReadU32(&magic) || magic != kMagic) {
     return Status::IOError("bad database file magic: " + path);
   }
-  if (!in.ReadU32(&version) || version != kVersion) {
+  if (!in.ReadU32(&version) || version < kOldestReadableVersion ||
+      version > kVersion) {
     return Status::IOError("unsupported database file version");
   }
   uint64_t num_collections = 0;
@@ -217,61 +396,34 @@ StatusOr<std::unique_ptr<VectorDatabase>> VectorDatabase::Load(
   for (uint64_t c = 0; c < num_collections; ++c) {
     std::string name;
     Collection::Options opts;
-    uint64_t dimension = 0;
-    uint32_t metric = 0;
-    uint32_t index_kind = 0;
-    uint64_t m = 0;
-    uint64_t efc = 0;
-    uint64_t efs = 0;
-    uint64_t seed = 0;
-    if (!in.ReadString(&name) || !in.ReadU64(&dimension) ||
-        !in.ReadU32(&metric) || !in.ReadU32(&index_kind) ||
-        !in.ReadU64(&m) || !in.ReadU64(&efc) || !in.ReadU64(&efs) ||
-        !in.ReadU64(&seed)) {
+    if (!in.ReadString(&name) || !ReadCollectionOptions(&in, version, &opts)) {
       return Status::IOError("truncated collection header");
     }
-    opts.dimension = static_cast<size_t>(dimension);
-    opts.metric = static_cast<DistanceMetric>(metric);
-    opts.index_kind = static_cast<IndexKind>(index_kind);
-    opts.hnsw_m = static_cast<size_t>(m);
-    opts.hnsw_ef_construction = static_cast<size_t>(efc);
-    opts.hnsw_ef_search = static_cast<size_t>(efs);
-    opts.seed = seed;
-
     LLMMS_ASSIGN_OR_RETURN(auto collection, db->CreateCollection(name, opts));
+    LLMMS_RETURN_NOT_OK(ReadRecordsInto(&in, opts, collection.get()));
+  }
 
-    uint64_t num_records = 0;
-    if (!in.ReadU64(&num_records)) {
-      return Status::IOError("truncated record count");
+  if (version >= 2) {
+    uint64_t num_sharded = 0;
+    if (!in.ReadU64(&num_sharded)) {
+      return Status::IOError("truncated sharded collection count");
     }
-    for (uint64_t r = 0; r < num_records; ++r) {
-      VectorRecord record;
-      if (!in.ReadString(&record.id)) {
-        return Status::IOError("truncated record id");
+    for (uint64_t c = 0; c < num_sharded; ++c) {
+      std::string name;
+      uint64_t num_shards = 0;
+      ShardedCollection::Options opts;
+      if (!in.ReadString(&name) || !in.ReadU64(&num_shards) ||
+          !ReadCollectionOptions(&in, version, &opts.collection)) {
+        return Status::IOError("truncated sharded collection header");
       }
-      uint64_t dim = 0;
-      if (!in.ReadU64(&dim) || dim != opts.dimension) {
-        return Status::IOError("corrupt record vector length");
+      if (num_shards == 0 || num_shards > (1ULL << 20)) {
+        return Status::IOError("corrupt shard count");
       }
-      if (!in.ReadFloats(static_cast<size_t>(dim), &record.vector)) {
-        return Status::IOError("truncated record vector");
-      }
-      uint64_t num_meta = 0;
-      if (!in.ReadU64(&num_meta)) {
-        return Status::IOError("truncated metadata count");
-      }
-      for (uint64_t i = 0; i < num_meta; ++i) {
-        std::string k;
-        std::string v;
-        if (!in.ReadString(&k) || !in.ReadString(&v)) {
-          return Status::IOError("truncated metadata entry");
-        }
-        record.metadata[std::move(k)] = std::move(v);
-      }
-      if (!in.ReadString(&record.document)) {
-        return Status::IOError("truncated record document");
-      }
-      LLMMS_RETURN_NOT_OK(collection->Upsert(std::move(record)));
+      opts.num_shards = static_cast<size_t>(num_shards);
+      LLMMS_ASSIGN_OR_RETURN(auto collection,
+                             db->CreateShardedCollection(name, opts));
+      LLMMS_RETURN_NOT_OK(
+          ReadRecordsInto(&in, opts.collection, collection.get()));
     }
   }
   outcome.ok = true;

@@ -11,12 +11,15 @@
 #include "llmms/common/result.h"
 #include "llmms/common/status.h"
 #include "llmms/vectordb/collection.h"
+#include "llmms/vectordb/sharded_collection.h"
 
 namespace llmms::vectordb {
 
 // Top-level vector database: a registry of named collections, mirroring the
 // ChromaDB client API (create_collection / get_collection / delete_collection
-// / list_collections) plus whole-database binary persistence.
+// / list_collections) plus whole-database binary persistence. Plain and
+// sharded collections share one namespace: a name identifies exactly one of
+// the two, and the usual registry calls (Drop/List/count) see both.
 class VectorDatabase {
  public:
   VectorDatabase() = default;
@@ -37,16 +40,39 @@ class VectorDatabase {
   StatusOr<std::shared_ptr<Collection>> GetOrCreateCollection(
       const std::string& name, const Collection::Options& options);
 
+  // Sharded variants: hash-partitioned collections for large corpora
+  // (see ShardedCollection). Same namespace as plain collections.
+  StatusOr<std::shared_ptr<ShardedCollection>> CreateShardedCollection(
+      const std::string& name, const ShardedCollection::Options& options);
+  StatusOr<std::shared_ptr<ShardedCollection>> GetShardedCollection(
+      const std::string& name) const;
+  StatusOr<std::shared_ptr<ShardedCollection>> GetOrCreateShardedCollection(
+      const std::string& name, const ShardedCollection::Options& options);
+
   Status DropCollection(const std::string& name);
 
   std::vector<std::string> ListCollections() const;
   size_t collection_count() const;
+
+  // Per-collection observability for /api/health: one entry per registered
+  // collection, with one ShardStats per shard (plain collections report a
+  // single shard).
+  struct CollectionStats {
+    std::string name;
+    bool sharded = false;
+    std::vector<ShardedCollection::ShardStats> shards;
+  };
+  std::vector<CollectionStats> Stats() const;
 
   // Persists every collection (records only; indexes are rebuilt on load) to
   // a single binary file, and restores it. Save goes through the atomic
   // tmp + fsync + rename + fsync-dir barrier (common/fs.h AtomicWriteFile):
   // a crash at any point leaves the old snapshot or the new one, never a
   // torn mixture. The overloads without `fs` use FileSystem::Default().
+  //
+  // Format v2 adds quantization options per plain collection and a sharded-
+  // collection section (records stored merged, re-partitioned by hash on
+  // load); v1 files still load. Save always writes v2.
   Status Save(FileSystem* fs, const std::string& path) const;
   Status Save(const std::string& path) const;
   static StatusOr<std::unique_ptr<VectorDatabase>> Load(
@@ -55,8 +81,13 @@ class VectorDatabase {
       const std::string& path);
 
  private:
+  bool NameTakenLocked(const std::string& name) const {
+    return collections_.count(name) > 0 || sharded_.count(name) > 0;
+  }
+
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Collection>> collections_;
+  std::unordered_map<std::string, std::shared_ptr<ShardedCollection>> sharded_;
 };
 
 }  // namespace llmms::vectordb

@@ -197,6 +197,12 @@ Status HnswIndex::Remove(SlotId slot) {
 
 StatusOr<std::vector<IndexHit>> HnswIndex::Search(const Vector& query,
                                                   size_t k) const {
+  return SearchWithEf(query, k, options_.ef_search);
+}
+
+StatusOr<std::vector<IndexHit>> HnswIndex::SearchWithEf(const Vector& query,
+                                                        size_t k,
+                                                        size_t ef_search) const {
   if (query.size() != dimension_) {
     return Status::InvalidArgument("query dimension mismatch");
   }
@@ -224,7 +230,7 @@ StatusOr<std::vector<IndexHit>> HnswIndex::Search(const Vector& query,
 
   // Over-fetch when tombstones exist so k live results survive filtering.
   const size_t tombstones = vectors_.size() - live_count_;
-  const size_t ef = std::max(options_.ef_search, k) + tombstones;
+  const size_t ef = std::max(ef_search, k) + tombstones;
   const auto candidates = SearchLayer(query, current, ef, /*level=*/0);
   hits.reserve(std::min(k, candidates.size()));
   for (const Candidate& c : candidates) {

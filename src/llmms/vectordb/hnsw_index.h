@@ -38,6 +38,12 @@ class HnswIndex final : public VectorIndex {
   Status Remove(SlotId slot) override;
   StatusOr<std::vector<IndexHit>> Search(const Vector& query,
                                          size_t k) const override;
+  // Search with an explicit candidate-list width in place of
+  // Options::ef_search (still raised to k and widened past tombstones) —
+  // lets recall sweeps walk the ef axis over one built graph instead of
+  // rebuilding per setting.
+  StatusOr<std::vector<IndexHit>> SearchWithEf(const Vector& query, size_t k,
+                                               size_t ef) const;
   size_t size() const override { return live_count_; }
   size_t dimension() const override { return dimension_; }
   DistanceMetric metric() const override { return metric_; }

@@ -22,9 +22,16 @@ struct IndexHit {
 };
 
 // Nearest-neighbor index over raw vectors. Implementations: FlatIndex
-// (exact, brute force) and HnswIndex (approximate graph index, the structure
-// Chroma/FAISS use). Indexes are not thread-safe; Collection serializes
-// access.
+// (exact, brute force), HnswIndex (approximate graph index, the structure
+// Chroma/FAISS use), and QuantizedFlatIndex (int8 scan for the two-stage
+// path).
+//
+// Concurrency contract: const methods (Search, GetVector, size) may run
+// concurrently with each other but not with Add/Remove. Collection enforces
+// this with a shared/exclusive lock — readers search in parallel under the
+// shared lock, the single writer mutates under the exclusive one — so
+// implementations must keep their const methods free of hidden shared
+// mutable state.
 class VectorIndex {
  public:
   virtual ~VectorIndex() = default;

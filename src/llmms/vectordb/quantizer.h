@@ -34,14 +34,29 @@ class ScalarQuantizer {
   // Max absolute reconstruction error for dimension `d` (half a bucket).
   double MaxErrorFor(size_t d) const;
 
+  // Decoded value of one code in one dimension (the scalar core of Decode);
+  // preconditions: trained(), d < dimension().
+  float DecodeDim(size_t d, uint8_t code) const {
+    return min_[d] + static_cast<float>(code) * step_[d];
+  }
+
+  // Per-dimension affine parameters (decode(c)_d = min[d] + c * step[d]);
+  // the quantized scan builds its query-side coefficients from these.
+  const std::vector<float>& mins() const { return min_; }
+  const std::vector<float>& steps() const { return step_; }
+
  private:
   std::vector<float> min_;
   std::vector<float> step_;  // bucket width per dimension
 };
 
 // A flat (exact-scan) index over int8-quantized vectors: 4x less memory
-// than FlatIndex at a small recall cost. Distances are computed against the
-// dequantized midpoints. GetVector returns the dequantized approximation.
+// than FlatIndex at a small recall cost. The scan computes each metric
+// directly on the stored codes via an affine decomposition of the decode
+// (per-dimension coefficients precomputed once per query), so it reads one
+// byte per dimension instead of four and never materializes a decoded
+// vector — this is where the two-stage path's bandwidth win comes from.
+// GetVector returns the dequantized approximation.
 class QuantizedFlatIndex final : public VectorIndex {
  public:
   // The quantizer must already be trained; it is copied in.
@@ -64,9 +79,10 @@ class QuantizedFlatIndex final : public VectorIndex {
   DistanceMetric metric_;
   std::vector<uint8_t> codes_;  // dimension() bytes per slot, contiguous
   std::vector<bool> removed_;
+  // Inverse decoded L2 norm per slot (0 for zero vectors), maintained at
+  // Add time so the cosine scan multiplies instead of dividing per slot.
+  std::vector<float> inv_norms_;
   size_t live_count_ = 0;
-  // Dequantization scratch for GetVector (stable address per call site).
-  mutable Vector decoded_;
 };
 
 }  // namespace llmms::vectordb

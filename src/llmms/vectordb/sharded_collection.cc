@@ -1,0 +1,163 @@
+#include "llmms/vectordb/sharded_collection.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "llmms/common/thread_pool.h"
+
+namespace llmms::vectordb {
+namespace {
+
+// (score desc, id asc): the total order Collection::Query returns in.
+bool BetterResult(const QueryResult& a, const QueryResult& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+ShardedCollection::ShardedCollection(std::string name, const Options& options)
+    : name_(std::move(name)), options_(options) {
+  const size_t n = std::max<size_t>(1, options_.num_shards);
+  options_.num_shards = n;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Collection>(
+        name_ + "/shard-" + std::to_string(i), options_.collection));
+  }
+}
+
+size_t ShardedCollection::ShardFor(const std::string& id, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a 64-bit offset basis
+  for (const char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h % num_shards);
+}
+
+Status ShardedCollection::Upsert(VectorRecord record) {
+  return shards_[ShardFor(record.id, shards_.size())]->Upsert(
+      std::move(record));
+}
+
+Status ShardedCollection::UpsertBatch(std::vector<VectorRecord> records) {
+  for (auto& r : records) {
+    LLMMS_RETURN_NOT_OK(Upsert(std::move(r)));
+  }
+  return Status::OK();
+}
+
+Status ShardedCollection::Delete(const std::string& id) {
+  return shards_[ShardFor(id, shards_.size())]->Delete(id);
+}
+
+StatusOr<VectorRecord> ShardedCollection::Get(const std::string& id) const {
+  return shards_[ShardFor(id, shards_.size())]->Get(id);
+}
+
+bool ShardedCollection::Contains(const std::string& id) const {
+  return shards_[ShardFor(id, shards_.size())]->Contains(id);
+}
+
+StatusOr<std::vector<QueryResult>> ShardedCollection::Query(
+    const Vector& query, size_t k, const MetadataFilter& filter) const {
+  if (shards_.size() == 1) {
+    // Opt-out fast path: one shard is exactly the unsharded collection.
+    return shards_[0]->Query(query, k, filter);
+  }
+  std::vector<std::vector<QueryResult>> per_shard(shards_.size());
+  if (options_.pool != nullptr) {
+    std::vector<std::future<StatusOr<std::vector<QueryResult>>>> futures;
+    futures.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      Collection* shard = shards_[i].get();
+      futures.push_back(options_.pool->Submit(
+          [shard, &query, k, &filter] { return shard->Query(query, k, filter); }));
+    }
+    // Collect in shard order so error reporting is deterministic.
+    for (size_t i = 0; i < futures.size(); ++i) {
+      LLMMS_ASSIGN_OR_RETURN(per_shard[i], futures[i].get());
+    }
+  } else {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      LLMMS_ASSIGN_OR_RETURN(per_shard[i], shards_[i]->Query(query, k, filter));
+    }
+  }
+  return MergeShardResults(std::move(per_shard), k);
+}
+
+std::vector<QueryResult> MergeShardResults(
+    std::vector<std::vector<QueryResult>> per_shard, size_t k) {
+  // K-way heap merge. Each input list is sorted best-first, so a heap over
+  // the list heads yields the global order; ids are unique across shards
+  // (hash partition), making (score desc, id asc) a total order and the
+  // merge deterministic regardless of shard completion order.
+  struct Head {
+    size_t shard;
+    size_t pos;
+  };
+  auto worse = [&per_shard](const Head& a, const Head& b) {
+    return BetterResult(per_shard[b.shard][b.pos], per_shard[a.shard][a.pos]);
+  };
+  std::vector<Head> heap;
+  heap.reserve(per_shard.size());
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    if (!per_shard[s].empty()) heap.push_back(Head{s, 0});
+  }
+  std::make_heap(heap.begin(), heap.end(), worse);
+
+  std::vector<QueryResult> out;
+  out.reserve(std::min(k, heap.size() * 4));
+  while (!heap.empty() && out.size() < k) {
+    std::pop_heap(heap.begin(), heap.end(), worse);
+    Head head = heap.back();
+    heap.pop_back();
+    out.push_back(std::move(per_shard[head.shard][head.pos]));
+    if (head.pos + 1 < per_shard[head.shard].size()) {
+      heap.push_back(Head{head.shard, head.pos + 1});
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ShardedCollection::Ids() const {
+  std::vector<std::string> ids;
+  for (const auto& shard : shards_) {
+    auto shard_ids = shard->Ids();
+    ids.insert(ids.end(), std::make_move_iterator(shard_ids.begin()),
+               std::make_move_iterator(shard_ids.end()));
+  }
+  return ids;
+}
+
+size_t ShardedCollection::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+std::vector<ShardedCollection::ShardStats> ShardedCollection::Stats() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.records = shard->size();
+    s.queries = shard->query_count();
+    s.vector_bytes = shard->approx_vector_bytes();
+    s.quantized = shard->quantized();
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+void ShardedCollection::set_quantization_overfetch(size_t overfetch) {
+  for (const auto& shard : shards_) {
+    shard->set_quantization_overfetch(overfetch);
+  }
+}
+
+}  // namespace llmms::vectordb

@@ -228,6 +228,21 @@ Status WriteAheadLog::AppendDelete(const std::string& id) {
   return AppendRecord(payload);
 }
 
+Status WriteAheadLog::WriteCompacted(FileSystem* fs, const std::string& path,
+                                     const CollectionBase& collection,
+                                     const Options& options) {
+  Status removed = fs->Remove(path);
+  if (!removed.ok() && !removed.IsNotFound()) return removed;
+  LLMMS_ASSIGN_OR_RETURN(auto fresh, Open(fs, path, options));
+  for (const auto& id : collection.Ids()) {
+    LLMMS_ASSIGN_OR_RETURN(auto record, collection.Get(id));
+    LLMMS_RETURN_NOT_OK(fresh->AppendUpsert(record));
+  }
+  // The rewrite replaces a whole log; it must be durable before anything
+  // points at it, whatever the append-path sync policy is.
+  return fresh->Sync();
+}
+
 Status WriteAheadLog::Sync() {
   if (broken_) {
     return Status::FailedPrecondition(

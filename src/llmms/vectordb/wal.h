@@ -102,6 +102,16 @@ class WriteAheadLog {
   static StatusOr<ReplayStats> Replay(const std::string& path,
                                       Collection* collection);
 
+  // Writes a fresh, fsynced log at `path` holding exactly the live records
+  // of `collection`, removing any stale file at `path` first (a previous
+  // crash mid-rewrite may have left one; appending to it would resurrect
+  // deleted records). The caller makes the file live afterwards — with
+  // Rename + SyncDir for in-place compaction, or a manifest swap for
+  // sharded checkpoints.
+  static Status WriteCompacted(FileSystem* fs, const std::string& path,
+                               const CollectionBase& collection,
+                               const Options& options);
+
  private:
   WriteAheadLog(FileSystem* fs, std::string path, const Options& options,
                 std::unique_ptr<WritableFile> file, uint64_t sequence);

@@ -8,8 +8,10 @@
 
 #include "llmms/app/service.h"
 #include "llmms/common/rng.h"
+#include "llmms/common/thread_pool.h"
 #include "llmms/embedding/embedding_cache.h"
 #include "llmms/llm/batch_scheduler.h"
+#include "llmms/vectordb/sharded_collection.h"
 #include "testutil.h"
 
 namespace llmms {
@@ -248,6 +250,99 @@ TEST(ConcurrencyTest, SchedulerAdmitExecuteFinishHammer) {
   EXPECT_EQ(stats.running, 0u);
   EXPECT_EQ(stats.admitted_total, 8u * 40u);
   EXPECT_EQ(stats.finished_total, stats.admitted_total);
+}
+
+// Sharded vector search under one writer and many readers (DESIGN.md §15):
+// each shard's shared/exclusive lock must give readers torn-free snapshots
+// while the writer upserts, replaces, and deletes across all shards — and
+// a record published before a reader's acquire must be visible to it
+// (monotonic visibility). Quantization is on with a small train threshold
+// so the quantizer trains mid-flight, racing the readers' query path.
+TEST(ConcurrencyTest, ShardedCollectionReadersWithSingleWriter) {
+  vectordb::ShardedCollection::Options opts;
+  opts.collection.dimension = 8;
+  opts.collection.index_kind = vectordb::IndexKind::kFlat;
+  opts.collection.quantization.enabled = true;
+  opts.collection.quantization.train_size = 64;
+  opts.num_shards = 4;
+  ThreadPool pool(2);
+  opts.pool = &pool;
+  vectordb::ShardedCollection collection("stress", opts);
+
+  constexpr int kWrites = 600;
+  constexpr int kDeleteLag = 64;
+  std::atomic<int> published{0};
+  std::atomic<int> failures{0};
+  std::atomic<bool> done{false};
+
+  std::thread writer([&]() {
+    for (int i = 1; i <= kWrites; ++i) {
+      // A uniform vector: readers detect torn reads as mixed components.
+      const float v = static_cast<float>(i % 97) + 1.0f;
+      vectordb::VectorRecord record;
+      record.id = "seq-" + std::to_string(i);
+      record.vector = vectordb::Vector(8, v);
+      if (!collection.Upsert(std::move(record)).ok()) ++failures;
+      // The continuously replaced hot record exercises upsert-replace.
+      vectordb::VectorRecord hot;
+      hot.id = "hot";
+      hot.vector = vectordb::Vector(8, v);
+      if (!collection.Upsert(std::move(hot)).ok()) ++failures;
+      published.store(i, std::memory_order_release);
+      if (i > kDeleteLag) {
+        const std::string victim = "seq-" + std::to_string(i - kDeleteLag);
+        if (!collection.Delete(victim).ok()) ++failures;
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t]() {
+      Rng rng(static_cast<uint64_t>(t) + 100);
+      while (!done.load(std::memory_order_acquire)) {
+        // Monotonic visibility: a record published before our acquire must
+        // be found — unless the writer has since lapped it with a delete
+        // (it only deletes ids at least kDeleteLag behind the publish
+        // cursor, so a miss with the cursor still close by is a real bug).
+        const int p = published.load(std::memory_order_acquire);
+        if (p > 0) {
+          const std::string id = "seq-" + std::to_string(p);
+          if (!collection.Contains(id) &&
+              published.load(std::memory_order_acquire) - p < kDeleteLag) {
+            ++failures;
+          }
+        }
+        // Torn-read detector: every component of a uniform record must
+        // match; a mixture means a reader saw a half-applied upsert.
+        auto hot = collection.Get("hot");
+        if (hot.ok()) {
+          for (float x : hot->vector) {
+            if (x != hot->vector[0]) ++failures;
+          }
+        }
+        vectordb::Vector query(8);
+        for (auto& x : query) x = static_cast<float>(rng.Normal());
+        auto hits = collection.Query(query, 5);
+        if (!hits.ok()) {
+          ++failures;
+        } else {
+          for (size_t i = 1; i < hits->size(); ++i) {
+            // The merged order stays a total order even mid-mutation.
+            if ((*hits)[i - 1].score < (*hits)[i].score) ++failures;
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+  // hot + the last kDeleteLag seq records survive.
+  EXPECT_EQ(collection.size(), static_cast<size_t>(kDeleteLag) + 1);
+  EXPECT_TRUE(collection.Contains("seq-" + std::to_string(kWrites)));
+  EXPECT_FALSE(collection.Contains("seq-1"));
 }
 
 }  // namespace

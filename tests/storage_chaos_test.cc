@@ -483,6 +483,126 @@ TEST(StorageChaosTest, SnapshotSaveIsOldOrNewAtEveryCrashPoint) {
   }
 }
 
+// --- Sharded manifest sweep (DESIGN.md §15) --------------------------------
+
+// Crash at every I/O op during a multi-shard mutation stream plus a full
+// Checkpoint (per-shard compacted next-generation logs, directory sync,
+// atomic manifest swap, old-generation removal). Reopening through a clean
+// filesystem must always find a consistent shard set — the old manifest or
+// the new one, state a prefix ≥ the acked mutations — and the orphan sweep
+// must leave no shard file on disk that the live manifest does not name.
+TEST(StorageChaosTest, ShardedManifestCheckpointSurvivesCrashAtEveryIoOp) {
+  using vectordb::ShardedDurableCollection;
+  RealFileSystem real;
+
+  ShardedDurableCollection::Options opts;
+  opts.collection = Dim3Options();
+  opts.num_shards = 3;
+  opts.wal = EveryRecord();
+
+  const std::vector<MutationOp> seed_ops = {
+      {false, "a", 0.1f}, {false, "b", 0.2f}, {false, "c", 0.3f},
+      {false, "d", 0.4f}, {true, "d", 0.0f},
+  };
+  const std::vector<MutationOp> crash_ops = {
+      {false, "x1", 0.6f}, {false, "x2", 0.7f},  // pre-checkpoint
+      {false, "y1", 0.8f},                       // post-checkpoint
+  };
+  std::vector<MutationOp> all_ops = seed_ops;
+  all_ops.insert(all_ops.end(), crash_ops.begin(), crash_ops.end());
+
+  auto seed = [&](const std::string& dir) {
+    auto db = ShardedDurableCollection::Open("c", dir, opts, nullptr, &real);
+    ASSERT_TRUE(db.ok());
+    for (const auto& op : seed_ops) {
+      const Status status = op.is_delete
+                                ? (*db)->Delete(op.id)
+                                : (*db)->Upsert(MakeRecord(op.id, op.value));
+      ASSERT_TRUE(status.ok());
+    }
+  };
+
+  // Open, mutate, checkpoint mid-stream, mutate again; stop at the first
+  // failure the way a real writer would. Counts acked mutations.
+  auto workload = [&](FileSystem* fs, const std::string& dir, size_t* acked) {
+    *acked = 0;
+    auto db = ShardedDurableCollection::Open("c", dir, opts, nullptr, fs);
+    if (!db.ok()) return;
+    for (size_t i = 0; i < crash_ops.size(); ++i) {
+      if (i == 2 && !(*db)->Checkpoint().ok()) return;
+      const Status status =
+          crash_ops[i].is_delete
+              ? (*db)->Delete(crash_ops[i].id)
+              : (*db)->Upsert(MakeRecord(crash_ops[i].id, crash_ops[i].value));
+      if (!status.ok()) return;
+      ++*acked;
+    }
+  };
+
+  auto sharded_state = [](ShardedDurableCollection* db) {
+    std::map<std::string, float> state;
+    for (const auto& id : db->Ids()) {
+      auto record = db->Get(id);
+      EXPECT_TRUE(record.ok());
+      state[id] = record->vector[0];
+    }
+    return state;
+  };
+
+  const std::string base_dir = FreshDir("manifest_base");
+  seed(base_dir);
+  size_t acked = 0;
+  const int64_t total = RunWithCrashAt(&real, -1, [&](FileSystem* fs) {
+    workload(fs, base_dir, &acked);
+  });
+  ASSERT_EQ(acked, crash_ops.size());
+  ASSERT_GT(total, 10);
+
+  for (int64_t k = 0; k < total; ++k) {
+    const std::string dir = FreshDir("manifest");
+    seed(dir);
+    size_t acked_at_crash = 0;
+    RunWithCrashAt(&real, k, [&](FileSystem* fs) {
+      workload(fs, dir, &acked_at_crash);
+    });
+
+    // Reopen through a clean filesystem: a process restart after the cut.
+    ShardedDurableCollection::OpenStats stats;
+    auto reopened =
+        ShardedDurableCollection::Open("c", dir, opts, &stats, &real);
+    ASSERT_TRUE(reopened.ok()) << "crash at op " << k << ": "
+                               << reopened.status().ToString();
+    EXPECT_EQ(stats.num_shards, 3u) << "crash at op " << k;
+    CheckPrefixInvariant(all_ops, seed_ops.size() + acked_at_crash,
+                         sharded_state(reopened->get()),
+                         "crash at op " + std::to_string(k));
+
+    // No orphan shard files left live: everything named shard-* must
+    // belong to the generation the recovered manifest committed.
+    const std::string live_tag =
+        ".g" + std::to_string((*reopened)->generation()) + ".wal";
+    auto entries = real.List(dir);
+    ASSERT_TRUE(entries.ok());
+    size_t shard_files = 0;
+    for (const auto& entry : *entries) {
+      if (entry.rfind("shard-", 0) != 0) continue;
+      ++shard_files;
+      EXPECT_NE(entry.find(live_tag), std::string::npos)
+          << "crash at op " << k << ": stale shard file " << entry;
+    }
+    EXPECT_EQ(shard_files, 3u) << "crash at op " << k;
+
+    // Recovery is sticky: a second reopen sweeps nothing and agrees.
+    ShardedDurableCollection::OpenStats again;
+    auto twice = ShardedDurableCollection::Open("c", dir, opts, &again, &real);
+    ASSERT_TRUE(twice.ok()) << "crash at op " << k;
+    EXPECT_EQ(again.orphan_files_removed, 0u) << "crash at op " << k;
+    EXPECT_EQ(again.torn_tails, 0u) << "crash at op " << k;
+    EXPECT_EQ(sharded_state(twice->get()), sharded_state(reopened->get()))
+        << "crash at op " << k;
+  }
+}
+
 // --- StateStore sweep (incl. the tmp-write/rename crash-point matrix) ------
 
 TEST(StorageChaosTest, StateStoreSaveKeepsOldStateReadableAtEveryCrashPoint) {
