@@ -1,0 +1,114 @@
+// Cost/accuracy frontier bench (BENCH_frontier.json, DESIGN.md §16): runs
+// the default scenario matrix — orchestrator x token budget x pool x fault
+// profile x serving mode — through eval::ScenarioMatrix and records every
+// cell's reward, F1, reward/token, hedge waste, shed rate, and wall clock,
+// plus the drifting-competence comparison between the lifetime-mean
+// RewardFeed baseline and the sliding-window feed.
+//
+// Usage: bench_frontier [output.json]
+//   LLMMS_BENCH_QPD  questions per domain per cell (default 2 -> 12
+//                    queries/cell over the 6 canonical domains)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "llmms/common/json.h"
+#include "llmms/eval/scenario_matrix.h"
+
+namespace llmms::bench {
+namespace {
+
+size_t EnvQpd(size_t fallback) {
+  const char* env = std::getenv("LLMMS_BENCH_QPD");
+  if (env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return fallback;
+}
+
+Json DriftToJson(const eval::DriftOutcome& outcome) {
+  Json out = Json::MakeObject();
+  out.Set("queries", outcome.queries);
+  out.Set("total_reward", outcome.total_reward);
+  out.Set("charged_tokens", outcome.charged_tokens);
+  out.Set("reward_per_token", outcome.reward_per_token);
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const std::string output = argc > 1 ? argv[1] : "BENCH_frontier.json";
+
+  eval::MatrixConfig config = eval::DefaultMatrix();
+  config.questions_per_domain = EnvQpd(config.questions_per_domain);
+  eval::ScenarioMatrix matrix(config);
+
+  Json cells = Json::MakeArray();
+  auto results = matrix.Run([](const eval::CellResult& result, size_t done,
+                               size_t total) {
+    std::fprintf(stderr, "[%3zu/%3zu] %s\n", done, total,
+                 eval::CellTraceLine(result).c_str());
+  });
+  if (!results.ok()) {
+    std::fprintf(stderr, "matrix failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& result : results.value()) {
+    cells.Append(eval::CellToJson(result));
+  }
+
+  // The decayed-feed acceptance scenario: mid-session competence swap, same
+  // query sequence under the lifetime-mean baseline and the windowed feed.
+  eval::DriftConfig drift_config;
+  auto drift = eval::RunDriftComparison(drift_config);
+  if (!drift.ok()) {
+    std::fprintf(stderr, "drift comparison failed: %s\n",
+                 drift.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "drift reward/token: lifetime=%.8f windowed=%.8f (%s)\n",
+               drift->lifetime.reward_per_token,
+               drift->adaptive.reward_per_token,
+               drift->adaptive.reward_per_token >
+                       drift->lifetime.reward_per_token
+                   ? "windowed wins"
+                   : "REGRESSION");
+
+  Json out = Json::MakeObject();
+  out.Set("benchmark", "frontier");
+  out.Set("questions_per_domain", config.questions_per_domain);
+  out.Set("seed", config.seed);
+  out.Set("num_cells", results->size());
+  out.Set("cells", std::move(cells));
+
+  Json drift_json = Json::MakeObject();
+  drift_json.Set("switch_after_queries", drift_config.switch_after_queries);
+  drift_json.Set("window", drift_config.adaptive_feed.window);
+  drift_json.Set("feed_prior_weight", drift_config.feed_prior_weight);
+  drift_json.Set("lifetime", DriftToJson(drift->lifetime));
+  drift_json.Set("windowed", DriftToJson(drift->adaptive));
+  drift_json.Set("windowed_wins", drift->adaptive.reward_per_token >
+                                      drift->lifetime.reward_per_token);
+  out.Set("drift", std::move(drift_json));
+
+  FILE* f = std::fopen(output.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", output.c_str());
+    return 1;
+  }
+  const std::string dump = out.Dump(2);
+  std::fwrite(dump.data(), 1, dump.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (%zu cells)\n", output.c_str(),
+               results->size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace llmms::bench
+
+int main(int argc, char** argv) { return llmms::bench::Main(argc, argv); }

@@ -441,6 +441,12 @@ Json ApiService::HandleHealth() {
         hedging.Set("max_percentile", hedged->config().max_percentile);
         hedging.Set("adaptations", hedged->adaptations());
         hedging.Set("last_favour", hedged->last_favour());
+        // The reward feed's estimator (DESIGN.md §16): how the favours
+        // driving this group's percentile are being averaged. 0 = lifetime
+        // means.
+        const auto feed_config = engine_->reward_feed()->config();
+        hedging.Set("window_size", feed_config.window);
+        hedging.Set("reward_half_life", feed_config.half_life);
       }
       Json latency = Json::MakeArray();
       for (const auto& replica : hedged->LatencySnapshot()) {

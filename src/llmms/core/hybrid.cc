@@ -162,9 +162,17 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
   struct Arm {
     double reward_sum = 0.0;
     size_t pulls = 0;
+    // Feed-prior virtual evidence (Config::feed_prior_weight), folded into
+    // the value estimate and the UCB pull count as virtual pulls.
+    double prior_sum = 0.0;
+    double prior_weight = 0.0;
     bool finished = false;
+    double EffectivePulls() const {
+      return static_cast<double>(pulls) + prior_weight;
+    }
     double MeanReward() const {
-      return pulls > 0 ? reward_sum / static_cast<double>(pulls) : 0.0;
+      const double effective = EffectivePulls();
+      return effective > 0.0 ? (reward_sum + prior_sum) / effective : 0.0;
     }
   };
   std::unordered_map<std::string, Arm> arms;
@@ -173,6 +181,9 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
     LLMMS_ASSIGN_OR_RETURN(auto stats, generation->StatsOf(m));
     Arm arm;
     arm.finished = stats.finished;
+    internal::SeedArmFromFeed(config_.reward_feed, m,
+                              config_.feed_prior_weight, &arm.prior_sum,
+                              &arm.prior_weight);
     arms[m] = arm;
   }
   size_t total_pulls = 0;
@@ -189,7 +200,7 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
                                static_cast<double>(config_.token_budget));
     std::string chosen;
     for (const auto& m : contenders) {
-      if (!arms[m].finished && arms[m].pulls == 0) {
+      if (!arms[m].finished && arms[m].EffectivePulls() <= 0.0) {
         chosen = m;
         break;
       }
@@ -203,7 +214,7 @@ StatusOr<OrchestrationResult> HybridOrchestrator::Run(
             gamma * std::sqrt(2.0 *
                               std::log(static_cast<double>(
                                   std::max<size_t>(total_pulls, 1))) /
-                              static_cast<double>(arm.pulls));
+                              arm.EffectivePulls());
         if (arm.MeanReward() + bonus > best_ucb) {
           best_ucb = arm.MeanReward() + bonus;
           chosen = m;

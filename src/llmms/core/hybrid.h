@@ -40,6 +40,12 @@ class HybridOrchestrator final : public Orchestrator {
     // hedged models can move their thresholds (DESIGN.md §11). Must outlive
     // the orchestrator; null disables the feedback loop.
     RewardFeed* reward_feed = nullptr;
+    // Feed-prior re-ranking for phase 2 (DESIGN.md §16): when > 0 and
+    // `reward_feed` is set, each surviving arm starts with the feed's
+    // current estimate as up to this many virtual pulls (capped by the
+    // estimate's retained weight) and skips the guaranteed cold-start
+    // pull. 0 preserves the per-query cold start exactly (the default).
+    double feed_prior_weight = 0.0;
     // Deadline/cancellation of the request driving this run (null =
     // unbounded); checked at both phases' loop boundaries (DESIGN.md §12).
     std::shared_ptr<RequestContext> context;

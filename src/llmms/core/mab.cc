@@ -11,6 +11,10 @@ namespace {
 struct Arm {
   double reward_sum = 0.0;
   size_t pulls = 0;
+  // Feed-prior virtual evidence (Config::feed_prior_weight): folded into
+  // the value estimate and the UCB pull count as virtual pulls.
+  double prior_sum = 0.0;
+  double prior_weight = 0.0;
   double last_reward = 0.0;
   RoundScore last_round;
   bool finished = false;
@@ -18,8 +22,12 @@ struct Arm {
   std::string error;
   llm::StopReason stop_reason = llm::StopReason::kLength;
 
+  double EffectivePulls() const {
+    return static_cast<double>(pulls) + prior_weight;
+  }
   double MeanReward() const {
-    return pulls > 0 ? reward_sum / static_cast<double>(pulls) : 0.0;
+    const double effective = EffectivePulls();
+    return effective > 0.0 ? (reward_sum + prior_sum) / effective : 0.0;
   }
 };
 
@@ -53,7 +61,13 @@ StatusOr<OrchestrationResult> MabOrchestrator::Run(
 
   OrchestrationResult result;
   std::unordered_map<std::string, Arm> arms;
-  for (const auto& m : models_) arms[m] = Arm{};
+  for (const auto& m : models_) {
+    Arm arm;
+    internal::SeedArmFromFeed(config_.reward_feed, m,
+                              config_.feed_prior_weight, &arm.prior_sum,
+                              &arm.prior_weight);
+    arms[m] = arm;
+  }
 
   size_t used_tokens = 0;
   size_t total_pulls = 0;
@@ -99,10 +113,13 @@ StatusOr<OrchestrationResult> MabOrchestrator::Run(
     const double gamma = gamma_now();
 
     // --- Arm selection (Algorithm 2 lines 3-6): unpulled live arms first
-    // (UCB1 cold start), then the highest upper confidence bound. ---
+    // (UCB1 cold start), then the highest upper confidence bound. An arm
+    // seeded with a feed prior is not "unpulled" — the session has already
+    // paid for its evidence, so it competes on UCB immediately instead of
+    // collecting a guaranteed exploration chunk every query. ---
     std::string chosen;
     for (const auto& m : models_) {
-      if (!arms[m].finished && arms[m].pulls == 0) {
+      if (!arms[m].finished && arms[m].EffectivePulls() <= 0.0) {
         chosen = m;
         break;
       }
@@ -116,7 +133,7 @@ StatusOr<OrchestrationResult> MabOrchestrator::Run(
             gamma * std::sqrt(2.0 *
                               std::log(static_cast<double>(
                                   std::max<size_t>(total_pulls, 1))) /
-                              static_cast<double>(arm.pulls));
+                              arm.EffectivePulls());
         const double ucb = arm.MeanReward() + bonus;
         if (ucb > best_ucb) {
           best_ucb = ucb;
@@ -209,7 +226,7 @@ StatusOr<OrchestrationResult> MabOrchestrator::Run(
       for (const auto& m : models_) {
         const Arm& a = arms[m];
         if (a.finished) continue;
-        if (a.pulls == 0) {
+        if (a.EffectivePulls() <= 0.0) {
           dominated = false;
           break;
         }
@@ -218,7 +235,7 @@ StatusOr<OrchestrationResult> MabOrchestrator::Run(
             std::sqrt(2.0 *
                       std::log(static_cast<double>(
                           std::max<size_t>(total_pulls, 1))) /
-                      static_cast<double>(a.pulls));
+                      a.EffectivePulls());
         if (a.MeanReward() + bonus >= best_finished_mean) {
           dominated = false;
           break;

@@ -39,6 +39,16 @@ class MabOrchestrator final : public Orchestrator {
     // can move their thresholds (DESIGN.md §11). Must outlive the
     // orchestrator; null disables the feedback loop.
     RewardFeed* reward_feed = nullptr;
+    // Feed-prior re-ranking (DESIGN.md §16): when > 0 and `reward_feed` is
+    // set, each arm starts with the feed's current estimate for its model
+    // as `feed_prior_weight` virtual pulls (capped by the estimate's own
+    // retained weight, so a barely observed model gets a barely weighted
+    // prior). Arms carrying a prior skip the guaranteed cold-start pull —
+    // across a session the bandit stops spending a free exploration chunk
+    // per query on models the pool already knows are bad, which is where
+    // the reward/token win comes from. 0 preserves the per-query cold
+    // start exactly (the default).
+    double feed_prior_weight = 0.0;
     // Deadline/cancellation of the request driving this run (null =
     // unbounded); checked at every pull boundary (DESIGN.md §12).
     std::shared_ptr<RequestContext> context;

@@ -125,6 +125,7 @@ StatusOr<SearchEngine::AskResult> SearchEngine::Ask(
       config.chunk_tokens = options.mab_chunk_tokens;
       config.gamma0 = options.mab_gamma0;
       config.reward_feed = &reward_feed_;
+      config.feed_prior_weight = options.feed_prior_weight;
       config.context = options.context;
       config.scheduler_weight = options.scheduler_weight;
       orchestrator = std::make_unique<MabOrchestrator>(runtime_, models,
@@ -140,6 +141,7 @@ StatusOr<SearchEngine::AskResult> SearchEngine::Ask(
       config.mab_chunk_tokens = options.mab_chunk_tokens;
       config.gamma0 = options.mab_gamma0;
       config.reward_feed = &reward_feed_;
+      config.feed_prior_weight = options.feed_prior_weight;
       config.context = options.context;
       config.scheduler_weight = options.scheduler_weight;
       orchestrator = std::make_unique<HybridOrchestrator>(runtime_, models,

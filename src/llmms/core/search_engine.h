@@ -47,6 +47,10 @@ class SearchEngine {
     size_t oua_chunk_tokens = 8;
     double mab_gamma0 = 0.3;
     size_t mab_chunk_tokens = 16;
+    // Feed-prior re-ranking for MAB/hybrid arms (DESIGN.md §16): how many
+    // virtual pulls of the engine feed's current estimate each arm starts
+    // with. 0 keeps the per-query UCB cold start (the default).
+    double feed_prior_weight = 0.0;
     bool use_rag = true;      // inject retrieved document context
     bool use_history = true;  // inject session conversation context
     // Contextual memory graphs (§9.5): recall related past exchanges from
@@ -105,6 +109,14 @@ class SearchEngine {
   // learns the pool's pecking order over a session, not per query). Models
   // without adaptation never subscribe, so for them the feed is inert.
   RewardFeed* reward_feed() { return &reward_feed_; }
+
+  // Switches the feed's estimator (sliding window / exponential decay /
+  // lifetime, DESIGN.md §16) and clears its observations. Call before
+  // serving; subscribers stay attached. Surfaced by /api/health's adaptive
+  // block as `window_size` / `reward_half_life`.
+  void ConfigureRewardFeed(const RewardFeedConfig& config) {
+    reward_feed_.Configure(config);
+  }
 
   // Options for session RAG pipelines created after this call (existing
   // pipelines keep their configuration). Lets deployments opt sessions into

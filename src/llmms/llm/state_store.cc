@@ -123,6 +123,7 @@ Status StateStore::Load() {
     std::lock_guard<std::mutex> lock(mu_);
     breakers_.clear();
     sketches_.clear();
+    sections_.clear();
     return Status::OK();
   };
 
@@ -137,7 +138,16 @@ Status StateStore::Load() {
 
   std::map<std::string, CircuitBreaker::Snapshot> breakers;
   std::map<std::string, std::vector<QuantileWindow::Snapshot>> sketches;
-  if (doc.Contains("breakers") || doc.Contains("sketches")) {
+  std::map<std::string, Json> sections;
+  if (doc.Contains("breakers") || doc.Contains("sketches") ||
+      doc.Contains("rewards")) {
+    // Every top-level key beyond the two built-ins is an attached section
+    // (e.g. "rewards"); kept verbatim for LoadedSection() and carried
+    // through future saves.
+    for (const auto& [name, value] : doc.AsObject()) {
+      if (name == "breakers" || name == "sketches") continue;
+      sections[name] = value;
+    }
     if (doc.Contains("breakers")) {
       if (!doc["breakers"].is_object()) {
         return cold_start("has a non-object 'breakers' section");
@@ -167,7 +177,20 @@ Status StateStore::Load() {
   std::lock_guard<std::mutex> lock(mu_);
   breakers_ = std::move(breakers);
   sketches_ = std::move(sketches);
+  sections_ = std::move(sections);
   return Status::OK();
+}
+
+void StateStore::AttachSection(const std::string& name,
+                               std::function<Json()> provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_[name] = std::move(provider);
+}
+
+Json StateStore::LoadedSection(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sections_.find(name);
+  return it == sections_.end() ? Json() : it->second;
 }
 
 void StateStore::AttachBreaker(const std::string& model,
@@ -221,6 +244,17 @@ Status StateStore::SaveNow() {
   for (const auto& [model, hedged] : live) {
     fresh[model] = hedged->SketchSnapshot();
   }
+  // Section providers likewise run outside the store lock (they may take
+  // their owner's own lock, e.g. the reward feed's).
+  std::map<std::string, std::function<Json()>> providers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    providers = providers_;
+  }
+  std::map<std::string, Json> fresh_sections;
+  for (const auto& [name, provider] : providers) {
+    fresh_sections[name] = provider();
+  }
 
   Json breakers = Json::MakeObject();
   Json sketches = Json::MakeObject();
@@ -232,6 +266,9 @@ Status StateStore::SaveNow() {
     for (auto& [model, sketch] : fresh) {
       sketches_[model] = std::move(sketch);
     }
+    for (auto& [name, section] : fresh_sections) {
+      sections_[name] = std::move(section);
+    }
     for (const auto& [model, snapshot] : breakers_) {
       breakers.Set(model, BreakerToJson(snapshot));
     }
@@ -242,6 +279,13 @@ Status StateStore::SaveNow() {
   Json doc = Json::MakeObject();
   doc.Set("breakers", std::move(breakers));
   doc.Set("sketches", std::move(sketches));
+  {
+    // Loaded-but-unattached sections ride along unchanged.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, section] : sections_) {
+      doc.Set(name, section);
+    }
+  }
 
   auto& counters = GlobalStorageCounters();
   // Full barrier sequence (write path.tmp, fsync, rename, fsync the parent

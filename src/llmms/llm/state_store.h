@@ -1,6 +1,7 @@
 #ifndef LLMMS_LLM_STATE_STORE_H_
 #define LLMMS_LLM_STATE_STORE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -27,9 +28,16 @@ class HedgedModel;
 //
 // File shape:
 //   { "breakers": { "<model>": {<CircuitBreaker::Snapshot>} },
-//     "sketches": { "<model>": [ {<QuantileWindow::Snapshot>}, ... ] } }
+//     "sketches": { "<model>": [ {<QuantileWindow::Snapshot>}, ... ] },
+//     "<section>": <any JSON> }
 // The pre-StateStore flat format (model -> breaker snapshot at top level)
-// is still read, so PR 1 state files survive the upgrade.
+// is still read, so PR 1 state files survive the upgrade. Beyond the two
+// built-in sections, higher layers attach named sections with a provider
+// callback (AttachSection) — core::AttachRewardFeed persists the reward
+// feed's decayed means under "rewards" this way (DESIGN.md §16) without
+// llm ever depending on core. Unrecognized sections found in the file are
+// carried through saves untouched, so a node downgraded past a section's
+// owner does not destroy that state.
 //
 // Usage:
 //   StateStore store("/var/lib/llmms/state.json");
@@ -84,8 +92,19 @@ class StateStore {
   void AttachSketches(const std::string& model,
                       std::shared_ptr<const HedgedModel> hedged);
 
-  // Serializes breakers + the attached groups' current sketches to the file
-  // (atomically via a temp file + rename).
+  // Registers a named top-level section whose JSON is produced fresh by
+  // `provider` at every save. One provider per section; the last
+  // registration wins. The provider runs outside the store lock (it may
+  // take its owner's own lock) and must outlive the store's save activity.
+  void AttachSection(const std::string& name,
+                     std::function<Json()> provider);
+
+  // The section's last loaded (or last provided) JSON; a null Json when the
+  // store has none. How attached owners restore their state after Load().
+  Json LoadedSection(const std::string& name) const;
+
+  // Serializes breakers + the attached groups' current sketches + every
+  // attached section to the file (atomically via a temp file + rename).
   Status SaveNow();
 
   const std::string& path() const { return path_; }
@@ -114,6 +133,10 @@ class StateStore {
   std::map<std::string, std::vector<QuantileWindow::Snapshot>> sketches_;
   // …and the live groups whose windows SaveNow() snapshots fresh.
   std::map<std::string, std::shared_ptr<const HedgedModel>> hedged_;
+  // Extra top-level sections: the JSON last loaded from the file (or last
+  // produced by a provider), and the providers that refresh them on save.
+  std::map<std::string, Json> sections_;
+  std::map<std::string, std::function<Json()>> providers_;
 };
 
 }  // namespace llmms::llm

@@ -182,6 +182,34 @@ TEST(RewardFeedTest, NonPositiveMeansClampToZeroFavour) {
   EXPECT_DOUBLE_EQ(feed.FavourOf("winner"), 1.0);
 }
 
+// Regression: favour warmup must be gated on *retained* evidence, not
+// lifetime counts. A model whose window observations have all been evicted
+// (its retained weight is back to zero) must report favour 0 — exactly like
+// a model that was never observed — even though its lifetime count is still
+// positive. Before the fix, the warmup ramp divided the lifetime count by
+// warmup and a fully evicted model kept hedging on its stale reputation.
+TEST(RewardFeedTest, EvictedModelReportsZeroFavourDespiteLifetimeCount) {
+  core::RewardFeedConfig config;
+  config.warmup = 2;
+  config.window = 3;
+  core::RewardFeed feed(config);
+
+  feed.Publish("stale", 0.9);
+  EXPECT_GT(feed.FavourOf("stale"), 0.0);
+
+  // Three publishes for another model advance the global tick past the
+  // window: every "stale" entry is evicted.
+  feed.Publish("fresh", 0.5);
+  feed.Publish("fresh", 0.5);
+  feed.Publish("fresh", 0.5);
+
+  EXPECT_EQ(feed.StatsFor("stale").count, 1u);  // lifetime totals remain
+  EXPECT_DOUBLE_EQ(feed.EstimateFor("stale").weight, 0.0);
+  EXPECT_DOUBLE_EQ(feed.FavourOf("stale"), 0.0)
+      << "a model with zero retained observations must never carry favour";
+  EXPECT_GT(feed.FavourOf("fresh"), 0.0);
+}
+
 TEST(RewardFeedTest, PublishDeliversTheUpdateAndReturnsTheAdaptation) {
   core::RewardFeed feed(/*warmup=*/2);
   core::RewardFeed::Update seen;

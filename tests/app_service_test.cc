@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "llmms/app/sse.h"
+#include "llmms/llm/hedged_model.h"
 #include "testutil.h"
 
 namespace llmms::app {
@@ -183,6 +184,49 @@ TEST_F(ApiServiceTest, UnknownEndpointIsNotFound) {
   auto response = service_->Handle("/api/nope", Json::MakeObject());
   EXPECT_FALSE(response["ok"].AsBool());
   EXPECT_EQ(response["error"]["code"].AsString(), "NotFound");
+}
+
+// The adaptive hedging block surfaces the engine feed's estimator
+// configuration (DESIGN.md §16): `window_size` / `reward_half_life` tell an
+// operator which estimator the favours driving the percentiles come from.
+TEST(ApiServiceAdaptiveHealthTest, HealthReportsRewardEstimatorConfig) {
+  auto world = testutil::MakeWorld(1);
+  auto profile = llm::DefaultProfiles()[0];
+  profile.name = "hedged:demo";
+  llm::HedgeConfig hedge;
+  hedge.adapt = true;
+  ASSERT_TRUE(world.registry
+                  ->Register(std::make_shared<llm::HedgedModel>(
+                      std::make_shared<llm::SyntheticModel>(profile,
+                                                            world.knowledge),
+                      std::vector<std::shared_ptr<llm::LanguageModel>>{
+                          std::make_shared<llm::SyntheticModel>(
+                              profile, world.knowledge)},
+                      hedge))
+                  .ok());
+  ASSERT_TRUE(world.runtime->LoadModel("hedged:demo").ok());
+
+  auto db = std::make_shared<vectordb::VectorDatabase>();
+  auto sessions = std::make_shared<session::SessionStore>();
+  core::SearchEngine engine(world.runtime.get(), world.embedder, db, sessions);
+  core::RewardFeedConfig feed_config;
+  feed_config.warmup = 4;
+  feed_config.window = 32;
+  engine.ConfigureRewardFeed(feed_config);
+  ApiService service(&engine);
+
+  auto health = service.Handle("/api/health", Json::MakeObject());
+  ASSERT_TRUE(health["ok"].AsBool());
+  const Json* entry = nullptr;
+  for (const Json& model : health["models"].AsArray()) {
+    if (model["model"].AsString() == "hedged:demo") entry = &model;
+  }
+  ASSERT_NE(entry, nullptr);
+  const Json& hedging = (*entry)["hedging"];
+  ASSERT_TRUE(hedging.is_object());
+  EXPECT_TRUE(hedging["adaptive"].AsBool());
+  EXPECT_EQ(hedging["window_size"].AsInt(), 32);
+  EXPECT_DOUBLE_EQ(hedging["reward_half_life"].AsDouble(), 0.0);
 }
 
 TEST(SseTest, EncodeBasicEvent) {

@@ -3,21 +3,27 @@
 // reproducible) sequences, the ring buffer is checked to hold exactly the
 // last `capacity` samples, and Snapshot/Restore is checked to round-trip
 // the window bit-for-bit — including the min_samples cold-start boundary a
-// restored HedgedModel sketch must respect.
+// restored HedgedModel sketch must respect. The RewardFeed estimators
+// (sliding window / exponential decay, DESIGN.md §16) are held to the same
+// standard at the bottom of the file.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <deque>
 #include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "llmms/common/quantile_window.h"
 #include "llmms/common/rng.h"
+#include "llmms/core/reward_feed.h"
 #include "llmms/llm/hedged_model.h"
+#include "llmms/llm/state_store.h"
 
 namespace llmms {
 namespace {
@@ -245,6 +251,182 @@ TEST(QuantileWindowPropertyTest, RestoredSketchHonoursMinSamplesBoundary) {
 
   // The backup replica received no sketch and stays cold.
   EXPECT_TRUE(std::isinf(eight.ThresholdFor(1)));
+}
+
+// ---------------------------------------------------------------------------
+// RewardFeed estimators (DESIGN.md §16): the sliding-window and
+// exponential-decay means are held to the same property-test standard as
+// the quantile sketch — checked against naive references on randomized
+// reward streams, across the window boundary, and through a StateStore
+// round-trip.
+
+// Naive reference for the sliding window: replay the full publish history
+// and average the entries of `model` whose global tick is within the last
+// `window` ticks. Entry i (0-based) of the history carries tick i+1.
+double NaiveWindowMean(
+    const std::vector<std::pair<std::string, double>>& history,
+    const std::string& model, size_t window) {
+  const uint64_t now = history.size();  // == the feed's tick after replay
+  double sum = 0.0;
+  size_t kept = 0;
+  for (size_t i = 0; i < history.size(); ++i) {
+    const uint64_t tick = i + 1;
+    if (history[i].first != model || now - tick >= window) continue;
+    sum += history[i].second;
+    ++kept;
+  }
+  return kept == 0 ? 0.0 : sum / static_cast<double>(kept);
+}
+
+// Naive reference for exponential decay: sum(r_i * d^(T - t_i)) over the
+// model's observations, normalized by the matching weight sum, with
+// d = 2^(-1/half_life).
+double NaiveDecayMean(
+    const std::vector<std::pair<std::string, double>>& history,
+    const std::string& model, double half_life) {
+  const double d = std::exp2(-1.0 / half_life);
+  const double now = static_cast<double>(history.size());
+  double sum = 0.0;
+  double weight = 0.0;
+  for (size_t i = 0; i < history.size(); ++i) {
+    if (history[i].first != model) continue;
+    const double age = now - static_cast<double>(i + 1);
+    sum += history[i].second * std::pow(d, age);
+    weight += std::pow(d, age);
+  }
+  return weight == 0.0 ? 0.0 : sum / weight;
+}
+
+TEST(RewardFeedPropertyTest, WindowMeanMatchesNaiveReference) {
+  const std::string models[] = {"a", "b", "c"};
+  for (const size_t window : {size_t{1}, size_t{4}, size_t{16}}) {
+    Rng rng(0xFEED0000ULL + window);
+    core::RewardFeedConfig config;
+    config.warmup = 2;
+    config.window = window;
+    core::RewardFeed feed(config);
+
+    std::vector<std::pair<std::string, double>> history;
+    for (int i = 0; i < 400; ++i) {
+      const std::string& model = models[rng.NextUint64() % 3];
+      const double reward = rng.Uniform(-0.2, 1.0);
+      feed.Publish(model, reward);
+      history.emplace_back(model, reward);
+
+      for (const auto& m : models) {
+        // The feed recomputes the window sum on every read, so the match
+        // against the naive replay is exact, not approximate.
+        EXPECT_DOUBLE_EQ(feed.EstimateFor(m).mean,
+                         NaiveWindowMean(history, m, window))
+            << "model " << m << " window " << window << " after " << i + 1
+            << " publishes";
+      }
+    }
+  }
+}
+
+TEST(RewardFeedPropertyTest, DecayMeanMatchesNaiveReference) {
+  const std::string models[] = {"a", "b", "c"};
+  for (const double half_life : {2.0, 8.0, 64.0}) {
+    Rng rng(0xDECA0000ULL + static_cast<uint64_t>(half_life));
+    core::RewardFeedConfig config;
+    config.warmup = 2;
+    config.half_life = half_life;
+    core::RewardFeed feed(config);
+
+    std::vector<std::pair<std::string, double>> history;
+    for (int i = 0; i < 300; ++i) {
+      const std::string& model = models[rng.NextUint64() % 3];
+      const double reward = rng.Uniform(-0.2, 1.0);
+      feed.Publish(model, reward);
+      history.emplace_back(model, reward);
+    }
+    for (const auto& m : models) {
+      EXPECT_NEAR(feed.EstimateFor(m).mean,
+                  NaiveDecayMean(history, m, half_life), 1e-9)
+          << "model " << m << " half-life " << half_life;
+    }
+  }
+}
+
+TEST(RewardFeedPropertyTest, WindowBoundaryEvictsExactlyOnTime) {
+  core::RewardFeedConfig config;
+  config.warmup = 1;
+  config.window = 5;
+  core::RewardFeed feed(config);
+
+  feed.Publish("m", 1.0);  // tick 1: retained while tick - 1 < 5, i.e. to 5
+  for (int tick = 2; tick <= 5; ++tick) {
+    feed.Publish("other", 0.1);
+    EXPECT_DOUBLE_EQ(feed.EstimateFor("m").weight, 1.0)
+        << "tick " << tick << ": the entry is still inside the window";
+  }
+  feed.Publish("other", 0.1);  // tick 6: 6 - 1 >= 5, evicted
+  EXPECT_DOUBLE_EQ(feed.EstimateFor("m").weight, 0.0);
+  EXPECT_DOUBLE_EQ(feed.EstimateFor("m").mean, 0.0);
+  EXPECT_DOUBLE_EQ(feed.FavourOf("m"), 0.0);
+  // Lifetime totals never evict.
+  EXPECT_EQ(feed.StatsFor("m").count, 1u);
+  EXPECT_DOUBLE_EQ(feed.StatsFor("m").MeanReward(), 1.0);
+}
+
+TEST(RewardFeedPropertyTest, SnapshotRoundTripsThroughStateStore) {
+  const std::string path =
+      ::testing::TempDir() + "/reward-feed-roundtrip.json";
+  std::remove(path.c_str());
+
+  core::RewardFeedConfig config;
+  config.warmup = 3;
+  config.window = 8;
+
+  core::RewardFeed original(config);
+  Rng rng(0x57A7E57ULL);
+  const std::string models[] = {"a", "b", "c"};
+  for (int i = 0; i < 50; ++i) {
+    original.Publish(models[rng.NextUint64() % 3], rng.Uniform(0.0, 1.0));
+  }
+
+  {
+    llm::StateStore store(path);
+    ASSERT_TRUE(store.Load().ok());
+    core::AttachRewardFeed(&store, &original);
+    ASSERT_TRUE(store.SaveNow().ok());
+  }
+
+  // A fresh store + fresh feed on the same file must see identical
+  // estimates, favours, lifetime stats, and tick.
+  llm::StateStore reloaded(path);
+  ASSERT_TRUE(reloaded.Load().ok());
+  EXPECT_TRUE(reloaded.load_warning().empty()) << reloaded.load_warning();
+  core::RewardFeed restored(config);
+  core::AttachRewardFeed(&reloaded, &restored);
+
+  EXPECT_EQ(restored.tick(), original.tick());
+  for (const auto& m : models) {
+    EXPECT_DOUBLE_EQ(restored.EstimateFor(m).mean,
+                     original.EstimateFor(m).mean);
+    EXPECT_DOUBLE_EQ(restored.EstimateFor(m).weight,
+                     original.EstimateFor(m).weight);
+    EXPECT_DOUBLE_EQ(restored.FavourOf(m), original.FavourOf(m));
+    EXPECT_EQ(restored.StatsFor(m).count, original.StatsFor(m).count);
+    EXPECT_DOUBLE_EQ(restored.StatsFor(m).reward_sum,
+                     original.StatsFor(m).reward_sum);
+  }
+
+  // The restored feed is not a dead snapshot: publishing the same stream to
+  // both keeps them in lockstep (ticks, eviction, and means all resumed).
+  for (int i = 0; i < 20; ++i) {
+    const std::string& m = models[i % 3];
+    const double reward = 0.1 * static_cast<double>(i % 7);
+    original.Publish(m, reward);
+    restored.Publish(m, reward);
+  }
+  for (const auto& m : models) {
+    EXPECT_DOUBLE_EQ(restored.EstimateFor(m).mean,
+                     original.EstimateFor(m).mean);
+    EXPECT_DOUBLE_EQ(restored.FavourOf(m), original.FavourOf(m));
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

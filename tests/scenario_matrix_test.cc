@@ -1,0 +1,285 @@
+// Frontier harness suite (DESIGN.md §16, `ctest -L frontier`): pinned-matrix
+// determinism, the committed golden row trace, the token-conservation
+// invariant across every cell, deterministic storm-cell shedding, the Pareto
+// regression gate against tests/golden/frontier_reference.json, and the
+// drifting-competence acceptance bar for the decayed RewardFeed.
+//
+// Regenerate the committed references with LLMMS_UPDATE_GOLDEN=1 after an
+// intentional behaviour change.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "llmms/common/json.h"
+#include "llmms/eval/scenario_matrix.h"
+
+namespace llmms::eval {
+namespace {
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+std::vector<CellResult> MustRun(const ScenarioMatrix& matrix) {
+  auto results = matrix.Run();
+  EXPECT_TRUE(results.ok()) << results.status().ToString();
+  return results.ok() ? std::move(results).value() : std::vector<CellResult>();
+}
+
+// ---------------------------------------------------------------------------
+// Matrix enumeration.
+
+TEST(ScenarioMatrixTest, PinnedMatrixEnumeratesUniqueCells) {
+  ScenarioMatrix matrix(PinnedMatrix());
+  const auto cells = matrix.Cells();
+  // {oua, mab} x {384} x {trio} x {none, storm} x {plain, adaptive}.
+  EXPECT_EQ(cells.size(), 8u);
+  std::set<std::string> keys;
+  for (const auto& spec : cells) keys.insert(CellKey(spec));
+  EXPECT_EQ(keys.size(), cells.size()) << "cell keys must be unique";
+  EXPECT_TRUE(keys.count("mab/b384/trio/storm/adaptive"))
+      << "CellKey format changed";
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: a cell's metrics depend only on (spec, config).
+
+TEST(ScenarioMatrixTest, PinnedCellsAreDeterministicAcrossRuns) {
+  ScenarioMatrix matrix(PinnedMatrix());
+  const auto first = MustRun(matrix);
+  const auto second = MustRun(matrix);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    // The trace line covers every deterministic field (wall_seconds is
+    // deliberately excluded from it).
+    EXPECT_EQ(CellTraceLine(first[i]), CellTraceLine(second[i]))
+        << "cell " << CellKey(first[i].spec)
+        << " is not deterministic under a fixed seed";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden trace of one full matrix row (the mab row of the pinned matrix).
+
+TEST(ScenarioMatrixTest, GoldenRowTrace) {
+  ScenarioMatrix matrix(PinnedMatrix());
+  std::string serialized;
+  for (const auto& spec : matrix.Cells()) {
+    if (spec.orchestrator != MatrixOrchestrator::kMab) continue;
+    auto result = matrix.RunCell(spec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    serialized += CellTraceLine(result.value());
+    serialized += '\n';
+  }
+
+  const std::string golden_path =
+      std::string(LLMMS_TESTS_DIR) + "/golden/frontier_row.golden";
+  if (std::getenv("LLMMS_UPDATE_GOLDEN") != nullptr) {
+    WriteFile(golden_path, serialized);
+    GTEST_SKIP() << "golden file regenerated at " << golden_path;
+  }
+  ASSERT_TRUE(FileExists(golden_path))
+      << "missing golden file; regenerate with LLMMS_UPDATE_GOLDEN=1 "
+      << golden_path;
+  EXPECT_EQ(serialized, ReadFile(golden_path))
+      << "frontier row diverged from the committed golden trace; if the "
+         "change is intentional, regenerate with LLMMS_UPDATE_GOLDEN=1";
+}
+
+// ---------------------------------------------------------------------------
+// Token conservation: generated == charged + wasted, in every cell.
+
+TEST(ScenarioMatrixTest, TokenConservationHoldsInEveryCell) {
+  ScenarioMatrix matrix(PinnedMatrix());
+  for (const auto& result : MustRun(matrix)) {
+    EXPECT_EQ(result.generated_tokens,
+              result.charged_tokens + result.wasted_tokens)
+        << "cell " << CellKey(result.spec)
+        << ": tokens leaked — every token the substrate generated must be "
+           "either budget-charged or booked as hedge waste";
+    EXPECT_GT(result.queries, 0u);
+    EXPECT_LE(result.failed_queries, result.queries);
+    EXPECT_DOUBLE_EQ(result.shed_rate,
+                     static_cast<double>(result.failed_queries) /
+                         static_cast<double>(result.queries));
+    if (result.spec.mode != MatrixMode::kAdaptive) {
+      EXPECT_EQ(result.wasted_tokens, 0u)
+          << "cell " << CellKey(result.spec)
+          << ": only hedged cells may waste tokens";
+    }
+  }
+}
+
+// Storm cells must exercise the shed path: the fault profile is calibrated
+// so whole-pool failures survive the retry budget at a nonzero rate.
+TEST(ScenarioMatrixTest, StormCellsShedDeterministically) {
+  ScenarioMatrix matrix(PinnedMatrix());
+  bool saw_storm = false;
+  for (const auto& result : MustRun(matrix)) {
+    if (result.spec.faults != MatrixFaults::kStorm) continue;
+    saw_storm = true;
+    if (result.spec.mode == MatrixMode::kPlain) {
+      EXPECT_GT(result.failed_queries, 0u)
+          << "cell " << CellKey(result.spec)
+          << ": the storm profile no longer sheds — the regression gate "
+             "would stop covering the failure path";
+    }
+  }
+  EXPECT_TRUE(saw_storm);
+}
+
+// ---------------------------------------------------------------------------
+// The Pareto regression gate: a fresh pinned run may not be dominated by the
+// committed reference — strictly worse on BOTH the quality axis
+// (mean_reward) and the efficiency axis (reward_per_token) beyond epsilon.
+// Moving along the frontier (trading one axis for the other) passes; falling
+// inside it fails.
+
+TEST(ScenarioMatrixTest, ParetoGateAgainstCommittedReference) {
+  constexpr double kEps = 1e-6;
+  ScenarioMatrix matrix(PinnedMatrix());
+  const auto results = MustRun(matrix);
+
+  Json fresh = Json::MakeArray();
+  for (const auto& result : results) {
+    Json cell = Json::MakeObject();
+    cell.Set("cell", CellKey(result.spec));
+    cell.Set("mean_reward", result.mean_reward);
+    cell.Set("reward_per_token", result.reward_per_token);
+    cell.Set("shed_rate", result.shed_rate);
+    fresh.Append(std::move(cell));
+  }
+
+  const std::string reference_path =
+      std::string(LLMMS_TESTS_DIR) + "/golden/frontier_reference.json";
+  if (std::getenv("LLMMS_UPDATE_GOLDEN") != nullptr) {
+    WriteFile(reference_path, fresh.Dump(2) + "\n");
+    GTEST_SKIP() << "reference regenerated at " << reference_path;
+  }
+  ASSERT_TRUE(FileExists(reference_path))
+      << "missing Pareto reference; regenerate with LLMMS_UPDATE_GOLDEN=1 "
+      << reference_path;
+  auto reference = Json::Parse(ReadFile(reference_path));
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  std::map<std::string, std::pair<double, double>> expected;
+  for (size_t i = 0; i < reference->Size(); ++i) {
+    const Json& cell = reference->At(i);
+    expected[std::string(cell["cell"].AsString())] = {
+        cell["mean_reward"].AsDouble(), cell["reward_per_token"].AsDouble()};
+  }
+
+  for (const auto& result : results) {
+    const auto it = expected.find(CellKey(result.spec));
+    ASSERT_NE(it, expected.end())
+        << "cell " << CellKey(result.spec)
+        << " missing from the committed reference; regenerate with "
+           "LLMMS_UPDATE_GOLDEN=1";
+    const bool worse_reward = result.mean_reward < it->second.first - kEps;
+    const bool worse_efficiency =
+        result.reward_per_token < it->second.second - kEps;
+    EXPECT_FALSE(worse_reward && worse_efficiency)
+        << "cell " << CellKey(result.spec)
+        << " regressed on BOTH axes (dominated): reward "
+        << result.mean_reward << " < " << it->second.first
+        << " and reward/token " << result.reward_per_token << " < "
+        << it->second.second
+        << "; if intentional, regenerate with LLMMS_UPDATE_GOLDEN=1";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Drifting-competence acceptance: the sliding-window feed must strictly beat
+// the lifetime-mean baseline on reward/token when the pool's pecking order
+// flips mid-session (the CI frontier job replays this with
+// --repeat until-fail:3).
+
+TEST(ScenarioMatrixTest, DecayedFeedBeatsLifetimeMeanUnderDrift) {
+  DriftConfig config;
+  auto comparison = RunDriftComparison(config);
+  ASSERT_TRUE(comparison.ok()) << comparison.status().ToString();
+  EXPECT_EQ(comparison->lifetime.queries, comparison->adaptive.queries);
+  EXPECT_GT(comparison->adaptive.reward_per_token,
+            comparison->lifetime.reward_per_token)
+      << "the windowed RewardFeed no longer beats the lifetime-mean "
+         "baseline after the mid-session competence swap — the decayed "
+         "estimator stopped forgetting stale reputations";
+}
+
+// The drift scenario itself is deterministic (same seeds, simulated time).
+TEST(ScenarioMatrixTest, DriftComparisonIsDeterministic) {
+  DriftConfig config;
+  auto first = RunDriftComparison(config);
+  auto second = RunDriftComparison(config);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(first->lifetime.reward_per_token,
+                   second->lifetime.reward_per_token);
+  EXPECT_DOUBLE_EQ(first->adaptive.reward_per_token,
+                   second->adaptive.reward_per_token);
+  EXPECT_EQ(first->lifetime.charged_tokens, second->lifetime.charged_tokens);
+  EXPECT_EQ(first->adaptive.charged_tokens, second->adaptive.charged_tokens);
+}
+
+// DriftSwitchModel hands the first N starts to `before` and the rest to
+// `after` — the drift clock the acceptance scenario is built on.
+TEST(ScenarioMatrixTest, DriftSwitchModelSwitchesAtTheConfiguredStart) {
+  DriftConfig config;
+  // Reuse the scenario's own model construction indirectly: a switch model
+  // over two synthetic models with opposite competence answers differently
+  // before and after the switch (checked through starts()).
+  auto world_check = RunDriftComparison(config);
+  ASSERT_TRUE(world_check.ok());
+  // Direct unit check of the switch arithmetic.
+  class Probe final : public llm::LanguageModel {
+   public:
+    explicit Probe(std::string name) : name_(std::move(name)) {}
+    const std::string& name() const override { return name_; }
+    uint64_t memory_mb() const override { return 1; }
+    double tokens_per_second() const override { return 1.0; }
+    size_t context_window() const override { return 128; }
+    StatusOr<std::unique_ptr<llm::GenerationStream>> StartGeneration(
+        const llm::GenerationRequest&) const override {
+      ++starts;
+      return Status::Internal("probe: not a real stream");
+    }
+    mutable size_t starts = 0;
+
+   private:
+    std::string name_;
+  };
+  auto before = std::make_shared<Probe>("probe");
+  auto after = std::make_shared<Probe>("probe");
+  DriftSwitchModel model(before, after, 2);
+  llm::GenerationRequest request;
+  for (int i = 0; i < 5; ++i) {
+    auto ignored = model.StartGeneration(request);
+    (void)ignored;
+  }
+  EXPECT_EQ(before->starts, 2u);
+  EXPECT_EQ(after->starts, 3u);
+  EXPECT_EQ(model.starts(), 5u);
+}
+
+}  // namespace
+}  // namespace llmms::eval
